@@ -1,0 +1,79 @@
+"""S2 — Theorem 1 runtime is polynomial in 1/ε.
+
+Fixed (Q, H); ε⁻¹ swept.  The default sample schedule is Θ(√n/ε²), so
+the fitted runtime exponent in ε⁻¹ should be ≈ 2 — comfortably the
+poly(ε⁻¹) of the theorem statement.  Accuracy at each ε is reported
+alongside.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    ResultTable,
+    fit_growth_exponent,
+    relative_error,
+    timed,
+)
+from repro.core.exact import exact_probability
+from repro.core.pqe_estimate import pqe_estimate
+from repro.queries.builders import path_query
+from repro.workloads.graphs import layered_path_instance
+from repro.workloads.instances import random_probabilities
+
+SEED = 2023
+QUERY = path_query(3)
+EPSILONS = (0.8, 0.4, 0.2, 0.1)
+
+
+def _workload():
+    instance = layered_path_instance(3, 2, 1.0, seed=SEED)
+    return random_probabilities(instance, seed=SEED, max_denominator=3)
+
+
+def run_scaling() -> tuple[ResultTable, float]:
+    pdb = _workload()
+    truth = float(exact_probability(QUERY, pdb, method="lineage"))
+    table = ResultTable(
+        "Theorem 1 runtime scaling in 1/epsilon (fixed Q3 workload)",
+        ["epsilon", "1/epsilon", "Pr estimate", "rel.err", "time (s)"],
+    )
+    inverses, times = [], []
+    for epsilon in EPSILONS:
+        result, seconds = timed(
+            lambda e=epsilon: pqe_estimate(
+                QUERY, pdb, epsilon=e, seed=SEED, exact_set_cap=0
+            )
+        )
+        table.add_row([
+            epsilon,
+            1 / epsilon,
+            result.estimate,
+            relative_error(result.estimate, truth),
+            seconds,
+        ])
+        inverses.append(1 / epsilon)
+        times.append(seconds)
+    return table, fit_growth_exponent(inverses, times)
+
+
+def test_epsilon_scaling_is_polynomial():
+    _table, exponent = run_scaling()
+    # Sample schedule is Θ(1/ε²); allow generous slack for timer noise.
+    assert exponent < 4
+
+
+def test_tight_epsilon_run(benchmark):
+    pdb = _workload()
+    result = benchmark(
+        lambda: pqe_estimate(
+            QUERY, pdb, epsilon=0.15, seed=SEED, exact_set_cap=0
+        )
+    )
+    assert 0 <= result.estimate <= 1.05
+
+
+if __name__ == "__main__":
+    table, exponent = run_scaling()
+    table.print()
+    print(f"runtime growth exponent in 1/epsilon: {exponent:.2f}")
+    print("(sample schedule is Theta(1/eps^2); theorem needs poly)")

@@ -1,0 +1,80 @@
+"""G2 — the Section 5.1 multiplier gadget, exactly.
+
+For multipliers n ∈ 1..64: the comparator-gadget translation must
+multiply the accepted-tree count by exactly n, while adding only
+⌊log₂(n−1)⌋ + 1 states (Remark 2: logarithmic).  Also measures the
+padded variant used by the Theorem 1 reduction (equal-length gadgets
+for both polarities of a fact).
+"""
+
+from __future__ import annotations
+
+from repro.automata.multiplier import (
+    MultiplierNFTA,
+    comparator_gadget_transitions,
+    minimal_gadget_bits,
+)
+from repro.automata.nfta import NFTA
+from repro.automata.nfta_counting import count_nfta_exact
+from repro.bench.harness import ResultTable
+
+MULTIPLIERS = (1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64)
+
+
+def run_gadget_table() -> ResultTable:
+    table = ResultTable(
+        "Multiplier gadget: exact counts and state overhead",
+        ["n", "gadget bits u(n)", "gadget states", "trees accepted",
+         "exact?"],
+    )
+    for n in MULTIPLIERS:
+        bits = minimal_gadget_bits(n)
+        automaton = MultiplierNFTA(
+            [("s", "a", n, bits, ())], initial="s"
+        ).translate()
+        count = count_nfta_exact(automaton, 1 + bits)
+        gadget_states = len(automaton.states) - 1  # minus the root
+        table.add_row([n, bits, gadget_states, count, count == n])
+    return table
+
+
+def test_all_multipliers_exact(benchmark):
+    def check_all():
+        results = []
+        for n in MULTIPLIERS:
+            bits = minimal_gadget_bits(n)
+            automaton = MultiplierNFTA(
+                [("s", "a", n, bits, ())], initial="s"
+            ).translate()
+            results.append(count_nfta_exact(automaton, 1 + bits))
+        return results
+
+    counts = benchmark(check_all)
+    assert counts == list(MULTIPLIERS)
+
+
+def test_state_overhead_logarithmic():
+    for n in (10, 100, 1000, 10_000):
+        bits = minimal_gadget_bits(n)
+        transitions = comparator_gadget_transitions(
+            n, bits, entry="e", children=(), fresh_prefix="g"
+        )
+        states = {t[0] for t in transitions}
+        assert len(states) <= 2 * bits  # Remark 2: logarithmic in n
+
+
+def test_padding_preserves_count():
+    # The Theorem 1 reduction pads both polarities of a fact to the
+    # same gadget length; padding must not change the count.
+    for n in (1, 3, 6):
+        base_bits = max(1, minimal_gadget_bits(n))
+        for extra in (0, 1, 2):
+            bits = base_bits + extra
+            automaton = MultiplierNFTA(
+                [("s", "a", n, bits, ())], initial="s"
+            ).translate()
+            assert count_nfta_exact(automaton, 1 + bits) == n
+
+
+if __name__ == "__main__":
+    run_gadget_table().print()

@@ -1,0 +1,99 @@
+"""A1 — Theorem 2: PathEstimate is a (1 ± ε)-approximation.
+
+Sweep ε on path-query uniform reliability, measuring the realized
+relative error of the Section 3 estimator against exact ground truth
+(computed by lineage WMC).  Pure-sampling mode (exact_set_cap=0) is
+used so the FPRAS is genuinely exercised; the measured error should
+track the requested ε.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.bench.harness import ResultTable, relative_error
+from repro.core.exact import exact_uniform_reliability
+from repro.core.path_estimate import path_estimate
+from repro.queries.builders import path_query
+from repro.workloads.graphs import layered_path_instance
+
+SEED = 2023
+EPSILONS = (0.5, 0.25, 0.1)
+TRIALS = 5
+LENGTH = 3
+WIDTH = 2
+
+
+def run_accuracy() -> ResultTable:
+    table = ResultTable(
+        f"Theorem 2 accuracy: Q{LENGTH} on layered graphs "
+        f"({TRIALS} trials each)",
+        ["epsilon", "mean rel.err", "max rel.err", "within (1±eps)"],
+    )
+    for epsilon in EPSILONS:
+        errors = []
+        within = 0
+        for trial in range(TRIALS):
+            instance = layered_path_instance(
+                LENGTH, WIDTH, 0.8, seed=SEED + trial
+            )
+            truth = exact_uniform_reliability(
+                path_query(LENGTH), instance, method="lineage"
+            )
+            estimate = path_estimate(
+                path_query(LENGTH),
+                instance,
+                epsilon=epsilon,
+                seed=SEED + trial,
+                exact_set_cap=0,
+                repetitions=3,
+            )
+            error = relative_error(estimate.estimate, truth)
+            errors.append(error)
+            if error <= epsilon:
+                within += 1
+        table.add_row([
+            epsilon,
+            statistics.mean(errors),
+            max(errors),
+            f"{within}/{TRIALS}",
+        ])
+    return table
+
+
+def test_path_estimate_quarter_epsilon(benchmark):
+    instance = layered_path_instance(LENGTH, WIDTH, 0.8, seed=SEED)
+    truth = exact_uniform_reliability(
+        path_query(LENGTH), instance, method="lineage"
+    )
+    result = benchmark(
+        lambda: path_estimate(
+            path_query(LENGTH), instance, epsilon=0.25, seed=SEED,
+            exact_set_cap=0,
+        )
+    )
+    assert relative_error(result.estimate, truth) < 0.6
+
+
+def test_error_shrinks_with_epsilon():
+    table_errors = {}
+    for epsilon in (0.5, 0.1):
+        errors = []
+        for trial in range(TRIALS):
+            instance = layered_path_instance(
+                LENGTH, WIDTH, 0.8, seed=SEED + trial
+            )
+            truth = exact_uniform_reliability(
+                path_query(LENGTH), instance, method="lineage"
+            )
+            estimate = path_estimate(
+                path_query(LENGTH), instance, epsilon=epsilon,
+                seed=SEED + trial, exact_set_cap=0, repetitions=3,
+            )
+            errors.append(relative_error(estimate.estimate, truth))
+        table_errors[epsilon] = statistics.mean(errors)
+    assert table_errors[0.1] <= table_errors[0.5] + 0.05
+
+
+if __name__ == "__main__":
+    run_accuracy().print()

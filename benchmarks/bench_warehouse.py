@@ -1,0 +1,95 @@
+"""W1 — the unsafe Table-1 cell on a realistic star-join workload.
+
+The warehouse query ``Sales(o,c,p), Customer(c,r), Product(p,g)`` is
+acyclic and self-join-free but non-hierarchical — the exact shape the
+paper's FPRAS was built for, arising naturally from any fact-table /
+dimension schema with probabilistic entity resolution.  This bench
+scales the warehouse up, comparing the safe-plan-inapplicable exact
+routes with the two FPRAS pipelines.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ResultTable, relative_error, timed
+from repro.core.exact import exact_probability
+from repro.core.pqe_estimate import pqe_estimate
+from repro.queries.properties import is_hierarchical
+from repro.workloads.warehouse import warehouse_instance, warehouse_query
+
+SEED = 2023
+EPSILON = 0.25
+SCALES = ((3, 3, 4), (4, 4, 6), (6, 6, 10), (8, 8, 14))
+
+
+def run_warehouse() -> ResultTable:
+    query = warehouse_query()
+    assert not is_hierarchical(query)
+    table = ResultTable(
+        "Star-join warehouse: unsafe query through the FPRAS "
+        f"(epsilon={EPSILON})",
+        ["customers", "products", "sales", "|H|", "Pr exact",
+         "Pr fpras-weighted", "rel.err", "time (s)"],
+    )
+    for customers, products, sales in SCALES:
+        pdb = warehouse_instance(
+            customers=customers, products=products, sales=sales,
+            seed=SEED,
+        )
+        truth = float(exact_probability(query, pdb, method="lineage"))
+        result, seconds = timed(
+            lambda p=pdb: pqe_estimate(
+                query, p, epsilon=EPSILON, seed=SEED,
+                method="fpras-weighted",
+            )
+        )
+        table.add_row([
+            customers, products, sales, len(pdb), truth,
+            result.estimate, relative_error(result.estimate, truth),
+            seconds,
+        ])
+    return table
+
+
+def test_warehouse_query_is_the_new_cell():
+    query = warehouse_query()
+    from repro.decomposition import is_acyclic
+
+    assert query.is_self_join_free
+    assert is_acyclic(query)           # bounded hypertree width (1)
+    assert not is_hierarchical(query)  # unsafe: #P-hard exactly
+
+
+def test_fpras_accuracy_on_warehouse():
+    query = warehouse_query()
+    pdb = warehouse_instance(seed=SEED)
+    truth = float(exact_probability(query, pdb, method="lineage"))
+    result = pqe_estimate(
+        query, pdb, epsilon=EPSILON, seed=SEED,
+        method="fpras-weighted", repetitions=3,
+    )
+    assert relative_error(result.estimate, truth) < 2 * EPSILON
+
+
+def test_warehouse_fpras(benchmark):
+    query = warehouse_query()
+    pdb = warehouse_instance(seed=SEED)
+    result = benchmark(
+        lambda: pqe_estimate(
+            query, pdb, epsilon=EPSILON, seed=SEED,
+            method="fpras-weighted",
+        )
+    )
+    assert 0 <= result.estimate <= 1.05
+
+
+def test_warehouse_exact_weighted(benchmark):
+    query = warehouse_query()
+    pdb = warehouse_instance(seed=SEED)
+    result = benchmark(
+        lambda: pqe_estimate(query, pdb, method="exact-weighted")
+    )
+    assert 0 <= result.estimate <= 1.0 + 1e-9
+
+
+if __name__ == "__main__":
+    run_warehouse().print()

@@ -1,0 +1,13 @@
+"""Shared configuration for the benchmark suite.
+
+Every bench module doubles as a script: ``python benchmarks/bench_X.py``
+prints the paper-style result table, while
+``pytest benchmarks/ --benchmark-only`` times the underlying operations.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return 2023  # the paper's year, for reproducible benchmark runs

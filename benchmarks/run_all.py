@@ -1,0 +1,128 @@
+"""Run every benchmark's paper-style table and print them in order.
+
+Usage:  python benchmarks/run_all.py
+(The timing side of the suite runs via
+``pytest benchmarks/ --benchmark-only``.)
+"""
+
+from __future__ import annotations
+
+import time
+
+import bench_3path_scaling
+import bench_ablation_contract
+import bench_ablation_hybrid
+import bench_automata_counting
+import bench_data_scaling
+import bench_decomposition
+import bench_epsilon_scaling
+import bench_intensional_vs_extensional
+import bench_lineage_blowup
+import bench_multiplier_gadget
+import bench_path_accuracy
+import bench_pqe_accuracy
+import bench_table1
+import bench_ur_accuracy
+import bench_warehouse
+import bench_weighted_vs_gadget
+
+
+def main() -> None:
+    start = time.time()
+
+    print("#" * 70)
+    print("# T1 — Table 1 landscape")
+    print("#" * 70)
+    bench_table1.run_table1().print()
+
+    print("#" * 70)
+    print("# C1 — Corollary 1: 3Path combined scaling")
+    print("#" * 70)
+    table, size_exp, time_exp = bench_3path_scaling.run_scaling()
+    table.print()
+    print(f"automaton-size growth exponent in i: {size_exp:.2f}")
+    print(f"runtime growth exponent in i:        {time_exp:.2f}\n")
+
+    print("#" * 70)
+    print("# L1 — lineage blow-up")
+    print("#" * 70)
+    bench_lineage_blowup.run_blowup().print()
+    print(bench_lineage_blowup.headline_projection() + "\n")
+
+    print("#" * 70)
+    print("# A1 — Theorem 2 accuracy (paths)")
+    print("#" * 70)
+    bench_path_accuracy.run_accuracy().print()
+
+    print("#" * 70)
+    print("# A2 — Theorem 3 accuracy (general families)")
+    print("#" * 70)
+    bench_ur_accuracy.run_accuracy().print()
+
+    print("#" * 70)
+    print("# A3 — Theorem 1 accuracy (rational probabilities)")
+    print("#" * 70)
+    bench_pqe_accuracy.run_accuracy().print()
+
+    print("#" * 70)
+    print("# S1 — runtime scaling in |D|")
+    print("#" * 70)
+    table, exponent = bench_data_scaling.run_scaling()
+    table.print()
+    print(f"runtime growth exponent in |D|: {exponent:.2f}\n")
+
+    print("#" * 70)
+    print("# S2 — runtime scaling in 1/epsilon")
+    print("#" * 70)
+    table, exponent = bench_epsilon_scaling.run_scaling()
+    table.print()
+    print(f"runtime growth exponent in 1/epsilon: {exponent:.2f}\n")
+
+    print("#" * 70)
+    print("# G1 — CountNFA / CountNFTA quality")
+    print("#" * 70)
+    bench_automata_counting.run_quality().print()
+
+    print("#" * 70)
+    print("# G2 — multiplier gadget")
+    print("#" * 70)
+    bench_multiplier_gadget.run_gadget_table().print()
+
+    print("#" * 70)
+    print("# D1 — decompositions")
+    print("#" * 70)
+    bench_decomposition.run_families().print()
+    table, exponent = bench_decomposition.run_scaling()
+    table.print()
+    print(f"decomposition time growth exponent: {exponent:.2f}\n")
+
+    print("#" * 70)
+    print("# KL1 — intensional vs extensional")
+    print("#" * 70)
+    bench_intensional_vs_extensional.run_comparison().print()
+
+    print("#" * 70)
+    print("# W1 — star-join warehouse (realistic unsafe workload)")
+    print("#" * 70)
+    bench_warehouse.run_warehouse().print()
+
+    print("#" * 70)
+    print("# AB1 — ablation: PAD vs λ-splicing")
+    print("#" * 70)
+    bench_ablation_contract.run_ablation().print()
+
+    print("#" * 70)
+    print("# AB2 — ablation: exact-set cap")
+    print("#" * 70)
+    bench_ablation_hybrid.run_ablation().print()
+
+    print("#" * 70)
+    print("# AB3 — ablation: gadgets vs native weighted counting")
+    print("#" * 70)
+    bench_weighted_vs_gadget.run_comparison().print()
+
+    print(f"total: {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

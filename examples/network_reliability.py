@@ -1,0 +1,64 @@
+"""Uniform reliability at scale: beyond brute force, beyond lineage.
+
+Uniform reliability — the number of sub-networks in which a source
+still reaches a target — is the special case of PQE with all
+probabilities 1/2 (Section 4 of the paper).  Brute force is 2^|D|;
+this example runs the Theorem 3 estimator on a layered network large
+enough that enumeration is out of reach (2^36 ≈ 7·10^10 subinstances),
+then sanity-checks it against exact lineage counting, which still works
+here because the query is short.
+
+It also prints the automaton and lineage sizes side by side for growing
+query length, showing the combined-complexity gap the paper closes: the
+lineage blows up exponentially in hops while the NFTA grows
+polynomially.
+
+Run with:  python examples/network_reliability.py
+"""
+
+from repro import exact_uniform_reliability, path_query, ur_estimate
+from repro.core.ur_reduction import build_ur_reduction
+from repro.lineage.build import lineage_clause_count
+from repro.workloads.graphs import (
+    complete_layered_path_instance,
+    layered_path_instance,
+)
+
+
+def main() -> None:
+    # --- a 36-fact, 3-hop layered network -----------------------------
+    query = path_query(3)
+    network = layered_path_instance(
+        3, layer_width=4, edge_probability=0.7, seed=11
+    )
+    print(
+        f"network: {len(network)} links; brute force would enumerate "
+        f"2^{len(network)} subinstances"
+    )
+
+    result = ur_estimate(query, network, epsilon=0.15, seed=2)
+    print(f"UREstimate (Theorem 3): {result.estimate:,.0f} sub-networks")
+
+    truth = exact_uniform_reliability(query, network, method="lineage")
+    error = abs(result.estimate - truth) / truth
+    print(f"exact (lineage WMC):    {truth:,} ({error:.1%} off)")
+    print()
+
+    # --- combined-complexity gap: lineage vs automaton ----------------
+    print("hops  |D|  lineage clauses  NFTA transitions")
+    for hops in (2, 3, 4, 5, 6):
+        instance = complete_layered_path_instance(hops, 2)
+        clauses = lineage_clause_count(path_query(hops), instance)
+        reduction = build_ur_reduction(path_query(hops), instance)
+        print(
+            f"{hops:4d} {len(instance):4d} {clauses:15d} "
+            f"{reduction.nfta.num_transitions:17d}"
+        )
+    print(
+        "\nlineage doubles per hop (Θ(|D|^i)); the automaton grows "
+        "polynomially — the gap Theorem 1 exploits."
+    )
+
+
+if __name__ == "__main__":
+    main()

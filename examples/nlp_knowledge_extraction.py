@@ -1,0 +1,97 @@
+"""Querying knowledge extracted from text by an imperfect NLP system.
+
+The paper's introduction motivates probabilistic databases with exactly
+this scenario: facts mined from documents arrive with confidence scores,
+and we want the probability that a multi-hop pattern holds.  Here a toy
+information-extraction pipeline produced facts for a four-relation chain
+
+    Mentions(person, paper), Cites(paper, paper'),
+    AuthoredBy(paper', lab), LocatedIn(lab, city)
+
+and we ask: what is the probability that some person is (transitively)
+connected to some city through this chain?  That is the path query
+
+    Q :- Mentions(p, d), Cites(d, e), AuthoredBy(e, l), LocatedIn(l, c)
+
+— a member of the 3Path-style family: non-hierarchical, so exact
+evaluation is #P-hard in general, but of hypertree width 1, so the
+combined FPRAS applies.
+
+Run with:  python examples/nlp_knowledge_extraction.py
+"""
+
+import random
+
+from repro import (
+    Fact,
+    PQEEngine,
+    ProbabilisticDatabase,
+    parse_query,
+    pqe_estimate,
+)
+from repro.lineage.build import lineage_clause_count
+
+QUERY = parse_query(
+    "Q :- Mentions(p, d), Cites(d, e), AuthoredBy(e, l), LocatedIn(l, c)"
+)
+
+
+def extract_noisy_kb(seed: int = 0) -> ProbabilisticDatabase:
+    """Simulate an NLP extraction run: facts with confidence labels.
+
+    Confidences are rationals with small denominators, as a calibrated
+    extractor bucketing its scores would produce.
+    """
+    rng = random.Random(seed)
+    people = [f"person{i}" for i in range(4)]
+    papers = [f"paper{i}" for i in range(5)]
+    labs = [f"lab{i}" for i in range(3)]
+    cities = ["singapore", "seattle"]
+    confidences = ["9/10", "3/4", "2/3", "1/2", "1/3"]
+
+    def pick_conf() -> str:
+        return rng.choice(confidences)
+
+    labels: dict[Fact, str] = {}
+    for person in people:
+        for paper in rng.sample(papers, 2):
+            labels[Fact("Mentions", (person, paper))] = pick_conf()
+    for paper in papers:
+        for cited in rng.sample(papers, 2):
+            if cited != paper:
+                labels[Fact("Cites", (paper, cited))] = pick_conf()
+    for paper in papers:
+        labels[Fact("AuthoredBy", (paper, rng.choice(labs)))] = pick_conf()
+    for lab in labs:
+        labels[Fact("LocatedIn", (lab, rng.choice(cities)))] = pick_conf()
+    return ProbabilisticDatabase(labels)
+
+
+def main() -> None:
+    pdb = extract_noisy_kb(seed=7)
+    print(f"extracted KB: {len(pdb)} facts over 4 relations")
+
+    clauses = lineage_clause_count(QUERY, pdb.instance)
+    print(
+        f"lineage of the 4-hop query: {clauses} clauses "
+        "(grows as |D|^4 — the intensional bottleneck)"
+    )
+
+    estimate = pqe_estimate(QUERY, pdb, epsilon=0.25, seed=1)
+    print(
+        f"FPRAS estimate of Pr[person↝city chain]: "
+        f"{estimate.estimate:.4f}"
+    )
+    print(
+        f"  (NFTA: {estimate.nfta_states} states, "
+        f"{estimate.nfta_transitions} transitions, "
+        f"tree size {estimate.reduction.tree_size})"
+    )
+
+    engine = PQEEngine(epsilon=0.25, seed=1)
+    answer = engine.probability(QUERY, pdb)
+    print(f"engine cross-check via {answer.method}: {answer.value:.4f}")
+
+
+if __name__ == "__main__":
+    main()

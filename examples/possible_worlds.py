@@ -1,0 +1,89 @@
+"""Conditional possible-world sampling: "show me worlds where Q holds".
+
+A probabilistic-database system needs more than point probabilities —
+debugging and what-if analysis ask for concrete *worlds* consistent
+with an observation.  The ACJR machinery behind the paper's FPRAS is
+simultaneously an almost-uniform generator, so the same reduction that
+counts satisfying subinstances can sample them:
+
+- ``sample_satisfying_subinstances``: uniform over { D' ⊆ D : D' |= Q }
+  (the uniform-reliability setting of Theorem 3);
+- ``sample_posterior_worlds``: weighted by the world's probability,
+  i.e. samples from  Pr(D' | Q holds)  (Theorem 1's automaton).
+
+This example builds a small supply-chain graph where some routes are
+unreliable, conditions on "a delivery path exists", and contrasts the
+two samplers: the posterior concentrates on worlds made of reliable
+links, the uniform sampler does not.
+
+Run with:  python examples/possible_worlds.py
+"""
+
+from collections import Counter
+
+from repro import (
+    Fact,
+    ProbabilisticDatabase,
+    parse_query,
+    sample_posterior_worlds,
+    sample_satisfying_subinstances,
+)
+
+QUERY = parse_query("Q :- Ship(s, w), Truck(w, c)")
+
+LINKS = {
+    # reliable route: supplier -> warehouse1 -> city
+    Fact("Ship", ("supplier", "warehouse1")): "9/10",
+    Fact("Truck", ("warehouse1", "city")): "9/10",
+    # flaky route: supplier -> warehouse2 -> city
+    Fact("Ship", ("supplier", "warehouse2")): "1/10",
+    Fact("Truck", ("warehouse2", "city")): "1/10",
+}
+
+
+def route_usage(samples) -> Counter:
+    counts: Counter = Counter()
+    reliable = {
+        Fact("Ship", ("supplier", "warehouse1")),
+        Fact("Truck", ("warehouse1", "city")),
+    }
+    flaky = {
+        Fact("Ship", ("supplier", "warehouse2")),
+        Fact("Truck", ("warehouse2", "city")),
+    }
+    for world in samples:
+        if reliable <= world:
+            counts["via warehouse1"] += 1
+        if flaky <= world:
+            counts["via warehouse2"] += 1
+    return counts
+
+
+def main() -> None:
+    pdb = ProbabilisticDatabase(LINKS)
+    k = 500
+
+    uniform = sample_satisfying_subinstances(
+        QUERY, pdb.instance, k=k, seed=1, exact_set_cap=0
+    )
+    posterior = sample_posterior_worlds(
+        QUERY, pdb, k=k, seed=1, exact_set_cap=0
+    )
+
+    print(f"{k} worlds conditioned on 'a delivery path exists':\n")
+    print("uniform over satisfying subinstances (Theorem 3 automaton):")
+    for route, count in sorted(route_usage(uniform).items()):
+        print(f"  {route}: {count / k:.0%}")
+    print()
+    print("posterior Pr(world | path exists) (Theorem 1 automaton):")
+    for route, count in sorted(route_usage(posterior).items()):
+        print(f"  {route}: {count / k:.0%}")
+    print()
+    print(
+        "the posterior concentrates on the reliable route, as the "
+        "9/10-probability links dominate the conditional distribution."
+    )
+
+
+if __name__ == "__main__":
+    main()

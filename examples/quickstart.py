@@ -1,0 +1,52 @@
+"""Quickstart: evaluate a query over a probabilistic database.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    Fact,
+    PQEEngine,
+    ProbabilisticDatabase,
+    exact_probability,
+    parse_query,
+    pqe_estimate,
+)
+
+
+def main() -> None:
+    # A length-3 path query — the smallest member of the paper's 3Path
+    # class: #P-hard to evaluate exactly in general, yet approximable in
+    # combined polynomial time.
+    query = parse_query("Q :- R1(x, y), R2(y, z), R3(z, w)")
+
+    # A tuple-independent probabilistic database: each fact carries an
+    # independent (rational) probability of being present.
+    pdb = ProbabilisticDatabase(
+        {
+            Fact("R1", ("alice", "bob")): "9/10",
+            Fact("R1", ("alice", "carol")): "1/2",
+            Fact("R2", ("bob", "dave")): "2/3",
+            Fact("R2", ("carol", "dave")): "3/4",
+            Fact("R3", ("dave", "erin")): "4/5",
+        }
+    )
+
+    # The paper's FPRAS (Theorem 1): polynomial in query length,
+    # database size, and 1/epsilon.
+    estimate = pqe_estimate(query, pdb, epsilon=0.1, seed=0)
+    print(f"PQEEstimate:        {estimate.estimate:.6f}")
+    print(f"  automaton states: {estimate.nfta_states}")
+    print(f"  tree size k:      {estimate.reduction.tree_size}")
+
+    # Ground truth (this instance is tiny, so exact methods apply).
+    truth = exact_probability(query, pdb)
+    print(f"exact probability:  {float(truth):.6f}  ({truth})")
+
+    # The engine picks the best method automatically.
+    engine = PQEEngine(epsilon=0.1, seed=0)
+    answer = engine.probability(query, pdb)
+    print(f"engine ({answer.method}): {answer.value:.6f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Automata substrate: NFAs, NFTAs, augmented NFTAs, multiplier NFTAs,
+and the CountNFA / CountNFTA counting procedures (exact and FPRAS)."""
+
+from repro.automata.augmented import (
+    AnnotatedSymbol,
+    AugmentedNFTA,
+    default_polarize,
+)
+from repro.automata.multiplier import (
+    MultiplierNFTA,
+    comparator_gadget_transitions,
+    minimal_gadget_bits,
+)
+from repro.automata.nfa import NFA
+from repro.automata.nfa_counting import (
+    CountResult,
+    count_nfa,
+    sample_accepted_strings,
+)
+from repro.automata.nfta import LAMBDA, NFTA
+from repro.automata.nfta_counting import (
+    count_nfta,
+    count_nfta_exact,
+    sample_accepted_trees,
+)
+from repro.automata.symbols import BIT_ONE, BIT_ZERO, Literal
+from repro.automata.trees import LabeledTree, leaf, path_tree
+
+__all__ = [
+    "NFA",
+    "NFTA",
+    "LAMBDA",
+    "AugmentedNFTA",
+    "AnnotatedSymbol",
+    "MultiplierNFTA",
+    "minimal_gadget_bits",
+    "comparator_gadget_transitions",
+    "default_polarize",
+    "CountResult",
+    "count_nfa",
+    "count_nfta",
+    "count_nfta_exact",
+    "sample_accepted_strings",
+    "sample_accepted_trees",
+    "Literal",
+    "BIT_ZERO",
+    "BIT_ONE",
+    "LabeledTree",
+    "leaf",
+    "path_tree",
+]

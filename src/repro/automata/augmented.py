@@ -1,0 +1,166 @@
+"""Augmented NFTAs (Section 4.1) and their translation to ordinary NFTAs.
+
+An augmented NFTA extends an NFTA with two pieces of syntactic sugar on
+transitions:
+
+1. **string annotations** — a transition may carry a *string* of symbols
+   ``γ1 … γj`` instead of one symbol; the translation inserts ``j − 1``
+   fresh intermediate unary states so the string is read along a path;
+2. **? symbols** — an annotated symbol ``γ?`` means "either γ or ¬γ is
+   accepted here"; the translation duplicates the transition with the
+   positive and the negative form of the symbol.
+
+An empty annotation is a λ-transition in the translated NFTA (the node
+is spliced out); callers can eliminate it via
+:meth:`repro.automata.nfta.NFTA.eliminate_lambda`.
+
+Per Remark 1 the translation is polynomial: it adds exactly
+``Σ (len(annotation) − 1)`` fresh states and at most doubles the
+transition count per ?-symbol position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable
+
+from repro.automata.nfta import LAMBDA, NFTA, Transition
+from repro.db.fact import Fact
+from repro.automata.symbols import Literal
+from repro.errors import AutomatonError
+
+__all__ = ["AnnotatedSymbol", "AugmentedNFTA", "default_polarize"]
+
+State = Hashable
+Symbol = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class AnnotatedSymbol:
+    """One position of a transition annotation: a symbol, possibly ``?``.
+
+    ``optional=True`` renders as ``γ?`` and expands to both polarities.
+    """
+
+    symbol: Symbol
+    optional: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.symbol}?" if self.optional else str(self.symbol)
+
+
+def default_polarize(symbol: Symbol, positive: bool) -> Symbol:
+    """Map a base symbol to its positive/negative translated form.
+
+    Database facts become :class:`~repro.automata.symbols.Literal`
+    objects (both polarities, so the translated alphabet is uniformly
+    typed); other symbols follow the paper's convention — the symbol
+    itself when positive, a ``('¬', symbol)`` wrapper when negated.
+    """
+    if isinstance(symbol, Fact):
+        return Literal(symbol, positive)
+    return symbol if positive else ("¬", symbol)
+
+
+# An augmented transition: (source, annotation, children).
+AugmentedTransition = tuple[State, tuple[AnnotatedSymbol, ...], tuple[State, ...]]
+
+
+class AugmentedNFTA:
+    """An augmented NFTA ``T+ = (S, Σ, Δ, s_init)``.
+
+    Parameters
+    ----------
+    transitions:
+        Triples ``(source, annotation, children)`` where ``annotation``
+        is a tuple of :class:`AnnotatedSymbol` (empty tuple = λ).
+    initial:
+        The initial state.
+    polarize:
+        How base symbols map to their positive/negative translated
+        forms; defaults to :func:`default_polarize`.
+    """
+
+    def __init__(
+        self,
+        transitions: Iterable[AugmentedTransition],
+        initial: State,
+        polarize: Callable[[Symbol, bool], Symbol] = default_polarize,
+    ):
+        self._transitions: tuple[AugmentedTransition, ...] = tuple(
+            (source, tuple(annotation), tuple(children))
+            for source, annotation, children in transitions
+        )
+        for _source, annotation, _children in self._transitions:
+            for position in annotation:
+                if not isinstance(position, AnnotatedSymbol):
+                    raise AutomatonError(
+                        "annotations must contain AnnotatedSymbol values, "
+                        f"got {position!r}"
+                    )
+        self._initial = initial
+        self._polarize = polarize
+
+    @property
+    def transitions(self) -> tuple[AugmentedTransition, ...]:
+        return self._transitions
+
+    @property
+    def initial(self) -> State:
+        return self._initial
+
+    @property
+    def encoding_size(self) -> int:
+        """|T+|: total symbols to write down Δ."""
+        return sum(
+            2 + len(annotation) + len(children)
+            for _source, annotation, children in self._transitions
+        )
+
+    def translate(self, eliminate_lambda: bool = True) -> NFTA:
+        """The ordinary NFTA defining this augmented NFTA's semantics.
+
+        Implements the two-stage translation of Section 4.1: stage 1
+        unrolls multi-symbol annotations through fresh chain states;
+        stage 2 expands every ``γ?`` into the positive and negative form
+        of γ (plain symbols take only their positive form).
+        """
+        ordinary: list[Transition] = []
+        for index, (source, annotation, children) in enumerate(
+            self._transitions
+        ):
+            if not annotation:
+                ordinary.append((source, LAMBDA, children))
+                continue
+            # Stage 1: chain of fresh states through the annotation.
+            hops: list[tuple[State, AnnotatedSymbol, tuple[State, ...] | None]]
+            current = source
+            hops = []
+            for position, annotated in enumerate(annotation):
+                last = position == len(annotation) - 1
+                target: tuple[State, ...]
+                if last:
+                    target = children
+                    hops.append((current, annotated, target))
+                else:
+                    fresh = ("chain", index, position)
+                    hops.append((current, annotated, (fresh,)))
+                    current = fresh
+            # Stage 2: polarity expansion.
+            for hop_source, annotated, hop_children in hops:
+                positive = self._polarize(annotated.symbol, True)
+                ordinary.append((hop_source, positive, hop_children))
+                if annotated.optional:
+                    negative = self._polarize(annotated.symbol, False)
+                    ordinary.append((hop_source, negative, hop_children))
+
+        nfta = NFTA(ordinary, self._initial)
+        if eliminate_lambda and nfta.has_lambda:
+            nfta = nfta.eliminate_lambda()
+        return nfta
+
+    def __repr__(self) -> str:
+        return (
+            f"AugmentedNFTA(transitions={len(self._transitions)}, "
+            f"size={self.encoding_size})"
+        )

@@ -1,0 +1,511 @@
+"""CountNFA: approximate counting of ``|L_n(M)|`` for an NFA.
+
+The paper uses as a black box the FPRAS of Arenas, Croquevielle, Jayaram
+and Riveros ("#NFA admits an FPRAS", JACM 2021).  This module implements
+a counting/sampling scheme in the same spirit, built on the same
+self-reducible decomposition the ACJR analysis exploits:
+
+    A(q, ℓ) = ⨄_a  a · ( ⋃_{q' ∈ δ(q, a)} A(q', ℓ-1) )
+
+where ``A(q, ℓ)`` is the set of length-ℓ strings accepted *from* state q.
+The outer combination over letters is a disjoint union (counts add
+exactly); only the inner same-letter union needs estimation.  For every
+(state, length) pair, reached lazily from the initial states downward,
+the evaluator builds a *node* that knows its (estimated) cardinality and
+can draw approximately-uniform samples:
+
+- **exact nodes** hold the full language as a set while it fits within
+  ``exact_set_cap`` — mirroring how the ACJR sketches stay exact until
+  they saturate;
+- **prefix/sum nodes** represent letter-concatenation and the disjoint
+  union across letters *lazily*: their counts combine arithmetically
+  (no sampling error introduced) and their draws delegate downward;
+- **union (Karp–Luby) nodes** handle overlapping same-letter successor
+  sets: sample a component ∝ its estimated size, draw a string from it,
+  accept iff the component is the canonically-first one containing the
+  string (membership decided by running the NFA from the component's
+  state).  Only these nodes consume samples and introduce error.
+
+Error behaviour: each union estimate has relative standard deviation
+``O(sqrt(m / K))`` (m overlapping components, K samples), and estimates
+compound along the ≤ n levels of the recursion; the default sample count
+grows with ``sqrt(n)/ε²`` so the compounded error concentrates below ε.
+The full ACJR machinery achieves the same guarantee with worst-case
+polynomial bounds; we trade their careful bookkeeping for simplicity and
+validate accuracy against :meth:`repro.automata.nfa.NFA.count_exact` in
+the test suite and the G1 benchmark.
+
+Set ``exact_set_cap=0`` to force pure sampling (useful for exercising
+the estimator on small automata where the hybrid would stay exact).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import sys
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.automata.nfa import NFA
+from repro.errors import EstimationError
+
+__all__ = ["CountResult", "count_nfa", "sample_accepted_strings"]
+
+State = Hashable
+Symbol = Hashable
+
+# A word is a cons-chain: () for the empty word, else (symbol, rest).
+# Cons cells share suffixes, so sample pools cost O(1) cells per entry.
+_EMPTY = ()
+
+
+def _materialize(cons) -> list:
+    out = []
+    while cons:
+        out.append(cons[0])
+        cons = cons[1]
+    return out
+
+
+def default_sample_count(length: int, epsilon: float) -> int:
+    """Heuristic per-union sample count; see module docstring."""
+    return max(64, int(round(8.0 * math.sqrt(length + 1) / epsilon**2)))
+
+
+@dataclass(frozen=True)
+class CountResult:
+    """Outcome of a counting run.
+
+    ``exact`` is True when no Karp–Luby estimation was involved in the
+    returned value, in which case ``estimate`` is the true cardinality.
+    """
+
+    estimate: float
+    exact: bool
+    samples_used: int
+
+    def __float__(self) -> float:
+        return float(self.estimate)
+
+
+class _ExactNode:
+    """Full language known: a tuple of distinct words.
+
+    ``word_weight`` (a cons-word → weight function) switches the node
+    to the weighted measure: ``count`` is the total weight and draws
+    are weight-proportional.
+    """
+
+    __slots__ = ("words", "_cumulative", "_total")
+
+    def __init__(self, words: tuple, word_weight=None):
+        self.words = words
+        if word_weight is None:
+            self._cumulative = None
+            self._total = float(len(words))
+        else:
+            cumulative: list[float] = []
+            acc = 0.0
+            for word in words:
+                acc += float(word_weight(word))
+                cumulative.append(acc)
+            self._cumulative = cumulative
+            self._total = acc
+
+    @property
+    def count(self) -> float:
+        return self._total
+
+    @property
+    def exact(self) -> bool:
+        return True
+
+    def draw(self, rng: random.Random):
+        words = self.words
+        if not words:
+            raise EstimationError("drawing from an empty exact node")
+        if self._cumulative is None:
+            return words[rng.randrange(len(words))]
+        pick = rng.random() * self._total
+        return words[_bisect(self._cumulative, pick)]
+
+
+class _PoolNode:
+    """A Karp–Luby union result: estimate + accepted-sample pool."""
+
+    __slots__ = ("estimate", "pool")
+
+    def __init__(self, estimate: float, pool: list):
+        self.estimate = estimate
+        self.pool = pool
+
+    @property
+    def count(self) -> float:
+        return self.estimate
+
+    @property
+    def exact(self) -> bool:
+        return False
+
+    def draw(self, rng: random.Random):
+        if not self.pool:
+            raise EstimationError("drawing from an empty sample pool")
+        return self.pool[rng.randrange(len(self.pool))]
+
+
+class _PrefixNode:
+    """Lazy ``a · A``: weight-scaled count, draws prepend a cons cell."""
+
+    __slots__ = ("symbol", "child", "_count")
+
+    def __init__(self, symbol: Symbol, child, symbol_weight: float = 1.0):
+        self.symbol = symbol
+        self.child = child
+        self._count = symbol_weight * child.count
+
+    @property
+    def count(self) -> float:
+        return self._count
+
+    @property
+    def exact(self) -> bool:
+        return self.child.exact
+
+    def draw(self, rng: random.Random):
+        return (self.symbol, self.child.draw(rng))
+
+
+class _SumNode:
+    """Lazy disjoint union: counts add exactly, draws pick ∝ weight."""
+
+    __slots__ = ("parts", "cumulative", "total")
+
+    def __init__(self, parts: list):
+        self.parts = parts
+        self.cumulative = []
+        acc = 0.0
+        for part in parts:
+            acc += part.count
+            self.cumulative.append(acc)
+        self.total = acc
+
+    @property
+    def count(self) -> float:
+        return self.total
+
+    @property
+    def exact(self) -> bool:
+        return all(part.exact for part in self.parts)
+
+    def draw(self, rng: random.Random):
+        pick = rng.random() * self.total
+        return self.parts[_bisect(self.cumulative, pick)].draw(rng)
+
+
+_ZERO = _ExactNode(())
+
+
+class _Counter:
+    def __init__(
+        self,
+        nfa: NFA,
+        length: int,
+        epsilon: float,
+        samples: int | None,
+        exact_set_cap: int,
+        rng: random.Random,
+        weight_of=None,
+    ):
+        self._nfa = nfa
+        self._length = length
+        self._samples = samples or default_sample_count(length, epsilon)
+        self._cap = exact_set_cap
+        self._rng = rng
+        self._weight_of = weight_of
+        self._values: dict[tuple[State, int], object] = {}
+        self.samples_used = 0
+
+    def _symbol_weight(self, symbol: Symbol) -> float:
+        if self._weight_of is None:
+            return 1.0
+        return float(self._weight_of(symbol))
+
+    def _word_weight_fn(self):
+        """Per-word weight function for exact nodes (None = uniform)."""
+        if self._weight_of is None:
+            return None
+        weigh = self._weight_of
+
+        def word_weight(cons) -> float:
+            total = 1.0
+            while cons:
+                total *= float(weigh(cons[0]))
+                cons = cons[1]
+            return total
+
+        return word_weight
+
+    # -- driver ----------------------------------------------------------
+
+    def run(self) -> CountResult:
+        top = self.top_node()
+        return CountResult(
+            estimate=top.count,
+            exact=top.exact,
+            samples_used=self.samples_used,
+        )
+
+    def top_node(self):
+        sys.setrecursionlimit(
+            max(sys.getrecursionlimit(), 10 * self._length + 10_000)
+        )
+        needed = self._collect_needed_pairs()
+        for pair in sorted(needed, key=lambda p: (p[1], str(p[0]))):
+            self._values[pair] = self._compute(pair)
+        return self._union(
+            [
+                (state, self._values[(state, self._length)])
+                for state in sorted(self._nfa.initial, key=str)
+            ],
+            prefix_symbol=None,
+        )
+
+    def _collect_needed_pairs(self) -> set[tuple[State, int]]:
+        needed: set[tuple[State, int]] = set()
+        stack = [(q, self._length) for q in self._nfa.initial]
+        while stack:
+            pair = stack.pop()
+            if pair in needed:
+                continue
+            needed.add(pair)
+            state, remaining = pair
+            if remaining == 0:
+                continue
+            for targets in self._nfa.successors(state).values():
+                for target in targets:
+                    stack.append((target, remaining - 1))
+        return needed
+
+    def _compute(self, pair: tuple[State, int]):
+        state, remaining = pair
+        if remaining == 0:
+            if state in self._nfa.accepting:
+                return _ExactNode((_EMPTY,))
+            return _ZERO
+
+        letter_nodes = []
+        for symbol in sorted(self._nfa.successors(state), key=str):
+            if self._symbol_weight(symbol) == 0:
+                continue
+            targets = self._nfa.successors(state)[symbol]
+            components = [
+                (target, self._values[(target, remaining - 1)])
+                for target in sorted(targets, key=str)
+            ]
+            node = self._union(components, prefix_symbol=symbol)
+            if node.count > 0:
+                letter_nodes.append(node)
+        return self._disjoint_sum(letter_nodes)
+
+    # -- same-letter union (Karp–Luby) ---------------------------------
+
+    def _union(self, components, prefix_symbol: Symbol | None):
+        """Combine overlapping components ``A(q', ℓ-1)``, prefixing the
+        letter (or nothing at the virtual root over initial states)."""
+
+        def wrap(node):
+            if prefix_symbol is None:
+                return node
+            if isinstance(node, _ExactNode):
+                return _ExactNode(
+                    tuple((prefix_symbol, w) for w in node.words),
+                    word_weight=self._word_weight_fn(),
+                )
+            return _PrefixNode(
+                prefix_symbol, node, self._symbol_weight(prefix_symbol)
+            )
+
+        components = [c for c in components if c[1].count > 0]
+        if not components:
+            return _ZERO
+        if len(components) == 1:
+            return wrap(components[0][1])
+
+        if self._cap and all(
+            isinstance(v, _ExactNode) for _, v in components
+        ):
+            total = sum(len(v.words) for _, v in components)
+            if total <= self._cap:
+                merged = set()
+                for _, value in components:
+                    merged.update(value.words)
+                return wrap(
+                    _ExactNode(
+                        tuple(merged),
+                        word_weight=self._word_weight_fn(),
+                    )
+                )
+
+        # Karp–Luby: sample component ∝ size, accept iff it is the
+        # canonically-first component containing the sampled word.
+        weights = [value.count for _, value in components]
+        total_weight = sum(weights)
+        cumulative: list[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight
+            cumulative.append(acc)
+
+        accepted_words: list = []
+        attempts = 0
+        accepted = 0
+        budget = self._samples
+        max_attempts = budget * (1 + len(components))
+        while attempts < budget or (
+            accepted == 0 and attempts < max_attempts
+        ):
+            attempts += 1
+            self.samples_used += 1
+            pick = self._rng.random() * total_weight
+            index = _bisect(cumulative, pick)
+            word = components[index][1].draw(self._rng)
+            owner = self._first_containing(components, word)
+            if owner == index:
+                accepted += 1
+                accepted_words.append(
+                    word if prefix_symbol is None
+                    else (prefix_symbol, word)
+                )
+            if attempts >= budget and accepted > 0:
+                break
+        if accepted == 0:
+            raise EstimationError(
+                "union estimation rejected every sample; "
+                "component estimates are inconsistent"
+            )
+        estimate = total_weight * accepted / attempts
+        if prefix_symbol is not None:
+            estimate *= self._symbol_weight(prefix_symbol)
+        return _PoolNode(estimate, accepted_words)
+
+    def _first_containing(self, components, word) -> int:
+        materialized = _materialize(word)
+        for index, (state, _value) in enumerate(components):
+            if self._nfa.accepts_from(state, materialized):
+                return index
+        raise EstimationError(
+            "sampled word not accepted by any component; "
+            "pool contents are inconsistent with the automaton"
+        )
+
+    # -- disjoint sum across letters ------------------------------------
+
+    def _disjoint_sum(self, letter_nodes: list):
+        if not letter_nodes:
+            return _ZERO
+        if len(letter_nodes) == 1:
+            return letter_nodes[0]
+        if self._cap and all(
+            isinstance(n, _ExactNode) for n in letter_nodes
+        ):
+            total = sum(len(n.words) for n in letter_nodes)
+            if total <= self._cap:
+                merged: list = []
+                for node in letter_nodes:
+                    merged.extend(node.words)
+                return _ExactNode(
+                    tuple(merged), word_weight=self._word_weight_fn()
+                )
+        return _SumNode(letter_nodes)
+
+
+def _bisect(cumulative: list[float], pick: float) -> int:
+    low, high = 0, len(cumulative) - 1
+    while low < high:
+        mid = (low + high) // 2
+        if pick <= cumulative[mid]:
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+def count_nfa(
+    nfa: NFA,
+    length: int,
+    epsilon: float = 0.25,
+    seed: int | None = None,
+    samples: int | None = None,
+    exact_set_cap: int = 4096,
+    repetitions: int = 1,
+    weight_of=None,
+) -> CountResult:
+    """Estimate ``|L_n(M)|`` — the paper's CountNFA black box.
+
+    Parameters
+    ----------
+    epsilon:
+        Target relative error; drives the default per-union sample count.
+    samples:
+        Override the per-union sample count directly.
+    exact_set_cap:
+        Languages at most this large are tracked exactly instead of
+        sampled (0 disables the hybrid and forces sampling everywhere).
+    repetitions:
+        Run the estimator this many times and return the median — the
+        standard confidence amplification.
+
+    Returns
+    -------
+    CountResult
+        ``estimate`` is within ``(1 ± ε)`` of ``|L_n|`` with high
+        probability; ``exact`` marks runs whose value involved no
+        sampling at all.
+    """
+    if not 0 < epsilon < 1:
+        raise EstimationError(f"epsilon must be in (0, 1), got {epsilon}")
+    if repetitions < 1:
+        raise EstimationError("repetitions must be >= 1")
+    rng = random.Random(seed)
+    results = [
+        _Counter(
+            nfa, length, epsilon, samples, exact_set_cap,
+            random.Random(rng.randrange(2**63)),
+            weight_of=weight_of,
+        ).run()
+        for _ in range(repetitions)
+    ]
+    results.sort(key=lambda r: r.estimate)
+    median = results[len(results) // 2]
+    return CountResult(
+        estimate=median.estimate,
+        exact=all(r.exact for r in results),
+        samples_used=sum(r.samples_used for r in results),
+    )
+
+
+def sample_accepted_strings(
+    nfa: NFA,
+    length: int,
+    k: int,
+    epsilon: float = 0.25,
+    seed: int | None = None,
+    exact_set_cap: int = 4096,
+    weight_of=None,
+) -> list[tuple]:
+    """Draw ``k`` approximately-uniform members of ``L_n(M)``.
+
+    Uses the same machinery as :func:`count_nfa` (the ACJR result is
+    simultaneously a counter and an almost-uniform generator).  With
+    ``weight_of``, draws are approximately weight-proportional.
+    """
+    rng = random.Random(seed)
+    counter = _Counter(
+        nfa, length, epsilon, None, exact_set_cap, rng,
+        weight_of=weight_of,
+    )
+    top = counter.top_node()
+    if top.count <= 0:
+        raise EstimationError("language is (estimated) empty; cannot sample")
+    return [tuple(_materialize(top.draw(rng))) for _ in range(k)]

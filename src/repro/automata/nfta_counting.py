@@ -1,0 +1,768 @@
+"""CountNFTA: exact and approximate counting of ``|L_n(T)|``.
+
+The paper's second black box is the FPRAS of Arenas, Croquevielle,
+Jayaram and Riveros ("When is approximate counting for conjunctive
+queries tractable?", STOC 2021) for counting the trees of size n accepted
+by an NFTA.  This module provides:
+
+- :func:`count_nfta_exact` — ground truth via bottom-up determinization
+  with a size-indexed convolution DP (worst-case exponential in |S|, fine
+  on the validation instances); and
+- :func:`count_nfta` — the FPRAS, mirroring
+  :mod:`repro.automata.nfa_counting` lifted from string concatenation to
+  tree composition.  The decomposition underlying the estimator is
+
+      A(q, s) = ⨄_{(σ, k, s̄)}  ⋃_{τ = (q, σ, (q1..qk)) ∈ Δ}
+                    σ⟨ A(q1, s̄1) × … × A(qk, s̄k) ⟩
+
+  where ``A(q, s)`` is the set of size-s trees derivable from q and s̄
+  ranges over the compositions of s−1 into k parts.  Two components with
+  different root symbol, arity, or size split produce *different* trees
+  (a tree determines its children's sizes), so those unions are disjoint
+  and their counts add exactly; only same-(σ, k, s̄) components overlap
+  and need the Karp–Luby estimator.  Component sets are products, whose
+  estimates multiply and whose samples combine independent child draws.
+
+Like the string counter, the evaluator is a DAG of lazy nodes: exact
+nodes (full language as a set, up to ``exact_set_cap``), lazy product
+and disjoint-sum nodes whose counts combine arithmetically, and
+Karp–Luby pool nodes — the only place sampling error enters.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from typing import Hashable, Iterator
+
+from repro.automata.nfa_counting import CountResult, default_sample_count
+from repro.automata.nfta import NFTA
+from repro.automata.trees import LabeledTree
+from repro.errors import AutomatonError, EstimationError
+
+__all__ = ["count_nfta_exact", "count_nfta", "sample_accepted_trees"]
+
+State = Hashable
+Symbol = Hashable
+
+
+# ----------------------------------------------------------------------
+# Exact counting via bottom-up determinization
+# ----------------------------------------------------------------------
+
+def count_nfta_exact(nfta: NFTA, size: int, weight_of=None):
+    """``|L_n(T)|`` exactly — or its *weighted* generalisation.
+
+    Bottom-up subset construction: every tree evaluates deterministically
+    to the *full* set of states deriving it, so counting trees per
+    (size, subset) cell and summing cells containing ``s_init`` is exact
+    even for ambiguous automata.
+
+    With ``weight_of`` (a symbol → weight function), each tree
+    contributes ``Π weight_of(label)`` over its nodes instead of 1 —
+    the weighted tree measure that lets Theorem 1 skip the comparator
+    gadgets entirely (``Pr_H(Q) = measure / d`` on the plain UR
+    automaton; see :func:`repro.core.pqe_estimate.pqe_estimate` with
+    ``method='exact-weighted'``).  Weights may be ints, Fractions, or
+    floats; the result type follows the weights (int when unweighted).
+    """
+    if nfta.has_lambda:
+        raise AutomatonError("count_nfta_exact requires a λ-free NFTA")
+    if size < 1:
+        return 0
+    weigh = weight_of if weight_of is not None else (lambda _symbol: 1)
+
+    groups: dict[tuple[Symbol, int], list[tuple[State, tuple[State, ...]]]] = {}
+    for source, symbol, children in nfta.transitions:
+        groups.setdefault((symbol, len(children)), []).append(
+            (source, children)
+        )
+
+    # table[s] maps frozenset-of-states -> total weight of size-s trees
+    # evaluating to exactly that subset.
+    table: list[dict[frozenset[State], object]] = [
+        dict() for _ in range(size + 1)
+    ]
+
+    for s in range(1, size + 1):
+        cell = table[s]
+        for (symbol, arity), rules in groups.items():
+            weight = weigh(symbol)
+            if not weight:
+                continue
+            if arity == 0:
+                if s == 1:
+                    subset = frozenset(source for source, _ in rules)
+                    cell[subset] = cell.get(subset, 0) + weight
+                continue
+            if s < arity + 1:
+                continue
+            for combo, count in _subset_combinations(table, arity, s - 1):
+                evaluated = frozenset(
+                    source
+                    for source, children in rules
+                    if all(
+                        child in subset
+                        for child, subset in zip(children, combo)
+                    )
+                )
+                if evaluated:
+                    cell[evaluated] = cell.get(evaluated, 0) + weight * count
+
+    return sum(
+        count
+        for subset, count in table[size].items()
+        if nfta.initial in subset
+    )
+
+
+def _subset_combinations(
+    table: list[dict[frozenset[State], int]], arity: int, total: int
+) -> Iterator[tuple[tuple[frozenset[State], ...], int]]:
+    """All ordered subset tuples with sizes summing to ``total``."""
+
+    def rec(
+        position: int, remaining: int
+    ) -> Iterator[tuple[tuple[frozenset[State], ...], int]]:
+        slots_left = arity - position
+        if slots_left == 0:
+            if remaining == 0:
+                yield ((), 1)
+            return
+        for s in range(1, remaining - (slots_left - 1) + 1):
+            for subset, count in table[s].items():
+                for rest, rest_count in rec(position + 1, remaining - s):
+                    yield ((subset,) + rest, count * rest_count)
+
+    yield from rec(0, total)
+
+
+# ----------------------------------------------------------------------
+# FPRAS node types
+# ----------------------------------------------------------------------
+
+class _ExactNode:
+    """Full language known: distinct trees, optionally weighted.
+
+    ``tree_weight`` (a tree → weight function) switches the node to the
+    weighted measure: ``count`` is the total weight and draws are
+    weight-proportional.
+    """
+
+    __slots__ = ("trees", "_cumulative", "_total")
+
+    def __init__(
+        self, trees: tuple[LabeledTree, ...], tree_weight=None
+    ):
+        self.trees = trees
+        if tree_weight is None:
+            self._cumulative = None
+            self._total = float(len(trees))
+        else:
+            cumulative: list[float] = []
+            acc = 0.0
+            for tree in trees:
+                acc += float(tree_weight(tree))
+                cumulative.append(acc)
+            self._cumulative = cumulative
+            self._total = acc
+
+    @property
+    def count(self) -> float:
+        return self._total
+
+    @property
+    def exact(self) -> bool:
+        return True
+
+    def draw(self, rng: random.Random) -> LabeledTree:
+        if not self.trees:
+            raise EstimationError("drawing from an empty exact node")
+        if self._cumulative is None:
+            return self.trees[rng.randrange(len(self.trees))]
+        pick = rng.random() * self._total
+        return self.trees[_bisect(self._cumulative, pick)]
+
+
+class _PoolNode:
+    __slots__ = ("estimate", "pool")
+
+    def __init__(self, estimate: float, pool: list[LabeledTree]):
+        self.estimate = estimate
+        self.pool = pool
+
+    @property
+    def count(self) -> float:
+        return self.estimate
+
+    @property
+    def exact(self) -> bool:
+        return False
+
+    def draw(self, rng: random.Random) -> LabeledTree:
+        if not self.pool:
+            raise EstimationError("drawing from an empty sample pool")
+        return self.pool[rng.randrange(len(self.pool))]
+
+
+class _ProductNode:
+    """Lazy σ⟨A1 × … × Ak⟩: count multiplies, draws combine.
+
+    Drawn trees are *interned* per child-identity tuple: repeated draws
+    that combine the same child objects return the same tree object.
+    Child draws from exact/pool nodes already return shared objects, so
+    interning makes whole sampled trees shared — which keeps the
+    id-keyed derivability memo effective during Karp–Luby membership
+    checks (a ~50× speedup on gadget-heavy automata).
+    """
+
+    __slots__ = ("symbol", "children", "_count", "_intern")
+
+    def __init__(
+        self, symbol: Symbol, children: list, symbol_weight: float = 1.0
+    ):
+        self.symbol = symbol
+        self.children = children
+        product = symbol_weight
+        for child in children:
+            product *= child.count
+        self._count = product
+        self._intern: dict[tuple[int, ...], LabeledTree] = {}
+
+    @property
+    def count(self) -> float:
+        return self._count
+
+    @property
+    def exact(self) -> bool:
+        return all(child.exact for child in self.children)
+
+    def draw(self, rng: random.Random) -> LabeledTree:
+        drawn = tuple(child.draw(rng) for child in self.children)
+        key = tuple(map(id, drawn))
+        tree = self._intern.get(key)
+        if tree is None:
+            tree = LabeledTree(self.symbol, drawn)
+            self._intern[key] = tree
+        return tree
+
+
+class _SumNode:
+    """Lazy disjoint union: counts add exactly, draws pick ∝ weight."""
+
+    __slots__ = ("parts", "cumulative", "total")
+
+    def __init__(self, parts: list):
+        self.parts = parts
+        self.cumulative = []
+        acc = 0.0
+        for part in parts:
+            acc += part.count
+            self.cumulative.append(acc)
+        self.total = acc
+
+    @property
+    def count(self) -> float:
+        return self.total
+
+    @property
+    def exact(self) -> bool:
+        return all(part.exact for part in self.parts)
+
+    def draw(self, rng: random.Random) -> LabeledTree:
+        pick = rng.random() * self.total
+        return self.parts[_bisect(self.cumulative, pick)].draw(rng)
+
+
+_ZERO = _ExactNode(())
+
+
+class _DerivabilityCache:
+    """Bottom-up derivable-state sets, memoized across sampled trees.
+
+    Pools share subtree structure heavily, so caching by object identity
+    (with a keep-alive list to pin ids) makes repeated membership checks
+    cheap.
+    """
+
+    def __init__(self, nfta: NFTA):
+        self._nfta = nfta
+        self._memo: dict[int, frozenset[State]] = {}
+        self._keep_alive: list[LabeledTree] = []
+        # Child-indexed rule tables.  Symbols like the gadget bits 0/1
+        # occur in *every* comparator, so scanning all same-symbol rules
+        # per node is quadratic; iterating the (small) derivable sets of
+        # the children against these indexes is near-constant instead.
+        self._leaf_sources: dict[Symbol, frozenset[State]] = {}
+        self._unary_index: dict[Symbol, dict[State, tuple[State, ...]]] = {}
+        self._binary_index: dict[
+            Symbol, dict[tuple[State, State], tuple[State, ...]]
+        ] = {}
+        self._generic: dict[tuple[Symbol, int], tuple] = {}
+        for (symbol, arity), rules in nfta.by_symbol_arity.items():
+            if arity == 0:
+                self._leaf_sources[symbol] = frozenset(
+                    source for source, _children in rules
+                )
+            elif arity == 1:
+                table: dict[State, list[State]] = {}
+                for source, children in rules:
+                    table.setdefault(children[0], []).append(source)
+                self._unary_index[symbol] = {
+                    child: tuple(sources)
+                    for child, sources in table.items()
+                }
+            elif arity == 2:
+                pair_table: dict[tuple[State, State], list[State]] = {}
+                for source, children in rules:
+                    pair_table.setdefault(
+                        (children[0], children[1]), []
+                    ).append(source)
+                self._binary_index[symbol] = {
+                    pair: tuple(sources)
+                    for pair, sources in pair_table.items()
+                }
+            else:
+                self._generic[(symbol, arity)] = rules
+
+    def states(self, tree: LabeledTree) -> frozenset[State]:
+        cached = self._memo.get(id(tree))
+        if cached is not None:
+            return cached
+        arity = len(tree.children)
+        if arity == 0:
+            result = self._leaf_sources.get(tree.label, frozenset())
+        elif arity == 1:
+            table = self._unary_index.get(tree.label)
+            states: set[State] = set()
+            if table:
+                for child_state in self.states(tree.children[0]):
+                    sources = table.get(child_state)
+                    if sources:
+                        states.update(sources)
+            result = frozenset(states)
+        elif arity == 2:
+            table2 = self._binary_index.get(tree.label)
+            states = set()
+            if table2:
+                left = self.states(tree.children[0])
+                right = self.states(tree.children[1])
+                for l_state in left:
+                    for r_state in right:
+                        sources = table2.get((l_state, r_state))
+                        if sources:
+                            states.update(sources)
+            result = frozenset(states)
+        else:
+            child_sets = [self.states(child) for child in tree.children]
+            states = set()
+            for source, children in self._generic.get(
+                (tree.label, arity), ()
+            ):
+                if all(
+                    child in child_set
+                    for child, child_set in zip(children, child_sets)
+                ):
+                    states.add(source)
+            result = frozenset(states)
+        self._memo[id(tree)] = result
+        self._keep_alive.append(tree)
+        return result
+
+
+class _TreeCounter:
+    def __init__(
+        self,
+        nfta: NFTA,
+        size: int,
+        epsilon: float,
+        samples: int | None,
+        exact_set_cap: int,
+        rng: random.Random,
+        weight_of=None,
+    ):
+        if nfta.has_lambda:
+            raise AutomatonError("count_nfta requires a λ-free NFTA")
+        self._nfta = nfta
+        self._size = size
+        self._samples = samples or default_sample_count(size, epsilon)
+        self._cap = exact_set_cap
+        self._rng = rng
+        self._weight_of = weight_of
+        self._values: dict[tuple[State, int], object] = {}
+        self._size_masks = nfta.possible_sizes(size)
+        self._derivability = _DerivabilityCache(nfta)
+        self.samples_used = 0
+
+    def _symbol_weight(self, symbol: Symbol) -> float:
+        if self._weight_of is None:
+            return 1.0
+        return float(self._weight_of(symbol))
+
+    def _tree_weight_fn(self):
+        """Per-tree weight function for exact nodes (None = uniform)."""
+        if self._weight_of is None:
+            return None
+        weigh = self._weight_of
+
+        def tree_weight(tree: LabeledTree) -> float:
+            total = 1.0
+            for label in tree.labels_preorder():
+                total *= float(weigh(label))
+            return total
+
+        return tree_weight
+
+    # -- driver ----------------------------------------------------------
+
+    def run(self) -> CountResult:
+        top = self.top_node()
+        return CountResult(
+            estimate=top.count,
+            exact=top.exact,
+            samples_used=self.samples_used,
+        )
+
+    def top_node(self):
+        sys.setrecursionlimit(
+            max(sys.getrecursionlimit(), 10 * self._size + 10_000)
+        )
+        if not self._mask_has(self._nfta.initial, self._size):
+            return _ZERO
+        needed = self._collect_needed_pairs()
+        for pair in sorted(needed, key=lambda p: (p[1], str(p[0]))):
+            self._values[pair] = self._compute(pair)
+        return self._values[(self._nfta.initial, self._size)]
+
+    def _collect_needed_pairs(self) -> set[tuple[State, int]]:
+        needed: set[tuple[State, int]] = set()
+        stack = [(self._nfta.initial, self._size)]
+        while stack:
+            pair = stack.pop()
+            if pair in needed:
+                continue
+            needed.add(pair)
+            state, s = pair
+            for _source, _symbol, children in self._nfta.by_source.get(
+                state, ()
+            ):
+                for split in self._splits(children, s - 1):
+                    for child, child_size in zip(children, split):
+                        stack.append((child, child_size))
+        return needed
+
+    def _mask_has(self, state: State, s: int) -> bool:
+        if s < 0:
+            return False
+        return bool(self._size_masks.get(state, 0) & (1 << s))
+
+    def _splits(
+        self, children: tuple[State, ...], total: int
+    ) -> Iterator[tuple[int, ...]]:
+        """Size compositions of ``total`` consistent with child size masks."""
+        if total < 0:
+            return
+        if not children:
+            if total == 0:
+                yield ()
+            return
+        masks = [self._size_masks.get(c, 0) for c in children]
+        suffix = [0] * (len(children) + 1)
+        suffix[len(children)] = 1  # {0}
+        for i in range(len(children) - 1, -1, -1):
+            suffix[i] = _sumset(masks[i], suffix[i + 1], total)
+
+        def rec(index: int, remaining: int) -> Iterator[tuple[int, ...]]:
+            if index == len(children):
+                if remaining == 0:
+                    yield ()
+                return
+            if remaining < 0 or not (suffix[index] >> remaining) & 1:
+                return
+            mask = masks[index]
+            s = 1
+            while (1 << s) <= mask and s <= remaining:
+                if (mask >> s) & 1 and (
+                    (suffix[index + 1] >> (remaining - s)) & 1
+                ):
+                    for rest in rec(index + 1, remaining - s):
+                        yield (s,) + rest
+                s += 1
+
+        yield from rec(0, total)
+
+    # -- per-(state, size) computation ------------------------------------
+
+    def _compute(self, pair: tuple[State, int]):
+        state, s = pair
+        if not self._mask_has(state, s):
+            return _ZERO
+
+        # Group components by (symbol, arity, split); disjoint across
+        # groups, overlapping within a group.
+        grouped: dict[tuple, list] = {}
+        for transition in self._nfta.by_source.get(state, ()):
+            _source, symbol, children = transition
+            for split in self._splits(children, s - 1):
+                grouped.setdefault(
+                    (str(symbol), symbol, len(children), split), []
+                ).append(transition)
+
+        group_nodes = []
+        for key in sorted(grouped, key=lambda k: (k[0], k[2], k[3])):
+            _repr, symbol, _arity, split = key
+            node = self._group_union(symbol, split, grouped[key])
+            if node.count > 0:
+                group_nodes.append(node)
+        return self._disjoint_sum(group_nodes)
+
+    def _component_children(self, transition, split: tuple[int, ...]):
+        values = []
+        for child, child_size in zip(transition[2], split):
+            value = self._values.get((child, child_size))
+            if value is None or value.count <= 0:
+                return None
+            values.append(value)
+        return values
+
+    def _group_union(self, symbol: Symbol, split: tuple[int, ...], members):
+        components = []
+        for transition in sorted(members, key=str):
+            child_values = self._component_children(transition, split)
+            if child_values is not None:
+                components.append((transition, child_values))
+        if not components:
+            return _ZERO
+
+        if len(components) == 1:
+            return self._product(symbol, components[0][1])
+
+        if self._cap and all(
+            all(isinstance(v, _ExactNode) for v in child_values)
+            for _, child_values in components
+        ):
+            total_trees = sum(
+                _product_tree_count(cv) for _, cv in components
+            )
+            if total_trees <= self._cap:
+                merged: set[LabeledTree] = set()
+                for _, child_values in components:
+                    merged.update(
+                        _exact_product_trees(symbol, child_values)
+                    )
+                return _ExactNode(
+                    tuple(merged), tree_weight=self._tree_weight_fn()
+                )
+
+        symbol_weight = self._symbol_weight(symbol)
+        product_nodes = [
+            _ProductNode(symbol, child_values, symbol_weight)
+            for _, child_values in components
+        ]
+        weights = [node.count for node in product_nodes]
+        total_weight = sum(weights)
+        cumulative: list[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight
+            cumulative.append(acc)
+
+        accepted_trees: list[LabeledTree] = []
+        attempts = 0
+        accepted = 0
+        budget = self._samples
+        max_attempts = budget * (1 + len(components))
+        while attempts < budget or (
+            accepted == 0 and attempts < max_attempts
+        ):
+            attempts += 1
+            self.samples_used += 1
+            pick = self._rng.random() * total_weight
+            index = _bisect(cumulative, pick)
+            tree = product_nodes[index].draw(self._rng)
+            owner = self._first_containing(components, tree)
+            if owner == index:
+                accepted += 1
+                accepted_trees.append(tree)
+            if attempts >= budget and accepted > 0:
+                break
+        if accepted == 0:
+            raise EstimationError(
+                "tree union estimation rejected every sample"
+            )
+        estimate = total_weight * accepted / attempts
+        return _PoolNode(estimate, accepted_trees)
+
+    def _first_containing(self, components, tree: LabeledTree) -> int:
+        child_sets = [
+            self._derivability.states(child) for child in tree.children
+        ]
+        for index, (transition, _child_values) in enumerate(components):
+            children = transition[2]
+            if all(
+                child_state in child_set
+                for child_state, child_set in zip(children, child_sets)
+            ):
+                return index
+        raise EstimationError(
+            "sampled tree not generated by any component in its group"
+        )
+
+    # -- products and sums -------------------------------------------------
+
+    def _product(self, symbol: Symbol, child_values):
+        symbol_weight = self._symbol_weight(symbol)
+        count = symbol_weight * _product_count(child_values)
+        if count <= 0:
+            return _ZERO
+        if (
+            self._cap
+            and all(isinstance(v, _ExactNode) for v in child_values)
+            and _product_tree_count(child_values) <= self._cap
+        ):
+            return _ExactNode(
+                tuple(_exact_product_trees(symbol, child_values)),
+                tree_weight=self._tree_weight_fn(),
+            )
+        return _ProductNode(symbol, child_values, symbol_weight)
+
+    def _disjoint_sum(self, group_nodes: list):
+        if not group_nodes:
+            return _ZERO
+        if len(group_nodes) == 1:
+            return group_nodes[0]
+        if self._cap and all(
+            isinstance(n, _ExactNode) for n in group_nodes
+        ):
+            total = sum(len(n.trees) for n in group_nodes)
+            if total <= self._cap:
+                merged: list[LabeledTree] = []
+                for node in group_nodes:
+                    merged.extend(node.trees)
+                return _ExactNode(
+                    tuple(merged), tree_weight=self._tree_weight_fn()
+                )
+        return _SumNode(group_nodes)
+
+
+def _product_count(child_values) -> float:
+    product = 1.0
+    for value in child_values:
+        product *= value.count
+    return product
+
+
+def _product_tree_count(child_values) -> int:
+    """Number of distinct trees in an exact product (not the measure)."""
+    product = 1
+    for value in child_values:
+        product *= len(value.trees)
+    return product
+
+
+def _exact_product_trees(
+    symbol: Symbol, child_values
+) -> Iterator[LabeledTree]:
+    """Materialise σ⟨A1 × … × Ak⟩ for exact children."""
+
+    def rec(index: int) -> Iterator[tuple[LabeledTree, ...]]:
+        if index == len(child_values):
+            yield ()
+            return
+        for tree in child_values[index].trees:
+            for rest in rec(index + 1):
+                yield (tree,) + rest
+
+    for children in rec(0):
+        yield LabeledTree(symbol, children)
+
+
+def _sumset(mask_a: int, mask_b: int, limit: int) -> int:
+    """Bitmask of { a + b : bit a of mask_a, bit b of mask_b }, ≤ limit."""
+    out = 0
+    limit_mask = (1 << (limit + 1)) - 1
+    remaining = mask_a
+    offset = 0
+    while remaining:
+        if remaining & 1:
+            out |= mask_b << offset
+        remaining >>= 1
+        offset += 1
+    return out & limit_mask
+
+
+def _bisect(cumulative: list[float], pick: float) -> int:
+    low, high = 0, len(cumulative) - 1
+    while low < high:
+        mid = (low + high) // 2
+        if pick <= cumulative[mid]:
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+def count_nfta(
+    nfta: NFTA,
+    size: int,
+    epsilon: float = 0.25,
+    seed: int | None = None,
+    samples: int | None = None,
+    exact_set_cap: int = 4096,
+    repetitions: int = 1,
+    weight_of=None,
+) -> CountResult:
+    """Estimate ``|L_n(T)|`` — the paper's CountNFTA black box.
+
+    Same knobs and guarantees as
+    :func:`repro.automata.nfa_counting.count_nfa`; see the module
+    docstring for the estimator design.  With ``weight_of`` the
+    estimate targets the weighted tree measure instead (see
+    :func:`count_nfta_exact`); the ``exact`` flag then certifies the
+    measure up to float rounding.
+    """
+    if not 0 < epsilon < 1:
+        raise EstimationError(f"epsilon must be in (0, 1), got {epsilon}")
+    if repetitions < 1:
+        raise EstimationError("repetitions must be >= 1")
+    rng = random.Random(seed)
+    results = [
+        _TreeCounter(
+            nfta, size, epsilon, samples, exact_set_cap,
+            random.Random(rng.randrange(2**63)),
+            weight_of=weight_of,
+        ).run()
+        for _ in range(repetitions)
+    ]
+    results.sort(key=lambda r: r.estimate)
+    median = results[len(results) // 2]
+    return CountResult(
+        estimate=median.estimate,
+        exact=all(r.exact for r in results),
+        samples_used=sum(r.samples_used for r in results),
+    )
+
+
+def sample_accepted_trees(
+    nfta: NFTA,
+    size: int,
+    k: int,
+    epsilon: float = 0.25,
+    seed: int | None = None,
+    exact_set_cap: int = 4096,
+    weight_of=None,
+) -> list[LabeledTree]:
+    """Draw ``k`` approximately-uniform members of ``L_n(T)``.
+
+    With ``weight_of``, draws are approximately weight-proportional
+    instead of uniform.
+    """
+    rng = random.Random(seed)
+    counter = _TreeCounter(
+        nfta, size, epsilon, None, exact_set_cap, rng,
+        weight_of=weight_of,
+    )
+    top = counter.top_node()
+    if top.count <= 0:
+        raise EstimationError("language is (estimated) empty; cannot sample")
+    return [top.draw(rng) for _ in range(k)]

@@ -1,0 +1,110 @@
+"""Labelled ordered trees.
+
+The paper works with k-trees: prefix-closed subsets of [k]* with a label
+per node (Section 2).  We represent them structurally — a node is its
+label plus the ordered tuple of child subtrees — which is equivalent and
+far more convenient: the prefix-closed string set is recoverable as the
+set of root-to-node index paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+__all__ = ["LabeledTree", "leaf", "path_tree"]
+
+
+@dataclass(frozen=True, slots=True)
+class LabeledTree:
+    """An immutable labelled ordered tree.
+
+    >>> t = LabeledTree("a", (LabeledTree("b", ()), LabeledTree("c", ())))
+    >>> t.size
+    3
+    >>> list(t.labels_preorder())
+    ['a', 'b', 'c']
+    """
+
+    label: Hashable
+    children: tuple["LabeledTree", ...] = ()
+
+    @property
+    def size(self) -> int:
+        """Number of nodes (the paper's |t|)."""
+        total = 1
+        stack = list(self.children)
+        while stack:
+            node = stack.pop()
+            total += 1
+            stack.extend(node.children)
+        return total
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf path, in edges."""
+        if not self.children:
+            return 0
+        return 1 + max(child.depth for child in self.children)
+
+    def nodes_preorder(self) -> Iterator["LabeledTree"]:
+        """All subtree roots in preorder (document order)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def labels_preorder(self) -> Iterator[Hashable]:
+        for node in self.nodes_preorder():
+            yield node.label
+
+    def paths(self) -> Iterator[tuple[int, ...]]:
+        """The prefix-closed set of index paths — the paper's tree domain.
+
+        The root is the empty tuple; child i of node u is u + (i,), with
+        1-based child indices matching the [k]* convention.
+        """
+        stack: list[tuple[tuple[int, ...], LabeledTree]] = [((), self)]
+        while stack:
+            path, node = stack.pop()
+            yield path
+            for index, child in enumerate(node.children, start=1):
+                stack.append((path + (index,), child))
+
+    def max_arity(self) -> int:
+        """The smallest k such that this is a k-tree."""
+        return max(
+            (len(node.children) for node in self.nodes_preorder()),
+            default=0,
+        )
+
+    def __str__(self) -> str:
+        if not self.children:
+            return str(self.label)
+        inner = ", ".join(str(c) for c in self.children)
+        return f"{self.label}({inner})"
+
+
+def leaf(label: Hashable) -> LabeledTree:
+    """A single-node tree."""
+    return LabeledTree(label, ())
+
+
+def path_tree(labels) -> LabeledTree:
+    """A unary chain whose node labels read ``labels`` top-down.
+
+    >>> path_tree(["a", "b"]).size
+    2
+    """
+    labels = list(labels)
+    if not labels:
+        raise ValueError("path_tree needs at least one label")
+    node = leaf(labels[-1])
+    for label in reversed(labels[:-1]):
+        node = LabeledTree(label, (node,))
+    return node

@@ -1,0 +1,10 @@
+"""Benchmark harness: result tables, timing, growth fitting."""
+
+from repro.bench.harness import (
+    ResultTable,
+    fit_growth_exponent,
+    relative_error,
+    timed,
+)
+
+__all__ = ["ResultTable", "timed", "fit_growth_exponent", "relative_error"]

@@ -1,0 +1,161 @@
+"""Command-line interface: evaluate queries over probabilistic CSV data.
+
+The paper's Section 6 calls out integration into practical systems as
+the main avenue of future work; this CLI is the minimal such surface.
+A probabilistic database is a CSV file with one fact per line::
+
+    relation,probability,constant1,constant2,...
+    R1,1/2,alice,bob
+    R2,2/3,bob,carol
+
+Usage::
+
+    python -m repro --data facts.csv --query "Q :- R1(x,y), R2(y,z)"
+    python -m repro --data facts.csv --query-file q.txt \
+        --method fpras --epsilon 0.1 --seed 7
+    python -m repro --data facts.csv --query "..." --reliability
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import Iterable, TextIO
+
+from repro.core.estimator import PQEEngine
+from repro.db.fact import Fact
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.errors import ReproError
+from repro.queries.parser import parse_query
+
+__all__ = ["main", "load_facts_csv"]
+
+
+def load_facts_csv(stream: TextIO) -> ProbabilisticDatabase:
+    """Parse the fact CSV format described in the module docstring.
+
+    Blank lines and lines starting with ``#`` are skipped.  A header
+    row reading ``relation,probability,...`` is also skipped.
+    """
+    labels: dict[Fact, str] = {}
+    reader = csv.reader(
+        line for line in stream
+        if line.strip() and not line.lstrip().startswith("#")
+    )
+    for row_number, row in enumerate(reader, start=1):
+        if row_number == 1 and row[0].strip().lower() == "relation":
+            continue
+        if len(row) < 3:
+            raise ReproError(
+                f"CSV row {row_number}: need relation,probability,"
+                f"constants..., got {row!r}"
+            )
+        relation = row[0].strip()
+        probability = row[1].strip()
+        constants = tuple(value.strip() for value in row[2:])
+        fact = Fact(relation, constants)
+        if fact in labels:
+            raise ReproError(f"CSV row {row_number}: duplicate fact {fact}")
+        labels[fact] = probability
+    if not labels:
+        raise ReproError("no facts found in CSV input")
+    return ProbabilisticDatabase(labels)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Probabilistic query evaluation with the combined-complexity "
+            "FPRAS of van Bremen & Meel (PODS 2023)"
+        ),
+    )
+    parser.add_argument(
+        "--data", required=True,
+        help="CSV file of facts: relation,probability,constants...",
+    )
+    query_group = parser.add_mutually_exclusive_group(required=True)
+    query_group.add_argument(
+        "--query", help='query text, e.g. "Q :- R(x,y), S(y,z)"'
+    )
+    query_group.add_argument(
+        "--query-file", help="file containing the query text"
+    )
+    parser.add_argument(
+        "--method",
+        default="auto",
+        choices=[
+            "auto", "safe-plan", "fpras", "fpras-weighted",
+            "lineage-exact", "karp-luby", "monte-carlo", "enumerate",
+        ],
+        help="evaluation method (default: auto routing)",
+    )
+    parser.add_argument(
+        "--epsilon", type=float, default=0.25,
+        help="target relative error for randomized methods",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="random seed"
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=1,
+        help="median-of-k amplification for randomized methods",
+    )
+    parser.add_argument(
+        "--reliability", action="store_true",
+        help="report uniform reliability (ignores probability labels)",
+    )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="print the routing decision and cost statistics, then "
+             "evaluate",
+    )
+    return parser
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    args = _build_parser().parse_args(
+        list(argv) if argv is not None else None
+    )
+    try:
+        with open(args.data, encoding="utf-8") as stream:
+            pdb = load_facts_csv(stream)
+        if args.query_file:
+            with open(args.query_file, encoding="utf-8") as stream:
+                query_text = stream.read()
+        else:
+            query_text = args.query
+        query = parse_query(query_text)
+
+        engine = PQEEngine(
+            epsilon=args.epsilon,
+            seed=args.seed,
+            repetitions=args.repetitions,
+        )
+        if args.explain:
+            print(f"plan:    {engine.explain(query, pdb).describe()}")
+        if args.reliability:
+            answer = engine.uniform_reliability(
+                query, pdb.instance, method=args.method
+            )
+            label = "UR(Q, D)"
+        else:
+            answer = engine.probability(query, pdb, method=args.method)
+            label = "Pr_H(Q)"
+    except (ReproError, OSError) as failure:
+        print(f"error: {failure}", file=sys.stderr)
+        return 1
+
+    print(f"query:   {query}")
+    print(f"facts:   {len(pdb)}")
+    print(f"method:  {answer.method}" + (" (exact)" if answer.exact else ""))
+    if answer.rational is not None:
+        print(f"{label} = {answer.value} ({answer.rational})")
+    else:
+        print(f"{label} = {answer.value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,343 @@
+"""PQEEngine: a strategy-choosing facade over every evaluator.
+
+Downstream users rarely want to pick between safe plans, lineage
+counting, and the FPRAS by hand.  The engine routes a (query, database)
+pair to the cheapest applicable method, mirroring Table 1:
+
+======================  ============================================
+query                   route (method='auto')
+======================  ============================================
+safe (hierarchical) +   exact safe plan — polynomial, exact
+self-join-free
+unsafe + SJF +          the paper's FPRAS (Theorem 1); exact lineage
+bounded width           instead when the lineage is tiny
+self-joins              lineage: exact WMC when small, Karp–Luby
+                        otherwise (the FPRAS requires SJF)
+======================  ============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.exact import exact_probability, exact_uniform_reliability
+from repro.core.monte_carlo import monte_carlo_probability
+from repro.core.pqe_estimate import pqe_estimate
+from repro.core.ur_estimate import ur_estimate
+from repro.db.instance import DatabaseInstance
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.errors import LineageSizeBudgetExceeded, ReproError
+from repro.lineage.build import build_lineage
+from repro.lineage.exact_wmc import dnf_probability
+from repro.lineage.karp_luby import karp_luby_probability
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.properties import is_hierarchical
+from repro.queries.safe_plan import safe_plan_probability
+
+__all__ = ["PQEAnswer", "PQEPlan", "PQEEngine"]
+
+_METHODS = (
+    "auto",
+    "safe-plan",
+    "fpras",
+    "fpras-weighted",
+    "lineage-exact",
+    "karp-luby",
+    "monte-carlo",
+    "enumerate",
+)
+
+
+@dataclass(frozen=True)
+class PQEAnswer:
+    """A probability (or reliability count) with provenance."""
+
+    value: float
+    method: str
+    exact: bool
+    rational: Fraction | None = None
+
+    def __float__(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class PQEPlan:
+    """The routing decision and cost statistics behind a query, without
+    running any (potentially expensive) evaluation.
+
+    Produced by :meth:`PQEEngine.explain`; every field is computed from
+    structural analysis plus the (cheap) automaton construction.
+    """
+
+    method: str                     # what 'auto' would run
+    self_join_free: bool
+    hierarchical: bool | None       # None when self-joins block the test
+    acyclic: bool
+    hypertree_width: int | None     # None when not computed (self-joins)
+    lineage_clauses: int | None     # None when past the budget
+    nfta_states: int | None         # Theorem 1 automaton (SJF only)
+    nfta_transitions: int | None
+    tree_size: int | None
+
+    def describe(self) -> str:
+        """A human-readable one-paragraph summary."""
+        parts = [f"route: {self.method}"]
+        parts.append(
+            "self-join-free" if self.self_join_free else "has self-joins"
+        )
+        if self.hierarchical is not None:
+            parts.append(
+                "hierarchical (safe, exact FP applies)"
+                if self.hierarchical
+                else "non-hierarchical (unsafe, #P-hard exactly)"
+            )
+        if self.hypertree_width is not None:
+            parts.append(f"hypertree width {self.hypertree_width}")
+        if self.lineage_clauses is not None:
+            parts.append(f"lineage: {self.lineage_clauses} clauses")
+        else:
+            parts.append("lineage: over budget")
+        if self.nfta_transitions is not None:
+            parts.append(
+                f"automaton: {self.nfta_states} states / "
+                f"{self.nfta_transitions} transitions, "
+                f"tree size {self.tree_size}"
+            )
+        return "; ".join(parts)
+
+
+class PQEEngine:
+    """Evaluate PQE/UR with automatic or explicit method choice.
+
+    Parameters
+    ----------
+    epsilon:
+        Approximation target for the randomized methods.
+    seed:
+        Seed for all randomized methods (None = nondeterministic).
+    lineage_budget:
+        Clause budget below which 'auto' prefers exact lineage counting
+        over the FPRAS for unsafe queries.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 0.25,
+        seed: int | None = None,
+        lineage_budget: int = 10_000,
+        repetitions: int = 1,
+    ):
+        if not 0 < epsilon < 1:
+            raise ReproError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+        self.seed = seed
+        self.lineage_budget = lineage_budget
+        self.repetitions = repetitions
+
+    # ------------------------------------------------------------------
+
+    def probability(
+        self,
+        query: ConjunctiveQuery,
+        pdb: ProbabilisticDatabase,
+        method: str = "auto",
+    ) -> PQEAnswer:
+        """``Pr_H(Q)``, routed per the class table in the module docs."""
+        if method not in _METHODS:
+            raise ReproError(
+                f"unknown method {method!r}; choose from {_METHODS}"
+            )
+        if method == "auto":
+            return self._auto_probability(query, pdb)
+        if method == "safe-plan":
+            value = safe_plan_probability(query, pdb)
+            return PQEAnswer(float(value), "safe-plan", True, value)
+        if method in ("fpras", "fpras-weighted"):
+            estimate = pqe_estimate(
+                query,
+                pdb,
+                epsilon=self.epsilon,
+                seed=self.seed,
+                repetitions=self.repetitions,
+                method=method,
+            )
+            return PQEAnswer(estimate.estimate, method, estimate.exact)
+        if method == "lineage-exact":
+            value = exact_probability(query, pdb, method="lineage")
+            return PQEAnswer(float(value), "lineage-exact", True, value)
+        if method == "karp-luby":
+            projected = pdb.project_to_query(query)
+            formula = build_lineage(query, projected.instance)
+            result = karp_luby_probability(
+                formula,
+                projected.probabilities,
+                epsilon=self.epsilon,
+                seed=self.seed,
+            )
+            return PQEAnswer(result.estimate, "karp-luby", False)
+        if method == "monte-carlo":
+            result = monte_carlo_probability(
+                query, pdb, epsilon=self.epsilon / 4, seed=self.seed
+            )
+            return PQEAnswer(result.estimate, "monte-carlo", False)
+        # method == "enumerate"
+        value = exact_probability(query, pdb, method="enumerate")
+        return PQEAnswer(float(value), "enumerate", True, value)
+
+    def _auto_probability(
+        self, query: ConjunctiveQuery, pdb: ProbabilisticDatabase
+    ) -> PQEAnswer:
+        if query.is_self_join_free and is_hierarchical(query):
+            value = safe_plan_probability(query, pdb)
+            return PQEAnswer(float(value), "safe-plan", True, value)
+        if query.is_self_join_free:
+            small = self._try_small_lineage(query, pdb)
+            if small is not None:
+                return small
+            return self.probability(query, pdb, method="fpras")
+        # Self-joins: the combined FPRAS does not apply (open per
+        # Table 1); fall back to the intensional route.
+        small = self._try_small_lineage(query, pdb)
+        if small is not None:
+            return small
+        return self.probability(query, pdb, method="karp-luby")
+
+    def _try_small_lineage(
+        self, query: ConjunctiveQuery, pdb: ProbabilisticDatabase
+    ) -> PQEAnswer | None:
+        projected = pdb.project_to_query(query)
+        try:
+            formula = build_lineage(
+                query, projected.instance, budget=self.lineage_budget
+            )
+        except LineageSizeBudgetExceeded:
+            return None
+        value = dnf_probability(formula, projected.probabilities)
+        return PQEAnswer(float(value), "lineage-exact", True, value)
+
+    # ------------------------------------------------------------------
+
+    def explain(
+        self, query: ConjunctiveQuery, pdb: ProbabilisticDatabase
+    ) -> PQEPlan:
+        """Structural analysis + routing decision, without evaluating.
+
+        Builds the Theorem 1 automaton (cheap, polynomial) to report its
+        size, and counts lineage clauses up to the configured budget.
+        """
+        from repro.core.pqe_estimate import build_pqe_reduction
+        from repro.decomposition import generalized_hypertree_width, is_acyclic
+        from repro.errors import LineageSizeBudgetExceeded
+        from repro.lineage.build import lineage_clause_count
+
+        sjf = query.is_self_join_free
+        hierarchical = is_hierarchical(query) if sjf else None
+        acyclic = is_acyclic(query)
+
+        width: int | None = None
+        nfta_states = nfta_transitions = tree_size = None
+        if sjf:
+            try:
+                width = generalized_hypertree_width(query)
+            except Exception:  # width search limits; leave unknown
+                width = None
+            reduction = build_pqe_reduction(query, pdb)
+            nfta_states = len(reduction.nfta.states)
+            nfta_transitions = reduction.nfta.num_transitions
+            tree_size = reduction.tree_size
+
+        projected = pdb.project_to_query(query)
+        try:
+            clauses: int | None = lineage_clause_count(
+                query, projected.instance, budget=self.lineage_budget
+            )
+        except LineageSizeBudgetExceeded:
+            clauses = None
+
+        if sjf and hierarchical:
+            method = "safe-plan"
+        elif sjf:
+            method = "lineage-exact" if clauses is not None else "fpras"
+        else:
+            method = "lineage-exact" if clauses is not None else "karp-luby"
+
+        return PQEPlan(
+            method=method,
+            self_join_free=sjf,
+            hierarchical=hierarchical,
+            acyclic=acyclic,
+            hypertree_width=width,
+            lineage_clauses=clauses,
+            nfta_states=nfta_states,
+            nfta_transitions=nfta_transitions,
+            tree_size=tree_size,
+        )
+
+    # ------------------------------------------------------------------
+
+    def conditional_probability(
+        self,
+        query: ConjunctiveQuery,
+        pdb: ProbabilisticDatabase,
+        present=(),
+        absent=(),
+        method: str = "auto",
+    ) -> PQEAnswer:
+        """``Pr_H(Q | evidence)`` under fact-level evidence.
+
+        ``present``/``absent`` are facts observed to be in/out of the
+        world; conditioning a tuple-independent database on fact-level
+        evidence stays tuple-independent (set π to 1, or drop the
+        fact), so any evaluation method applies directly.
+        """
+        conditioned = pdb
+        for fact in present:
+            conditioned = conditioned.conditioned(fact, present=True)
+        for fact in absent:
+            conditioned = conditioned.conditioned(fact, present=False)
+        return self.probability(query, conditioned, method=method)
+
+    # ------------------------------------------------------------------
+
+    def uniform_reliability(
+        self,
+        query: ConjunctiveQuery,
+        instance: DatabaseInstance,
+        method: str = "auto",
+    ) -> PQEAnswer:
+        """``UR(Q, D)``: number of satisfying subinstances."""
+        if method in ("auto", "safe-plan", "lineage-exact"):
+            pdb = ProbabilisticDatabase.uniform(instance)
+            answer = self.probability(
+                query,
+                pdb,
+                method="auto" if method == "auto" else method,
+            )
+            scale = Fraction(2) ** len(instance)
+            if answer.rational is not None:
+                count = answer.rational * scale
+                return PQEAnswer(
+                    float(count), answer.method, True, count
+                )
+            return PQEAnswer(
+                answer.value * float(scale), answer.method, answer.exact
+            )
+        if method == "fpras":
+            estimate = ur_estimate(
+                query,
+                instance,
+                epsilon=self.epsilon,
+                seed=self.seed,
+                repetitions=self.repetitions,
+            )
+            return PQEAnswer(estimate.estimate, "fpras", estimate.exact)
+        if method == "enumerate":
+            count = exact_uniform_reliability(
+                query, instance, method="enumerate"
+            )
+            return PQEAnswer(float(count), "enumerate", True, Fraction(count))
+        raise ReproError(
+            f"unknown method {method!r} for uniform reliability"
+        )

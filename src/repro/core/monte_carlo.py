@@ -1,0 +1,96 @@
+"""Naive Monte-Carlo PQE: the simplest possible baseline.
+
+Sample worlds from the tuple-independent distribution, evaluate the
+query on each, report the satisfaction frequency.  Unbiased and trivial
+— but only an *additive* approximation: to get (1 ± ε) **relative**
+error the sample count must scale with ``1 / Pr_H(Q)``, which is
+unbounded.  This is precisely why PQE needs an FPRAS rather than plain
+Monte Carlo, and the contrast makes it a valuable baseline: on
+low-probability queries the naive sampler needs astronomically many
+worlds while the paper's estimator does not (see
+``benchmarks/bench_monte_carlo.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.db.fact import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.db.semantics import satisfies
+from repro.errors import EstimationError
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = ["MonteCarloResult", "monte_carlo_probability"]
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Satisfaction frequency over sampled worlds, with a CLT interval."""
+
+    estimate: float
+    samples: int
+    positives: int
+
+    @property
+    def standard_error(self) -> float:
+        p = self.estimate
+        return math.sqrt(max(p * (1 - p), 0.0) / self.samples)
+
+    def __float__(self) -> float:
+        return self.estimate
+
+
+def additive_sample_bound(epsilon: float, delta: float) -> int:
+    """Hoeffding bound for additive ε-accuracy with confidence 1 − δ."""
+    if not 0 < epsilon < 1 or not 0 < delta < 1:
+        raise EstimationError("epsilon and delta must lie in (0, 1)")
+    return max(1, math.ceil(math.log(2 / delta) / (2 * epsilon**2)))
+
+
+def monte_carlo_probability(
+    query: ConjunctiveQuery,
+    pdb: ProbabilisticDatabase,
+    samples: int | None = None,
+    epsilon: float = 0.05,
+    delta: float = 0.05,
+    seed: int | None = None,
+) -> MonteCarloResult:
+    """Estimate ``Pr_H(Q)`` by sampling worlds.
+
+    ``samples`` defaults to the Hoeffding bound for *additive* error
+    ``epsilon`` at confidence ``1 − delta``.  Remember the caveat in the
+    module docstring: additive, not relative.
+    """
+    if samples is None:
+        samples = additive_sample_bound(epsilon, delta)
+    if samples < 1:
+        raise EstimationError("samples must be >= 1")
+
+    rng = random.Random(seed)
+    projected = pdb.project_to_query(query)
+    fact_probabilities = [
+        (fact, float(probability))
+        for fact, probability in sorted(
+            projected.probabilities.items(),
+            key=lambda item: Fact.sort_key(item[0]),
+        )
+    ]
+
+    positives = 0
+    for _ in range(samples):
+        world = [
+            fact
+            for fact, probability in fact_probabilities
+            if rng.random() < probability
+        ]
+        if world and satisfies(DatabaseInstance(world), query):
+            positives += 1
+    return MonteCarloResult(
+        estimate=positives / samples,
+        samples=samples,
+        positives=positives,
+    )

@@ -1,0 +1,108 @@
+"""Almost-uniform sampling of satisfying subinstances.
+
+The ACJR counting results the paper builds on are simultaneously
+*almost-uniform generators*, so the Proposition 1 reduction gives more
+than a count: sampling accepted trees of the right size and reading the
+fact literals off their labels yields (approximately) uniform samples
+from { D' ⊆ D : D' |= Q } — possible worlds conditioned on the query.
+
+This is the natural systems-facing extension of the paper's machinery
+(Section 6 discusses integration into practical probabilistic-database
+systems, where conditional sampling is a core primitive).
+
+For probabilistic databases, the same trick on the Theorem 1 multiplier
+automaton samples worlds with probability proportional to their weight,
+i.e. from the posterior ``Pr(D' | Q holds)``: each tree carries one
+gadget path per fact, and the number of gadget paths through a world
+equals its weight numerator product.
+"""
+
+from __future__ import annotations
+
+from repro.automata.nfta_counting import sample_accepted_trees
+from repro.automata.symbols import Literal
+from repro.automata.trees import LabeledTree
+from repro.core.pqe_estimate import build_pqe_reduction
+from repro.core.ur_reduction import build_ur_reduction
+from repro.db.fact import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.errors import EstimationError
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = ["sample_satisfying_subinstances", "sample_posterior_worlds"]
+
+
+def _decode_tree(tree: LabeledTree) -> frozenset[Fact]:
+    """Read the present facts off an accepted tree's literal labels."""
+    present: set[Fact] = set()
+    seen: set[Fact] = set()
+    for label in tree.labels_preorder():
+        if isinstance(label, Literal):
+            if label.fact in seen:
+                raise EstimationError(
+                    f"fact {label.fact} appears twice in a sampled tree; "
+                    "the reduction invariant is broken"
+                )
+            seen.add(label.fact)
+            if label.positive:
+                present.add(label.fact)
+    return frozenset(present)
+
+
+def sample_satisfying_subinstances(
+    query: ConjunctiveQuery,
+    instance: DatabaseInstance,
+    k: int,
+    epsilon: float = 0.25,
+    seed: int | None = None,
+    exact_set_cap: int = 4096,
+) -> list[frozenset[Fact]]:
+    """Draw ``k`` approximately-uniform satisfying subinstances of D.
+
+    Only facts over the query's relations are sampled (facts over other
+    relations are unconstrained — extend each sample with an independent
+    coin per remaining fact if a full world is needed).
+
+    Raises
+    ------
+    EstimationError
+        If no subinstance satisfies the query.
+    """
+    reduction = build_ur_reduction(query, instance)
+    trees = sample_accepted_trees(
+        reduction.nfta,
+        reduction.tree_size,
+        k,
+        epsilon=epsilon,
+        seed=seed,
+        exact_set_cap=exact_set_cap,
+    )
+    return [_decode_tree(tree) for tree in trees]
+
+
+def sample_posterior_worlds(
+    query: ConjunctiveQuery,
+    pdb: ProbabilisticDatabase,
+    k: int,
+    epsilon: float = 0.25,
+    seed: int | None = None,
+    exact_set_cap: int = 4096,
+) -> list[frozenset[Fact]]:
+    """Draw ``k`` worlds approximately from ``Pr(D' | D' |= Q)``.
+
+    Sampling trees of the Theorem 1 automaton weights each world by
+    ``Π_{f ∈ D'} w_f · Π_{f ∉ D'} (d_f − w_f)`` — proportional to its
+    prior probability — so conditioning on acceptance yields the
+    posterior over satisfying worlds.
+    """
+    reduction = build_pqe_reduction(query, pdb)
+    trees = sample_accepted_trees(
+        reduction.nfta,
+        reduction.tree_size,
+        k,
+        epsilon=epsilon,
+        seed=seed,
+        exact_set_cap=exact_set_cap,
+    )
+    return [_decode_tree(tree) for tree in trees]

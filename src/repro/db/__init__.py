@@ -1,0 +1,30 @@
+"""Relational and probabilistic database substrate."""
+
+from repro.db.fact import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.db.schema import RelationSymbol, Schema
+from repro.db.semantics import (
+    count_homomorphisms,
+    homomorphisms,
+    satisfies,
+    witness_sets,
+)
+from repro.db.yannakakis import (
+    yannakakis_count_homomorphisms,
+    yannakakis_satisfies,
+)
+
+__all__ = [
+    "Fact",
+    "DatabaseInstance",
+    "ProbabilisticDatabase",
+    "RelationSymbol",
+    "Schema",
+    "satisfies",
+    "homomorphisms",
+    "count_homomorphisms",
+    "witness_sets",
+    "yannakakis_satisfies",
+    "yannakakis_count_homomorphisms",
+]

@@ -1,0 +1,62 @@
+"""Ground facts.
+
+A fact ``R(c1, ..., ck)`` pairs a relation name with a tuple of constants
+drawn from the universe U (Section 2).  Constants may be any hashable,
+totally-orderable-within-a-relation Python values; the library uses
+strings and integers throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.errors import SchemaError
+
+__all__ = ["Fact"]
+
+Constant = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Fact:
+    """A ground fact ``relation(constants)``.
+
+    Facts are immutable and hashable so they can serve as DNF lineage
+    variables, automaton alphabet symbols, and dict keys.
+
+    >>> f = Fact("R", ("a", "b"))
+    >>> str(f)
+    'R(a, b)'
+    >>> f.arity
+    2
+    """
+
+    relation: str
+    constants: tuple[Constant, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise SchemaError("fact relation name must be non-empty")
+        if not self.constants:
+            raise SchemaError("facts must have at least one constant")
+
+    @property
+    def arity(self) -> int:
+        return len(self.constants)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(c) for c in self.constants)
+        return f"{self.relation}({inner})"
+
+    def __repr__(self) -> str:
+        return f"Fact({self.relation!r}, {self.constants!r})"
+
+    def sort_key(self) -> tuple[str, tuple[str, ...]]:
+        """A total-order key used for the per-relation fact orders ``≺_i``.
+
+        Constants are compared by their string representation so that
+        heterogeneous constant types never raise at comparison time; the
+        constructions only need *some* fixed total order per relation.
+        """
+        return (self.relation, tuple(str(c) for c in self.constants))

@@ -1,0 +1,165 @@
+"""Database instances: finite sets of facts.
+
+:class:`DatabaseInstance` is an immutable set of :class:`~repro.db.fact.Fact`
+objects with relation-indexed access, subinstance iteration, and the
+"projection onto the relations of Q" operation used by Theorem 3 and
+Theorem 1 (facts over relations not occurring in the query marginalise
+away and can be dropped up front).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from itertools import combinations
+from typing import Iterable, Iterator
+
+from repro.db.fact import Fact
+from repro.db.schema import Schema
+from repro.errors import SchemaError
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = ["DatabaseInstance"]
+
+
+class DatabaseInstance:
+    """An immutable database instance ``D`` (a finite set of facts).
+
+    Parameters
+    ----------
+    facts:
+        The facts of the instance.  Duplicates are collapsed (set
+        semantics).
+    schema:
+        Optional schema to validate against.  When omitted, the schema is
+        inferred; inference fails if a relation name is used at two
+        different arities.
+
+    >>> d = DatabaseInstance([Fact("R", ("a", "b")), Fact("S", ("b",))])
+    >>> len(d)
+    2
+    >>> [str(f) for f in d.facts_for_relation("R")]
+    ['R(a, b)']
+    """
+
+    __slots__ = ("_facts", "_schema", "__dict__")
+
+    def __init__(self, facts: Iterable[Fact], schema: Schema | None = None):
+        fact_set = frozenset(facts)
+        if schema is None:
+            schema = _infer_schema(fact_set)
+        else:
+            for fact in fact_set:
+                if fact.relation not in schema:
+                    raise SchemaError(
+                        f"fact {fact} uses relation not in schema"
+                    )
+                if schema.arity_of(fact.relation) != fact.arity:
+                    raise SchemaError(
+                        f"fact {fact} has arity {fact.arity}, schema says "
+                        f"{schema.arity_of(fact.relation)}"
+                    )
+        self._facts = fact_set
+        self._schema = schema
+
+    @property
+    def facts(self) -> frozenset[Fact]:
+        return self._facts
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @cached_property
+    def _by_relation(self) -> dict[str, tuple[Fact, ...]]:
+        out: dict[str, list[Fact]] = {}
+        for fact in self._facts:
+            out.setdefault(fact.relation, []).append(fact)
+        return {
+            rel: tuple(sorted(fs, key=Fact.sort_key))
+            for rel, fs in out.items()
+        }
+
+    def facts_for_relation(self, relation: str) -> tuple[Fact, ...]:
+        """All facts over ``relation``, in the canonical order ``≺_rel``.
+
+        The order is total and fixed for the lifetime of the instance, as
+        required by the automaton constructions of Sections 3 and 4.
+        """
+        return self._by_relation.get(relation, ())
+
+    @cached_property
+    def relation_names(self) -> frozenset[str]:
+        return frozenset(self._by_relation)
+
+    @cached_property
+    def active_domain(self) -> frozenset:
+        """All constants appearing in some fact."""
+        out = set()
+        for fact in self._facts:
+            out.update(fact.constants)
+        return frozenset(out)
+
+    def project_to_query(self, query: ConjunctiveQuery) -> "DatabaseInstance":
+        """Drop facts over relations that do not occur in ``query``.
+
+        This is the projection step of Theorem 3: subinstance choices on
+        dropped facts marginalise to a factor of ``2^{|D \\ D'|}`` for
+        uniform reliability and to 1 for PQE.
+        """
+        wanted = set(query.relation_names)
+        return DatabaseInstance(
+            (f for f in self._facts if f.relation in wanted)
+        )
+
+    def subinstances(self) -> Iterator[frozenset[Fact]]:
+        """Iterate over all ``2^{|D|}`` subinstances (small D only!)."""
+        ordered = sorted(self._facts, key=Fact.sort_key)
+        for size in range(len(ordered) + 1):
+            for combo in combinations(ordered, size):
+                yield frozenset(combo)
+
+    def with_facts(self, extra: Iterable[Fact]) -> "DatabaseInstance":
+        """A new instance with ``extra`` facts added."""
+        return DatabaseInstance(self._facts | frozenset(extra))
+
+    def without_facts(self, removed: Iterable[Fact]) -> "DatabaseInstance":
+        """A new instance with ``removed`` facts deleted."""
+        return DatabaseInstance(self._facts - frozenset(removed))
+
+    def __len__(self) -> int:
+        """|D|: the number of facts."""
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(sorted(self._facts, key=Fact.sort_key))
+
+    def __contains__(self, fact: object) -> bool:
+        return fact in self._facts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseInstance):
+            return NotImplemented
+        return self._facts == other._facts
+
+    def __hash__(self) -> int:
+        return hash(self._facts)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(f) for f in list(self)[:4])
+        suffix = ", ..." if len(self) > 4 else ""
+        return f"DatabaseInstance({{{preview}{suffix}}}, size={len(self)})"
+
+
+def _infer_schema(facts: frozenset[Fact]) -> Schema:
+    from repro.db.schema import RelationSymbol
+
+    arities: dict[str, int] = {}
+    for fact in facts:
+        existing = arities.get(fact.relation)
+        if existing is not None and existing != fact.arity:
+            raise SchemaError(
+                f"relation {fact.relation!r} used at arities "
+                f"{existing} and {fact.arity}"
+            )
+        arities[fact.relation] = fact.arity
+    return Schema(RelationSymbol(n, a) for n, a in arities.items())

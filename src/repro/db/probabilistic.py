@@ -1,0 +1,185 @@
+"""Tuple-independent probabilistic databases.
+
+A probabilistic database instance ``H = (D, π)`` (Section 2) pairs a
+database instance with a function mapping each fact to an independent
+*rational* probability.  The paper assumes rational labels so that each
+``π(f) = w/d`` can be folded into the automaton via integer multipliers;
+we enforce that by storing :class:`fractions.Fraction` values exactly.
+
+``Pr_H(D')`` and ``Pr_H(Q)`` are computed exactly (over rationals) by the
+brute-force routines here; they are the ground truth every estimator is
+tested against.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import cached_property
+from typing import Iterable, Iterator, Mapping
+
+from repro.db.fact import Fact
+from repro.db.instance import DatabaseInstance
+from repro.errors import ProbabilityError
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = ["ProbabilisticDatabase"]
+
+_HALF = Fraction(1, 2)
+
+
+def _as_probability(value) -> Fraction:
+    """Coerce a user-supplied label to an exact rational in [0, 1]."""
+    try:
+        prob = Fraction(value)
+    except (TypeError, ValueError) as exc:
+        raise ProbabilityError(
+            f"probability label {value!r} is not rational"
+        ) from exc
+    if not 0 <= prob <= 1:
+        raise ProbabilityError(f"probability {prob} outside [0, 1]")
+    return prob
+
+
+class ProbabilisticDatabase:
+    """A probabilistic database instance ``H = (D, π)``.
+
+    Parameters
+    ----------
+    probabilities:
+        Mapping from every fact of the instance to its probability.  Any
+        value accepted by :class:`fractions.Fraction` works: ``Fraction``,
+        ``int``, strings like ``"3/4"``, or (exactly-represented) floats.
+        Floats are converted via ``Fraction(float)``, i.e. by their exact
+        binary value — pass strings or Fractions when you care about the
+        denominator (the Theorem 1 runtime depends on its bit length).
+
+    >>> h = ProbabilisticDatabase({Fact("R", ("a", "b")): "1/2"})
+    >>> h.probability(Fact("R", ("a", "b")))
+    Fraction(1, 2)
+    """
+
+    __slots__ = ("_instance", "_probabilities", "__dict__")
+
+    def __init__(self, probabilities: Mapping[Fact, object]):
+        self._probabilities: dict[Fact, Fraction] = {
+            fact: _as_probability(p) for fact, p in probabilities.items()
+        }
+        self._instance = DatabaseInstance(self._probabilities)
+
+    @classmethod
+    def uniform(
+        cls, instance: DatabaseInstance | Iterable[Fact], probability=_HALF
+    ) -> "ProbabilisticDatabase":
+        """All facts labelled with the same probability (default 1/2).
+
+        With probability 1/2 this is the *uniform reliability* setting:
+        ``Pr_H(Q) = UR(Q, D) / 2^{|D|}``.
+        """
+        prob = _as_probability(probability)
+        return cls({fact: prob for fact in instance})
+
+    @classmethod
+    def certain(
+        cls, instance: DatabaseInstance | Iterable[Fact]
+    ) -> "ProbabilisticDatabase":
+        """All facts labelled 1 — a deterministic database in disguise."""
+        return cls.uniform(instance, Fraction(1))
+
+    @property
+    def instance(self) -> DatabaseInstance:
+        """The underlying database instance ``D``."""
+        return self._instance
+
+    def probability(self, fact: Fact) -> Fraction:
+        try:
+            return self._probabilities[fact]
+        except KeyError:
+            raise ProbabilityError(
+                f"fact {fact} not in probabilistic database"
+            ) from None
+
+    @property
+    def probabilities(self) -> Mapping[Fact, Fraction]:
+        return dict(self._probabilities)
+
+    @cached_property
+    def size(self) -> int:
+        """|H|: number of facts plus aggregate bit size of the labels."""
+        bits = 0
+        for prob in self._probabilities.values():
+            bits += prob.numerator.bit_length() + prob.denominator.bit_length()
+        return len(self._instance) + bits
+
+    @cached_property
+    def denominator_product(self) -> int:
+        """``d = Π_i d_i``, the product of all label denominators.
+
+        This is the normalisation constant of Theorem 1:
+        ``Pr_H(Q) = d^{-1} |L_k(T^c)|``.
+        """
+        product = 1
+        for prob in self._probabilities.values():
+            product *= prob.denominator
+        return product
+
+    def subinstance_probability(self, subset: Iterable[Fact]) -> Fraction:
+        """``Pr_H(D')`` for a subinstance ``D' ⊆ D`` — exact."""
+        chosen = frozenset(subset)
+        unknown = chosen - self._instance.facts
+        if unknown:
+            raise ProbabilityError(
+                f"subinstance contains facts not in H: {sorted(map(str, unknown))}"
+            )
+        result = Fraction(1)
+        for fact, prob in self._probabilities.items():
+            result *= prob if fact in chosen else 1 - prob
+        return result
+
+    def project_to_query(self, query: ConjunctiveQuery) -> "ProbabilisticDatabase":
+        """Drop facts over relations not in ``query``.
+
+        Sound for PQE because the dropped facts' presence marginalises to
+        a total probability of 1 (proof of Theorem 1).
+        """
+        wanted = set(query.relation_names)
+        return ProbabilisticDatabase(
+            {f: p for f, p in self._probabilities.items() if f.relation in wanted}
+        )
+
+    def conditioned(self, fact: Fact, present: bool) -> "ProbabilisticDatabase":
+        """Condition on a fact being present (π=1) or absent (fact removed).
+
+        Used by the Shannon-expansion exact evaluator and by failure-
+        injection tests.
+        """
+        if fact not in self._instance.facts:
+            raise ProbabilityError(f"fact {fact} not in probabilistic database")
+        remaining = dict(self._probabilities)
+        if present:
+            remaining[fact] = Fraction(1)
+        else:
+            del remaining[fact]
+        return ProbabilisticDatabase(remaining)
+
+    def __len__(self) -> int:
+        return len(self._instance)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._instance)
+
+    def __contains__(self, fact: object) -> bool:
+        return fact in self._instance
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProbabilisticDatabase):
+            return NotImplemented
+        return self._probabilities == other._probabilities
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._probabilities.items()))
+
+    def __repr__(self) -> str:
+        return (
+            f"ProbabilisticDatabase(facts={len(self)}, "
+            f"size={self.size})"
+        )

@@ -1,0 +1,108 @@
+"""Relational schemas.
+
+A schema is a finite collection of relation names with fixed arities
+(Section 2).  Database instances may be created without an explicit
+schema — the schema is then inferred from the facts — but when a schema
+is supplied, every fact is validated against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = ["RelationSymbol", "Schema"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class RelationSymbol:
+    """A relation name with its arity."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if self.arity < 1:
+            raise SchemaError(
+                f"relation {self.name!r} must have arity >= 1, "
+                f"got {self.arity}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class Schema:
+    """An immutable collection of relation symbols with unique names.
+
+    >>> s = Schema([RelationSymbol("R", 2), RelationSymbol("S", 1)])
+    >>> s.arity_of("R")
+    2
+    >>> "S" in s
+    True
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[RelationSymbol]):
+        by_name: dict[str, RelationSymbol] = {}
+        for rel in relations:
+            existing = by_name.get(rel.name)
+            if existing is not None and existing.arity != rel.arity:
+                raise SchemaError(
+                    f"relation {rel.name!r} declared with arities "
+                    f"{existing.arity} and {rel.arity}"
+                )
+            by_name[rel.name] = rel
+        self._relations: Mapping[str, RelationSymbol] = dict(
+            sorted(by_name.items())
+        )
+
+    @classmethod
+    def from_query(cls, query: ConjunctiveQuery) -> "Schema":
+        """The minimal schema over which a query is well-formed.
+
+        Raises
+        ------
+        SchemaError
+            If the query uses the same relation name at two arities.
+        """
+        return cls(
+            RelationSymbol(a.relation, a.arity) for a in query.atoms
+        )
+
+    @property
+    def relations(self) -> tuple[RelationSymbol, ...]:
+        return tuple(self._relations.values())
+
+    def arity_of(self, name: str) -> int:
+        try:
+            return self._relations[name].arity
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSymbol]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._relations.values()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(r) for r in self.relations)
+        return f"Schema({inner})"

@@ -1,0 +1,162 @@
+"""Conjunctive-query evaluation on (deterministic) database instances.
+
+This module is the deterministic query-evaluation substrate: deciding
+``D |= Q``, and enumerating the *homomorphisms* (satisfying assignments)
+of a query into an instance.  Homomorphism enumeration powers
+
+- the brute-force PQE/UR ground truth (:mod:`repro.core.exact`),
+- lineage construction (:mod:`repro.lineage.build`), and
+- the witness structure the automaton constructions reason about.
+
+Evaluation uses backtracking search with join-aware atom ordering and
+per-atom candidate indexing — worst-case exponential in |Q| like any CQ
+evaluator (the problem is NP-complete in combined complexity) but linear
+per produced witness on the bounded-width instances used here.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Mapping
+
+from repro.db.fact import Fact
+from repro.db.instance import DatabaseInstance
+from repro.queries.atoms import Atom, Variable
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = [
+    "satisfies",
+    "homomorphisms",
+    "witness_sets",
+    "count_homomorphisms",
+]
+
+Assignment = Mapping[Variable, Hashable]
+
+
+def _match(atom: Atom, fact: Fact, partial: dict[Variable, Hashable]):
+    """Try to extend ``partial`` so that ``atom`` maps onto ``fact``.
+
+    Returns the list of newly-bound variables on success (so the caller
+    can undo the bindings), or ``None`` on mismatch.
+    """
+    if atom.relation != fact.relation or atom.arity != fact.arity:
+        return None
+    newly_bound: list[Variable] = []
+    for var, const in zip(atom.args, fact.constants):
+        bound = partial.get(var)
+        if bound is None:
+            partial[var] = const
+            newly_bound.append(var)
+        elif bound != const:
+            for undo in newly_bound:
+                del partial[undo]
+            return None
+    return newly_bound
+
+
+def _ordered_atoms(
+    query: ConjunctiveQuery, instance: DatabaseInstance
+) -> list[Atom]:
+    """Order atoms to maximise join connectivity during backtracking.
+
+    Greedy: start from the atom with the fewest matching facts, then
+    repeatedly pick the atom sharing the most variables with those
+    already placed (ties broken by candidate count).
+    """
+    remaining = list(query.atoms)
+    if len(remaining) <= 1:
+        return remaining
+
+    def candidate_count(atom: Atom) -> int:
+        return len(instance.facts_for_relation(atom.relation))
+
+    ordered = [min(remaining, key=candidate_count)]
+    remaining.remove(ordered[0])
+    bound_vars = set(ordered[0].variables)
+    while remaining:
+        def score(atom: Atom) -> tuple[int, int]:
+            shared = len(atom.variables & bound_vars)
+            return (-shared, candidate_count(atom))
+
+        nxt = min(remaining, key=score)
+        remaining.remove(nxt)
+        ordered.append(nxt)
+        bound_vars |= nxt.variables
+    return ordered
+
+
+def homomorphisms(
+    query: ConjunctiveQuery, instance: DatabaseInstance
+) -> Iterator[dict[Variable, Hashable]]:
+    """Enumerate all satisfying assignments of ``query`` on ``instance``.
+
+    Each yielded dict maps every variable of the query to a constant such
+    that the image of every atom is a fact of the instance.  Yields a
+    fresh dict each time; safe to mutate.
+    """
+    ordered = _ordered_atoms(query, instance)
+    partial: dict[Variable, Hashable] = {}
+
+    def backtrack(index: int) -> Iterator[dict[Variable, Hashable]]:
+        if index == len(ordered):
+            yield dict(partial)
+            return
+        atom = ordered[index]
+        for fact in instance.facts_for_relation(atom.relation):
+            newly_bound = _match(atom, fact, partial)
+            if newly_bound is None:
+                continue
+            yield from backtrack(index + 1)
+            for var in newly_bound:
+                del partial[var]
+
+    yield from backtrack(0)
+
+
+def satisfies(instance: DatabaseInstance, query: ConjunctiveQuery) -> bool:
+    """Decide ``D |= Q``."""
+    return next(homomorphisms(query, instance), None) is not None
+
+
+def count_homomorphisms(
+    query: ConjunctiveQuery, instance: DatabaseInstance
+) -> int:
+    """The number of satisfying assignments (answer count for Boolean Q)."""
+    return sum(1 for _ in homomorphisms(query, instance))
+
+
+def witness_sets(
+    query: ConjunctiveQuery, instance: DatabaseInstance
+) -> Iterator[frozenset[Fact]]:
+    """Enumerate the witnessing fact sets of ``query`` on ``instance``.
+
+    Each homomorphism ``h`` induces the witness set
+    ``{ R_i(h(x̄_i)) : R_i(x̄_i) ∈ atoms(Q) }``.  A subinstance satisfies
+    the query iff it contains at least one witness set — these are exactly
+    the clauses of the DNF lineage.  Distinct homomorphisms can induce the
+    same fact set (e.g. with self-joins); duplicates are *not* collapsed
+    here, callers that need set semantics should deduplicate.
+    """
+    for hom in homomorphisms(query, instance):
+        yield frozenset(
+            Fact(atom.relation, tuple(hom[v] for v in atom.args))
+            for atom in query.atoms
+        )
+
+
+def witnesses_per_atom(
+    query: ConjunctiveQuery, instance: DatabaseInstance
+) -> dict[Atom, frozenset[Fact]]:
+    """For each atom, the facts that witness it in *some* homomorphism.
+
+    A key observation behind Proposition 1: even though the number of
+    satisfying subinstances may be exponential, each atom has at most |D|
+    witnesses.
+    """
+    seen: dict[Atom, set[Fact]] = {atom: set() for atom in query.atoms}
+    for hom in homomorphisms(query, instance):
+        for atom in query.atoms:
+            seen[atom].add(
+                Fact(atom.relation, tuple(hom[v] for v in atom.args))
+            )
+    return {atom: frozenset(facts) for atom, facts in seen.items()}

@@ -1,0 +1,72 @@
+"""Hypertree decompositions: structures, validation, and construction.
+
+The main entry point is :func:`decompose`, which returns a *complete*
+generalized hypertree decomposition ready for the Proposition 1
+construction: join tree via GYO reduction for acyclic queries (width 1),
+elimination-order search with bag covering otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.decomposition.complete import make_complete
+from repro.decomposition.hypertree import (
+    HypertreeDecomposition,
+    HypertreeNode,
+    ValidationReport,
+)
+from repro.decomposition.join_tree import (
+    gyo_reduction,
+    is_acyclic,
+    join_tree_decomposition,
+)
+from repro.decomposition.search import (
+    generalized_hypertree_width,
+    ghd_by_search,
+    primal_graph,
+)
+from repro.errors import DecompositionError
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = [
+    "HypertreeDecomposition",
+    "HypertreeNode",
+    "ValidationReport",
+    "decompose",
+    "make_complete",
+    "is_acyclic",
+    "gyo_reduction",
+    "join_tree_decomposition",
+    "ghd_by_search",
+    "generalized_hypertree_width",
+    "primal_graph",
+]
+
+
+def decompose(
+    query: ConjunctiveQuery, max_width: int | None = None
+) -> HypertreeDecomposition:
+    """A complete generalized hypertree decomposition of ``query``.
+
+    Acyclic queries get a width-1 join tree (GYO reduction); cyclic
+    queries go through elimination-order search.  The result always
+    passes ``validate().usable_for_construction``.
+
+    Parameters
+    ----------
+    max_width:
+        Optional cap; raises
+        :class:`~repro.errors.WidthExceededError` if only wider
+        decompositions are found.
+    """
+    if is_acyclic(query):
+        decomposition = join_tree_decomposition(query)
+    else:
+        decomposition = ghd_by_search(query, max_width=max_width)
+    decomposition = make_complete(decomposition)
+    report = decomposition.validate()
+    if not report.usable_for_construction:
+        raise DecompositionError(
+            "internal error: built decomposition fails validation: "
+            + "; ".join(report.problems)
+        )
+    return decomposition

@@ -1,0 +1,58 @@
+"""Completion transform for hypertree decompositions.
+
+A decomposition is *complete* when every atom has a covering vertex
+(a vertex p with A ∈ ξ(p) and vars(A) ⊆ χ(p)).  Section 2 of the paper
+gives the transform used by Proposition 1: for each uncovered atom A,
+create a fresh vertex p_A with χ(p_A) = vars(A) and ξ(p_A) = {A}, and
+attach it below a vertex whose χ already contains vars(A) (such a vertex
+exists by decomposition condition 1).  The width never increases (the
+new vertices have |ξ| = 1) and conditions 1–4 are preserved.
+"""
+
+from __future__ import annotations
+
+from repro.decomposition.hypertree import (
+    HypertreeDecomposition,
+    HypertreeNode,
+)
+from repro.errors import DecompositionError
+
+__all__ = ["make_complete"]
+
+
+def make_complete(
+    decomposition: HypertreeDecomposition,
+) -> HypertreeDecomposition:
+    """Return an equivalent *complete* decomposition of the same width.
+
+    Already-complete decompositions are returned unchanged (same object).
+    """
+    query = decomposition.query
+    covered = decomposition.minimal_covering_vertex
+    missing = [atom for atom in query.atoms if atom not in covered]
+    if not missing:
+        return decomposition
+
+    nodes = list(decomposition.nodes)
+    parents = [decomposition.parent_id(n.node_id) for n in nodes]
+    for atom in missing:
+        host = next(
+            (
+                node.node_id
+                for node in decomposition.nodes
+                if atom.variables <= node.chi
+            ),
+            None,
+        )
+        if host is None:
+            raise DecompositionError(
+                f"cannot complete: no vertex's chi contains vars({atom}); "
+                "input violates decomposition condition 1"
+            )
+        new_id = len(nodes)
+        nodes.append(
+            HypertreeNode(node_id=new_id, chi=atom.variables, xi=(atom,))
+        )
+        parents.append(host)
+
+    return HypertreeDecomposition(query, nodes, parents)

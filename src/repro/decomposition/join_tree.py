@@ -1,0 +1,125 @@
+"""GYO reduction and join trees for acyclic conjunctive queries.
+
+An acyclic query has hypertree width 1, realised by a *join tree*: one
+decomposition vertex per atom with χ(p) = vars(A) and ξ(p) = {A}.  The
+GYO (Graham / Yu–Özsoyoğlu) reduction both decides acyclicity and yields
+the tree: repeatedly remove an *ear* — an atom A such that some other
+atom B contains every variable of A that is shared with the rest of the
+query — recording B as A's parent.  The query is acyclic iff the
+reduction consumes all atoms.
+
+Path queries, stars, and the branching-tree family are all acyclic, so
+this module provides the decompositions for the paper's headline ``3Path``
+class (Corollary 1).
+"""
+
+from __future__ import annotations
+
+from repro.decomposition.hypertree import (
+    HypertreeDecomposition,
+    HypertreeNode,
+)
+from repro.errors import DecompositionError
+from repro.queries.atoms import Atom, Variable
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = ["is_acyclic", "gyo_reduction", "join_tree_decomposition"]
+
+
+def gyo_reduction(
+    query: ConjunctiveQuery,
+) -> tuple[dict[Atom, Atom | None], bool]:
+    """Run the GYO ear-removal reduction.
+
+    Returns
+    -------
+    (parents, acyclic):
+        ``parents`` maps each removed atom to the witness atom it was
+        attached to (``None`` for the final root atom).  ``acyclic`` is
+        ``True`` iff every atom was removed.
+    """
+    remaining: list[Atom] = list(query.atoms)
+    parents: dict[Atom, Atom | None] = {}
+
+    def shared_variables(atom: Atom) -> frozenset[Variable]:
+        others: set[Variable] = set()
+        for other in remaining:
+            if other is not atom:
+                others |= other.variables
+        return atom.variables & frozenset(others)
+
+    progressed = True
+    while len(remaining) > 1 and progressed:
+        progressed = False
+        for atom in list(remaining):
+            shared = shared_variables(atom)
+            witness = next(
+                (
+                    other
+                    for other in remaining
+                    if other is not atom and shared <= other.variables
+                ),
+                None,
+            )
+            if witness is not None:
+                parents[atom] = witness
+                remaining.remove(atom)
+                progressed = True
+                break
+
+    if len(remaining) == 1:
+        parents[remaining[0]] = None
+        return parents, True
+    return parents, False
+
+
+def is_acyclic(query: ConjunctiveQuery) -> bool:
+    """Decide α-acyclicity via GYO reduction."""
+    return gyo_reduction(query)[1]
+
+
+def join_tree_decomposition(
+    query: ConjunctiveQuery,
+) -> HypertreeDecomposition:
+    """A complete width-1 hypertree decomposition of an acyclic query.
+
+    Raises
+    ------
+    DecompositionError
+        If the query is not acyclic.
+    """
+    parents, acyclic = gyo_reduction(query)
+    if not acyclic:
+        raise DecompositionError(
+            f"query is not acyclic, GYO reduction stuck: {query}"
+        )
+
+    root = next(a for a, p in parents.items() if p is None)
+    # Assign topologically-ordered ids: BFS from the root along the
+    # child relation induced by the parent map.
+    children: dict[Atom, list[Atom]] = {a: [] for a in query.atoms}
+    for atom, parent in parents.items():
+        if parent is not None:
+            children[parent].append(atom)
+
+    order: list[Atom] = [root]
+    queue = [root]
+    while queue:
+        current = queue.pop(0)
+        # Deterministic child order: query presentation order.
+        kids = sorted(
+            children[current], key=lambda a: query.atoms.index(a)
+        )
+        order.extend(kids)
+        queue.extend(kids)
+
+    id_of = {atom: i for i, atom in enumerate(order)}
+    nodes = [
+        HypertreeNode(node_id=i, chi=atom.variables, xi=(atom,))
+        for i, atom in enumerate(order)
+    ]
+    parent_ids = [-1] + [
+        id_of[parents[atom]]  # type: ignore[index]
+        for atom in order[1:]
+    ]
+    return HypertreeDecomposition(query, nodes, parent_ids)

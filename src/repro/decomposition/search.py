@@ -1,0 +1,237 @@
+"""Width-k (generalized) hypertree decomposition search.
+
+For cyclic queries the library builds a decomposition in two classical
+steps:
+
+1. compute a **tree decomposition of the primal graph** of the query via
+   an elimination order (exhaustive search over orders for small queries,
+   min-fill heuristic otherwise); then
+2. **cover each bag with atoms**: replace each bag χ(p) with a minimum
+   set ξ(p) of atoms whose variables jointly cover the bag (brute-force
+   minimum set cover — bags are small).
+
+The result satisfies conditions 1–3 of a hypertree decomposition, i.e. it
+is a *generalized* hypertree decomposition, which per the paper's closing
+remark in Section 2 suffices for all constructions (up to the constant
+factor ghtw ≤ htw ≤ 3·ghtw + 1).  Run it through
+:func:`repro.decomposition.complete.make_complete` before using it with
+Proposition 1.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+
+from repro.decomposition.hypertree import (
+    HypertreeDecomposition,
+    HypertreeNode,
+)
+from repro.errors import DecompositionError, WidthExceededError
+from repro.queries.atoms import Atom, Variable
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = [
+    "primal_graph",
+    "treedec_by_elimination",
+    "cover_bags",
+    "ghd_by_search",
+    "generalized_hypertree_width",
+]
+
+_EXHAUSTIVE_VARIABLE_LIMIT = 8
+
+
+def primal_graph(
+    query: ConjunctiveQuery,
+) -> dict[Variable, set[Variable]]:
+    """Adjacency map of the primal (Gaifman) graph: co-occurrence edges."""
+    adjacency: dict[Variable, set[Variable]] = {
+        v: set() for v in query.variables
+    }
+    for atom in query.atoms:
+        atom_vars = list(atom.variables)
+        for i, left in enumerate(atom_vars):
+            for right in atom_vars[i + 1:]:
+                adjacency[left].add(right)
+                adjacency[right].add(left)
+    return adjacency
+
+
+def _bags_for_order(
+    adjacency: dict[Variable, set[Variable]], order: list[Variable]
+) -> tuple[list[frozenset[Variable]], list[int]]:
+    """Simulate elimination of ``order``; return bags and parent links.
+
+    Eliminating v creates the bag {v} ∪ N(v) and connects v's remaining
+    neighbours into a clique.  Each bag's parent is the bag created when
+    the earliest-eliminated of its other members is eliminated; the last
+    bag is the root.  Returns bags in *reverse* elimination order (root
+    first) with parent indices, ready for HypertreeDecomposition.
+    """
+    graph = {v: set(neighbours) for v, neighbours in adjacency.items()}
+    bags: list[frozenset[Variable]] = []
+    for var in order:
+        neighbours = graph[var]
+        bags.append(frozenset({var} | neighbours))
+        neighbour_list = list(neighbours)
+        for i, left in enumerate(neighbour_list):
+            for right in neighbour_list[i + 1:]:
+                graph[left].add(right)
+                graph[right].add(left)
+        for other in neighbours:
+            graph[other].discard(var)
+        del graph[var]
+
+    # Reverse: the last-created bag becomes the root (index 0).
+    reversed_bags = list(reversed(bags))
+    elimination_position = {var: i for i, var in enumerate(order)}
+    parents = [-1]
+    for rev_index in range(1, len(reversed_bags)):
+        original_index = len(order) - 1 - rev_index
+        eliminated = order[original_index]
+        bag = reversed_bags[rev_index]
+        rest = bag - {eliminated}
+        if not rest:
+            parents.append(0)
+            continue
+        # Parent = bag of the member of `rest` eliminated earliest after
+        # this one, i.e. with the smallest elimination position among
+        # rest (all are eliminated later than `eliminated`).
+        successor = min(rest, key=lambda v: elimination_position[v])
+        parents.append(len(order) - 1 - elimination_position[successor])
+    return reversed_bags, parents
+
+
+def cover_bags(
+    query: ConjunctiveQuery, bags: list[frozenset[Variable]]
+) -> list[tuple[Atom, ...]] | None:
+    """Minimum atom covers for each bag, or ``None`` if a bag is uncoverable.
+
+    A cover of bag B is a set of atoms whose variables jointly include B.
+    Search by increasing cover size, so each returned cover is minimum.
+    """
+    covers: list[tuple[Atom, ...]] = []
+    atoms = query.atoms
+    for bag in bags:
+        found: tuple[Atom, ...] | None = None
+        for size in range(1, len(atoms) + 1):
+            for combo in combinations(atoms, size):
+                covered: set[Variable] = set()
+                for atom in combo:
+                    covered |= atom.variables
+                if bag <= covered:
+                    found = combo
+                    break
+            if found is not None:
+                break
+        if found is None:
+            return None
+        covers.append(found)
+    return covers
+
+
+def _decomposition_from_order(
+    query: ConjunctiveQuery,
+    adjacency: dict[Variable, set[Variable]],
+    order: list[Variable],
+) -> HypertreeDecomposition | None:
+    bags, parents = _bags_for_order(adjacency, order)
+    covers = cover_bags(query, bags)
+    if covers is None:
+        return None
+    nodes = [
+        HypertreeNode(node_id=i, chi=bag, xi=cover)
+        for i, (bag, cover) in enumerate(zip(bags, covers))
+    ]
+    return HypertreeDecomposition(query, nodes, parents)
+
+
+def _min_fill_order(
+    adjacency: dict[Variable, set[Variable]]
+) -> list[Variable]:
+    """Classic min-fill elimination heuristic."""
+    graph = {v: set(neighbours) for v, neighbours in adjacency.items()}
+    order: list[Variable] = []
+
+    def fill_cost(var: Variable) -> int:
+        neighbours = list(graph[var])
+        missing = 0
+        for i, left in enumerate(neighbours):
+            for right in neighbours[i + 1:]:
+                if right not in graph[left]:
+                    missing += 1
+        return missing
+
+    while graph:
+        var = min(graph, key=lambda v: (fill_cost(v), str(v)))
+        neighbours = list(graph[var])
+        for i, left in enumerate(neighbours):
+            for right in neighbours[i + 1:]:
+                graph[left].add(right)
+                graph[right].add(left)
+        for other in neighbours:
+            graph[other].discard(var)
+        del graph[var]
+        order.append(var)
+    return order
+
+
+def ghd_by_search(
+    query: ConjunctiveQuery, max_width: int | None = None
+) -> HypertreeDecomposition:
+    """Best generalized hypertree decomposition found by order search.
+
+    Exhaustive over elimination orders for queries with at most
+    ``_EXHAUSTIVE_VARIABLE_LIMIT`` variables (guaranteeing a
+    minimum-width result *among elimination-order decompositions*),
+    min-fill heuristic beyond that.
+
+    Raises
+    ------
+    WidthExceededError
+        If ``max_width`` is given and no decomposition within it is found.
+    """
+    adjacency = primal_graph(query)
+    variables = sorted(adjacency, key=str)
+
+    best: HypertreeDecomposition | None = None
+    if len(variables) <= _EXHAUSTIVE_VARIABLE_LIMIT:
+        for order in permutations(variables):
+            candidate = _decomposition_from_order(
+                query, adjacency, list(order)
+            )
+            if candidate is None:
+                continue
+            if best is None or candidate.width < best.width:
+                best = candidate
+            if best.width == 1:
+                break
+    else:
+        best = _decomposition_from_order(
+            query, adjacency, _min_fill_order(adjacency)
+        )
+
+    if best is None:
+        raise DecompositionError(
+            f"could not construct any decomposition for {query}"
+        )
+    if max_width is not None and best.width > max_width:
+        raise WidthExceededError(
+            f"best decomposition found has width {best.width} > "
+            f"requested {max_width}"
+        )
+    return best
+
+
+def generalized_hypertree_width(query: ConjunctiveQuery) -> int:
+    """ghw upper bound: width of the best decomposition we can find.
+
+    Exact for acyclic queries (1) and for small queries where the
+    exhaustive order search applies and the optimum is achieved by some
+    elimination order (true for all benchmark families used here).
+    """
+    from repro.decomposition.join_tree import is_acyclic
+
+    if is_acyclic(query):
+        return 1
+    return ghd_by_search(query).width

@@ -1,0 +1,174 @@
+"""Structural transforms on hypertree decompositions.
+
+Two transforms the automaton construction needs before it can traverse a
+decomposition:
+
+- :func:`reroot` — the Proposition 1 bijection requires the *root* to be
+  a covering vertex (footnote 1 of the paper); when the builder returned
+  a decomposition rooted elsewhere, we re-hang the tree at a covering
+  vertex.  Conditions 1–3 and completeness are rooting-independent, so
+  the result remains a valid complete generalized hypertree
+  decomposition (only condition 4 can be lost, which the construction
+  does not use).
+
+- :func:`binarize` — a decomposition vertex with l children would induce
+  NFTA transitions enumerating *tuples* of l child states, i.e.
+  ``|D|^{O(l)}`` transitions.  Splitting every high-fanout vertex into a
+  chain of copies (same χ and ξ) caps the fanout at 2, keeping the
+  transition count polynomial as Proposition 1 claims.  Copies are
+  deeper than their originals, so they are never ≺-minimal covering
+  vertices and carry empty annotations in the construction.
+"""
+
+from __future__ import annotations
+
+from repro.decomposition.hypertree import (
+    HypertreeDecomposition,
+    HypertreeNode,
+)
+from repro.errors import DecompositionError
+
+__all__ = ["reroot", "binarize", "ensure_construction_ready"]
+
+
+def reroot(
+    decomposition: HypertreeDecomposition, new_root_id: int
+) -> HypertreeDecomposition:
+    """Re-hang the decomposition tree at ``new_root_id``.
+
+    Node ids are re-assigned in BFS order from the new root so that the
+    resulting object again satisfies the topological-id invariant.
+    """
+    old_nodes = decomposition.nodes
+    if not 0 <= new_root_id < len(old_nodes):
+        raise DecompositionError(f"no node {new_root_id} to re-root at")
+    if new_root_id == 0:
+        return decomposition
+
+    adjacency: dict[int, set[int]] = {n.node_id: set() for n in old_nodes}
+    for node in old_nodes[1:]:
+        parent = decomposition.parent_id(node.node_id)
+        adjacency[node.node_id].add(parent)
+        adjacency[parent].add(node.node_id)
+
+    order: list[int] = [new_root_id]
+    parent_of: dict[int, int] = {new_root_id: -1}
+    queue = [new_root_id]
+    while queue:
+        current = queue.pop(0)
+        for neighbour in sorted(adjacency[current]):
+            if neighbour not in parent_of:
+                parent_of[neighbour] = current
+                order.append(neighbour)
+                queue.append(neighbour)
+
+    new_id = {old: new for new, old in enumerate(order)}
+    nodes = [
+        HypertreeNode(
+            node_id=new,
+            chi=old_nodes[old].chi,
+            xi=old_nodes[old].xi,
+        )
+        for new, old in enumerate(order)
+    ]
+    parents = [
+        -1 if parent_of[old] == -1 else new_id[parent_of[old]]
+        for old in order
+    ]
+    return HypertreeDecomposition(decomposition.query, nodes, parents)
+
+
+def binarize(
+    decomposition: HypertreeDecomposition,
+) -> HypertreeDecomposition:
+    """Cap the fanout at 2 by chaining copies of high-fanout vertices.
+
+    A vertex p with children c1 … cl (l > 2) becomes::
+
+        p ── c1
+        └── p′ ── c2
+            └── p″ ── …
+
+    where every copy carries p's χ and ξ.  Width and validity are
+    preserved; copies sit deeper than the original, so the original
+    remains the ≺-minimal covering vertex for everything it covered.
+    """
+    if all(
+        len(decomposition.children_map[n.node_id]) <= 2
+        for n in decomposition.nodes
+    ):
+        return decomposition
+
+    # Build the new tree as (label-data, parent) records in BFS order.
+    records: list[tuple[frozenset, tuple, int]] = []  # (chi, xi, parent)
+
+    def add_record(chi, xi, parent: int) -> int:
+        records.append((chi, xi, parent))
+        return len(records) - 1
+
+    # BFS over original nodes; for each, emit it plus any copies, then
+    # queue its children with the proper new parent.
+    root = decomposition.root
+    queue: list[tuple[int, int]] = []  # (old node id, new parent id)
+    new_root = add_record(root.chi, root.xi, -1)
+    queue.append((root.node_id, new_root))
+    # map from old node id to its new id (for attaching children we
+    # handle inline below instead).
+    while queue:
+        old_id, new_id = queue.pop(0)
+        node = decomposition.nodes[old_id]
+        children = list(decomposition.children_map[old_id])
+        anchor = new_id
+        while len(children) > 2:
+            first = children.pop(0)
+            child_new = add_record(
+                decomposition.nodes[first].chi,
+                decomposition.nodes[first].xi,
+                anchor,
+            )
+            queue.append((first, child_new))
+            copy_new = add_record(node.chi, node.xi, anchor)
+            anchor = copy_new
+        for child in children:
+            child_new = add_record(
+                decomposition.nodes[child].chi,
+                decomposition.nodes[child].xi,
+                anchor,
+            )
+            queue.append((child, child_new))
+
+    nodes = [
+        HypertreeNode(node_id=i, chi=chi, xi=xi)
+        for i, (chi, xi, _parent) in enumerate(records)
+    ]
+    parents = [parent for _chi, _xi, parent in records]
+    return HypertreeDecomposition(decomposition.query, nodes, parents)
+
+
+def ensure_construction_ready(
+    decomposition: HypertreeDecomposition,
+) -> HypertreeDecomposition:
+    """Make a decomposition traversal-ready for Proposition 1.
+
+    Ensures (a) the root is a covering vertex for at least one atom —
+    re-rooting if necessary — and (b) the fanout is at most 2.
+    """
+    root_covers = any(
+        decomposition.root.covers(atom)
+        for atom in decomposition.query.atoms
+    )
+    if not root_covers:
+        candidate = next(
+            (
+                node.node_id
+                for node in decomposition.nodes
+                if any(node.covers(a) for a in decomposition.query.atoms)
+            ),
+            None,
+        )
+        if candidate is None:
+            raise DecompositionError(
+                "no covering vertex anywhere; decomposition is incomplete"
+            )
+        decomposition = reroot(decomposition, candidate)
+    return binarize(decomposition)

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class.  Sub-classes are grouped by the
+subsystem they originate from.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class QueryError(ReproError):
+    """A conjunctive query is malformed or violates a required property."""
+
+
+class ParseError(QueryError):
+    """A textual query could not be parsed."""
+
+
+class SelfJoinError(QueryError):
+    """An algorithm requiring self-join-freeness received a query with
+    repeated relation symbols."""
+
+
+class SchemaError(ReproError):
+    """A fact or relation is inconsistent with the declared schema."""
+
+
+class ProbabilityError(ReproError):
+    """A probability annotation is outside ``[0, 1]`` or not rational."""
+
+
+class DecompositionError(ReproError):
+    """A hypertree decomposition is invalid or could not be constructed."""
+
+
+class WidthExceededError(DecompositionError):
+    """No hypertree decomposition of the requested width exists (or was
+    found within the configured search limits)."""
+
+
+class AutomatonError(ReproError):
+    """An automaton is structurally malformed."""
+
+
+class EstimationError(ReproError):
+    """A randomized estimation procedure could not produce an estimate
+    satisfying its configured guarantees."""
+
+
+class LineageError(ReproError):
+    """Lineage construction failed or exceeded a configured size budget."""
+
+
+class LineageSizeBudgetExceeded(LineageError):
+    """The DNF lineage grew past the caller-supplied clause budget.
+
+    The partially-built clause count is stored in :attr:`clause_count` so
+    benchmarks can report how far construction got before aborting.
+    """
+
+    def __init__(self, budget: int, clause_count: int):
+        super().__init__(
+            f"lineage exceeded clause budget {budget} "
+            f"(at least {clause_count} clauses)"
+        )
+        self.budget = budget
+        self.clause_count = clause_count

@@ -1,0 +1,140 @@
+"""Serialisation: probabilistic databases and queries to/from files.
+
+Two on-disk formats are supported for probabilistic databases:
+
+- **CSV** (``relation,probability,constant1,...``) — the CLI's native
+  format, see :mod:`repro.cli`;
+- **JSON** — structured, round-trip safe, with probabilities stored as
+  exact ``"numerator/denominator"`` strings::
+
+      {
+        "facts": [
+          {"relation": "R", "constants": ["a", "b"], "probability": "1/2"},
+          ...
+        ]
+      }
+
+Constants are serialised as strings in both formats (the JSON loader
+returns them as strings; callers with typed constants should map them
+back themselves).  Queries serialise to/from their standard textual
+form via :func:`repro.queries.parser.parse_query` / ``str``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO
+
+from repro.db.fact import Fact
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.errors import ReproError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.parser import parse_query
+
+__all__ = [
+    "dump_pdb_json",
+    "load_pdb_json",
+    "dump_pdb_csv",
+    "load_pdb_csv",
+    "dump_query",
+    "load_query",
+    "save_pdb",
+    "load_pdb",
+]
+
+
+def dump_pdb_json(pdb: ProbabilisticDatabase, stream: TextIO) -> None:
+    """Write a probabilistic database as JSON (exact probabilities)."""
+    payload = {
+        "facts": [
+            {
+                "relation": fact.relation,
+                "constants": [str(c) for c in fact.constants],
+                "probability": str(pdb.probability(fact)),
+            }
+            for fact in pdb
+        ]
+    }
+    json.dump(payload, stream, indent=2, ensure_ascii=False)
+
+
+def load_pdb_json(stream: TextIO) -> ProbabilisticDatabase:
+    """Read a probabilistic database from JSON."""
+    try:
+        payload = json.load(stream)
+    except json.JSONDecodeError as failure:
+        raise ReproError(f"invalid JSON: {failure}") from failure
+    if not isinstance(payload, dict) or "facts" not in payload:
+        raise ReproError('JSON must be an object with a "facts" array')
+    labels: dict[Fact, str] = {}
+    for index, entry in enumerate(payload["facts"]):
+        try:
+            fact = Fact(
+                entry["relation"], tuple(entry["constants"])
+            )
+            probability = entry["probability"]
+        except (KeyError, TypeError) as failure:
+            raise ReproError(
+                f"facts[{index}] is malformed: {entry!r}"
+            ) from failure
+        if fact in labels:
+            raise ReproError(f"facts[{index}]: duplicate fact {fact}")
+        labels[fact] = probability
+    if not labels:
+        raise ReproError("no facts in JSON input")
+    return ProbabilisticDatabase(labels)
+
+
+def dump_pdb_csv(pdb: ProbabilisticDatabase, stream: TextIO) -> None:
+    """Write the CLI's CSV format (header + one fact per line)."""
+    stream.write("relation,probability,constants...\n")
+    for fact in pdb:
+        constants = ",".join(str(c) for c in fact.constants)
+        stream.write(
+            f"{fact.relation},{pdb.probability(fact)},{constants}\n"
+        )
+
+
+def load_pdb_csv(stream: TextIO) -> ProbabilisticDatabase:
+    """Read the CLI's CSV format (delegates to :mod:`repro.cli`)."""
+    from repro.cli import load_facts_csv
+
+    return load_facts_csv(stream)
+
+
+def dump_query(query: ConjunctiveQuery, stream: TextIO) -> None:
+    """Write a query in its standard textual form."""
+    stream.write(str(query) + "\n")
+
+
+def load_query(stream: TextIO) -> ConjunctiveQuery:
+    """Read a query from its textual form."""
+    return parse_query(stream.read())
+
+
+def save_pdb(pdb: ProbabilisticDatabase, path: str | Path) -> None:
+    """Save to a path; format chosen by extension (.json or .csv)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as stream:
+        if path.suffix == ".json":
+            dump_pdb_json(pdb, stream)
+        elif path.suffix == ".csv":
+            dump_pdb_csv(pdb, stream)
+        else:
+            raise ReproError(
+                f"unknown extension {path.suffix!r}; use .json or .csv"
+            )
+
+
+def load_pdb(path: str | Path) -> ProbabilisticDatabase:
+    """Load from a path; format chosen by extension (.json or .csv)."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as stream:
+        if path.suffix == ".json":
+            return load_pdb_json(stream)
+        if path.suffix == ".csv":
+            return load_pdb_csv(stream)
+        raise ReproError(
+            f"unknown extension {path.suffix!r}; use .json or .csv"
+        )

@@ -1,0 +1,21 @@
+"""Lineage-based (intensional) query evaluation: the baseline approach."""
+
+from repro.lineage.build import build_lineage, lineage_clause_count
+from repro.lineage.dnf import DNF, clause_probability
+from repro.lineage.exact_wmc import dnf_probability
+from repro.lineage.karp_luby import (
+    KarpLubyResult,
+    karp_luby_probability,
+    required_samples,
+)
+
+__all__ = [
+    "DNF",
+    "build_lineage",
+    "lineage_clause_count",
+    "clause_probability",
+    "dnf_probability",
+    "karp_luby_probability",
+    "KarpLubyResult",
+    "required_samples",
+]

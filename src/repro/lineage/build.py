@@ -1,0 +1,66 @@
+"""Lineage construction: from (query, database) to a DNF formula.
+
+This is the first half of the *intensional* approach the paper's
+introduction critiques: each homomorphism of the query into the database
+contributes one clause (its witness fact set).  The clause count is
+bounded below by the homomorphism count, which is Θ(|D|^|Q|) on the
+paper's path workloads — the ``budget`` parameter lets benchmarks abort
+construction once the blow-up has been demonstrated rather than filling
+memory.
+"""
+
+from __future__ import annotations
+
+from repro.db.instance import DatabaseInstance
+from repro.db.semantics import witness_sets
+from repro.errors import LineageSizeBudgetExceeded
+from repro.lineage.dnf import DNF
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = ["build_lineage", "lineage_clause_count"]
+
+
+def build_lineage(
+    query: ConjunctiveQuery,
+    instance: DatabaseInstance,
+    budget: int | None = None,
+    minimize: bool = False,
+) -> DNF:
+    """The DNF lineage of ``query`` over ``instance``.
+
+    Parameters
+    ----------
+    budget:
+        Maximum number of (distinct) clauses to accumulate; exceeding it
+        raises :class:`~repro.errors.LineageSizeBudgetExceeded` carrying
+        the count reached.
+    minimize:
+        Also remove absorbed clauses (supersets of smaller clauses).
+    """
+    clauses: set[frozenset] = set()
+    for witness in witness_sets(query, instance):
+        clauses.add(witness)
+        if budget is not None and len(clauses) > budget:
+            raise LineageSizeBudgetExceeded(budget, len(clauses))
+    formula = DNF(clauses)
+    if minimize:
+        formula = formula.minimized()
+    return formula
+
+
+def lineage_clause_count(
+    query: ConjunctiveQuery,
+    instance: DatabaseInstance,
+    budget: int | None = None,
+) -> int:
+    """Count distinct lineage clauses without storing the formula.
+
+    Streaming variant for the blow-up benchmarks; same budget semantics
+    as :func:`build_lineage`.
+    """
+    clauses: set[frozenset] = set()
+    for witness in witness_sets(query, instance):
+        clauses.add(witness)
+        if budget is not None and len(clauses) > budget:
+            raise LineageSizeBudgetExceeded(budget, len(clauses))
+    return len(clauses)

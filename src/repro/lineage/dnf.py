@@ -1,0 +1,102 @@
+"""Monotone DNF lineage formulas.
+
+The lineage of a Boolean conjunctive query Q over a database D is the
+monotone propositional DNF whose variables are the facts of D and whose
+clauses are the witness sets of Q on D: a subinstance satisfies Q iff it
+satisfies the lineage.  This is the object the *intensional* approach to
+PQE computes; its size is Θ(|D|^|Q|) for path queries, which is exactly
+the blow-up the paper's FPRAS avoids (see the L1 benchmark).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Iterator, Mapping
+
+from repro.db.fact import Fact
+from repro.errors import LineageError
+
+__all__ = ["DNF"]
+
+
+class DNF:
+    """A monotone DNF over fact variables.
+
+    Clauses are sets of facts (conjunctions); the formula is their
+    disjunction.  Absorbed clauses (supersets of another clause) may be
+    removed without changing the semantics via :meth:`minimized`.
+    """
+
+    __slots__ = ("_clauses",)
+
+    def __init__(self, clauses: Iterable[frozenset[Fact]]):
+        self._clauses = frozenset(frozenset(c) for c in clauses)
+        for clause in self._clauses:
+            if not clause:
+                # An empty clause makes the formula a tautology; the
+                # library never produces one (queries have >= 1 atom) and
+                # downstream algorithms assume non-trivial clauses.
+                raise LineageError("empty clause in DNF lineage")
+
+    @property
+    def clauses(self) -> frozenset[frozenset[Fact]]:
+        return self._clauses
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    @property
+    def variables(self) -> frozenset[Fact]:
+        out: set[Fact] = set()
+        for clause in self._clauses:
+            out |= clause
+        return frozenset(out)
+
+    @property
+    def size(self) -> int:
+        """Total literal occurrences — the formula's written size."""
+        return sum(len(c) for c in self._clauses)
+
+    def is_false(self) -> bool:
+        return not self._clauses
+
+    def evaluate(self, present: frozenset[Fact]) -> bool:
+        """Truth value under the assignment "facts in ``present`` hold"."""
+        return any(clause <= present for clause in self._clauses)
+
+    def minimized(self) -> "DNF":
+        """Remove absorbed clauses (supersets of other clauses)."""
+        ordered = sorted(self._clauses, key=len)
+        kept: list[frozenset[Fact]] = []
+        for clause in ordered:
+            if not any(other <= clause for other in kept):
+                kept.append(clause)
+        return DNF(kept)
+
+    def __iter__(self) -> Iterator[frozenset[Fact]]:
+        return iter(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DNF):
+            return NotImplemented
+        return self._clauses == other._clauses
+
+    def __hash__(self) -> int:
+        return hash(self._clauses)
+
+    def __repr__(self) -> str:
+        return f"DNF(clauses={len(self._clauses)}, size={self.size})"
+
+
+def clause_probability(
+    clause: frozenset[Fact], probabilities: Mapping[Fact, Fraction]
+) -> Fraction:
+    """Probability that all facts of a clause are present."""
+    result = Fraction(1)
+    for fact in clause:
+        result *= probabilities[fact]
+    return result

@@ -1,0 +1,130 @@
+"""Non-Boolean queries: per-answer probabilities.
+
+The paper treats Boolean CQs, but real workloads have free (head)
+variables: ``Q(x) :- R(x, y), S(y, z)`` asks, per constant ``a``, the
+probability that ``a`` participates in a match.  Each answer is a
+Boolean PQE instance, and we reduce it to the Boolean machinery without
+touching the constant-free atom representation:
+
+    To pin a head variable x to constant a, add a fresh unary atom
+    ``Eq_x(x)`` to the query and the single certain fact ``Eq_x(a)`` to
+    the database.
+
+The rewrite preserves self-join-freeness (fresh relation names) and
+hypertree width (a unary atom over an existing variable is always an
+ear), so every guarantee of the Boolean pipeline carries over — each
+answer costs one Boolean PQE call, and candidate answers are read off
+the query's homomorphisms into the full instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Mapping, Sequence
+
+from repro.db.fact import Fact
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.db.semantics import homomorphisms
+from repro.errors import QueryError
+from repro.queries.atoms import Atom, Variable
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = ["pin_variables", "candidate_answers", "answer_probabilities"]
+
+_EQ_PREFIX = "Eq_"
+
+
+def pin_variables(
+    query: ConjunctiveQuery,
+    pdb: ProbabilisticDatabase,
+    binding: Mapping[Variable, Hashable],
+) -> tuple[ConjunctiveQuery, ProbabilisticDatabase]:
+    """The Eq-relation rewrite: force each bound variable to its value.
+
+    Returns a Boolean query/database pair whose probability equals the
+    probability that the original query holds *with that binding*.
+    """
+    if not binding:
+        return query, pdb
+    unknown = set(binding) - set(query.variables)
+    if unknown:
+        raise QueryError(
+            f"binding mentions variables not in query: {sorted(map(str, unknown))}"
+        )
+    extra_atoms: list[Atom] = []
+    extra_facts: dict[Fact, int] = {}
+    for variable, value in sorted(binding.items()):
+        relation = f"{_EQ_PREFIX}{variable.name}"
+        if any(a.relation == relation for a in query.atoms):
+            raise QueryError(
+                f"relation name {relation!r} already used; cannot pin "
+                f"{variable}"
+            )
+        extra_atoms.append(Atom(relation, (variable,)))
+        extra_facts[Fact(relation, (value,))] = 1
+    pinned_query = ConjunctiveQuery((*query.atoms, *extra_atoms))
+    pinned_pdb = ProbabilisticDatabase(
+        {**pdb.probabilities, **extra_facts}
+    )
+    return pinned_query, pinned_pdb
+
+
+def candidate_answers(
+    query: ConjunctiveQuery,
+    pdb: ProbabilisticDatabase,
+    head: Sequence[Variable],
+) -> list[tuple[Hashable, ...]]:
+    """All head-tuples with non-zero probability, in sorted order.
+
+    A head tuple has positive probability iff it extends to a
+    homomorphism into the full instance D (the most-permissive world).
+    """
+    head = tuple(head)
+    missing = set(head) - set(query.variables)
+    if missing:
+        raise QueryError(
+            f"head variables not in query: {sorted(map(str, missing))}"
+        )
+    seen: set[tuple[Hashable, ...]] = set()
+    projected = pdb.project_to_query(query)
+    for hom in homomorphisms(query, projected.instance):
+        seen.add(tuple(hom[v] for v in head))
+    return sorted(seen, key=lambda t: tuple(map(str, t)))
+
+
+def answer_probabilities(
+    query: ConjunctiveQuery,
+    pdb: ProbabilisticDatabase,
+    head: Sequence[Variable],
+    evaluate: Callable[
+        [ConjunctiveQuery, ProbabilisticDatabase], float
+    ] | None = None,
+) -> dict[tuple[Hashable, ...], float]:
+    """Per-answer probabilities for a query with free head variables.
+
+    Parameters
+    ----------
+    evaluate:
+        Boolean PQE evaluator applied to each pinned instance; defaults
+        to the auto-routing :class:`~repro.core.estimator.PQEEngine`.
+        Pass e.g. ``lambda q, h: pqe_estimate(q, h, epsilon=0.1).estimate``
+        to force the paper's FPRAS.
+
+    Returns
+    -------
+    Mapping from each candidate head tuple to its probability.
+    """
+    if evaluate is None:
+        from repro.core.estimator import PQEEngine
+
+        engine = PQEEngine()
+
+        def evaluate(q, h):  # type: ignore[misc]
+            return engine.probability(q, h).value
+
+    head = tuple(head)
+    results: dict[tuple[Hashable, ...], float] = {}
+    for answer in candidate_answers(query, pdb, head):
+        binding = dict(zip(head, answer))
+        pinned_query, pinned_pdb = pin_variables(query, pdb, binding)
+        results[answer] = evaluate(pinned_query, pinned_pdb)
+    return results

@@ -1,0 +1,98 @@
+"""Variables and atoms of conjunctive queries.
+
+A conjunctive query (Section 2 of the paper) is a conjunction of *atoms*
+``R(x1, ..., xk)`` over a relational vocabulary, where each argument is a
+variable.  The paper restricts attention to constant-free Boolean
+conjunctive queries, so atom arguments here are always variables; the
+database side (:mod:`repro.db.fact`) carries the constants.
+
+Variables are interned by name: two ``Variable("x")`` objects compare and
+hash equal, so queries can be assembled from independently-created parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import QueryError
+
+__all__ = ["Variable", "Atom"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Variable:
+    """A query variable, identified by its name.
+
+    >>> Variable("x") == Variable("x")
+    True
+    >>> Variable("x") < Variable("y")
+    True
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A relational atom ``relation(args)`` appearing in a query.
+
+    Atoms are immutable and hashable; equality is structural.  The same
+    variable may appear more than once in ``args`` (e.g. ``R(x, x)``).
+
+    >>> a = Atom("R", (Variable("x"), Variable("y")))
+    >>> a.arity
+    2
+    >>> str(a)
+    'R(x, y)'
+    """
+
+    relation: str
+    args: tuple[Variable, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise QueryError("relation name must be non-empty")
+        if not all(isinstance(v, Variable) for v in self.args):
+            raise QueryError(
+                f"atom arguments must be Variables, got {self.args!r}"
+            )
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.args)
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        """The set ``vars(A)`` of variables occurring in this atom."""
+        return frozenset(self.args)
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self.args)
+
+    def __str__(self) -> str:
+        inner = ", ".join(v.name for v in self.args)
+        return f"{self.relation}({inner})"
+
+    def __repr__(self) -> str:
+        return f"Atom({self.relation!r}, {self.args!r})"
+
+
+def make_atom(relation: str, *names: str) -> Atom:
+    """Convenience constructor from bare variable names.
+
+    >>> str(make_atom("R", "x", "y"))
+    'R(x, y)'
+    """
+    return Atom(relation, tuple(Variable(n) for n in names))

@@ -1,0 +1,139 @@
+"""Builders for the query families used throughout the paper.
+
+The central example in the paper is the class ``3Path`` of self-join-free
+path queries of length at least three (Corollary 1)::
+
+    Q_i = R1(x1, x2), R2(x2, x3), ..., Ri(xi, x{i+1})
+
+Every query in the class is non-hierarchical, hence #P-hard in data
+complexity, yet acyclic (hypertree width 1) and therefore covered by the
+combined FPRAS.  We also provide stars (the canonical *hierarchical*, i.e.
+safe, family), chains over higher-arity relations, cycles (width 2), and a
+triangle query used by the width-2 benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.queries.atoms import Atom, Variable
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = [
+    "path_query",
+    "star_query",
+    "hierarchical_star_query",
+    "cycle_query",
+    "triangle_query",
+    "branching_tree_query",
+    "chain_query",
+]
+
+
+def _var(index: int, prefix: str = "x") -> Variable:
+    return Variable(f"{prefix}{index}")
+
+
+def path_query(length: int, relation_prefix: str = "R") -> ConjunctiveQuery:
+    """The self-join-free path query ``Q_length`` of the paper.
+
+    ``path_query(3)`` is ``R1(x1,x2), R2(x2,x3), R3(x3,x4)`` — the smallest
+    member of the #P-hard-but-approximable class ``3Path``.
+
+    >>> str(path_query(2))
+    'Q :- R1(x1, x2), R2(x2, x3)'
+    """
+    if length < 1:
+        raise QueryError("path query length must be >= 1")
+    atoms = [
+        Atom(f"{relation_prefix}{i}", (_var(i), _var(i + 1)))
+        for i in range(1, length + 1)
+    ]
+    return ConjunctiveQuery(atoms)
+
+
+def star_query(arms: int, relation_prefix: str = "R") -> ConjunctiveQuery:
+    """A star: ``R1(c, y1), R2(c, y2), ..., Rk(c, yk)``.
+
+    All atoms share the centre variable ``c`` and have a private leaf, so
+    the query is hierarchical (hence safe for SJF queries) and acyclic.
+    """
+    if arms < 1:
+        raise QueryError("star query needs at least one arm")
+    centre = Variable("c")
+    atoms = [
+        Atom(f"{relation_prefix}{i}", (centre, _var(i, "y")))
+        for i in range(1, arms + 1)
+    ]
+    return ConjunctiveQuery(atoms)
+
+
+def hierarchical_star_query(arms: int) -> ConjunctiveQuery:
+    """A star with an extra unary root atom ``U(c)``: still hierarchical.
+
+    ``U(c), R1(c, y1), ..., Rk(c, yk)`` — the textbook example of a safe
+    self-join-free query whose probability factorises over the centre.
+    """
+    star = star_query(arms)
+    root = Atom("U", (Variable("c"),))
+    return ConjunctiveQuery((root, *star.atoms))
+
+
+def cycle_query(length: int, relation_prefix: str = "R") -> ConjunctiveQuery:
+    """A cycle ``R1(x1,x2), ..., Rk(xk,x1)``; hypertree width 2 for k >= 3."""
+    if length < 2:
+        raise QueryError("cycle query length must be >= 2")
+    atoms = []
+    for i in range(1, length + 1):
+        nxt = _var(1) if i == length else _var(i + 1)
+        atoms.append(Atom(f"{relation_prefix}{i}", (_var(i), nxt)))
+    return ConjunctiveQuery(atoms)
+
+
+def triangle_query() -> ConjunctiveQuery:
+    """The triangle ``R1(x,y), R2(y,z), R3(z,x)``: the smallest width-2 CQ."""
+    return cycle_query(3)
+
+
+def branching_tree_query(depth: int, fanout: int = 2) -> ConjunctiveQuery:
+    """A complete rooted tree of binary atoms, one relation per edge.
+
+    Each edge of a complete ``fanout``-ary tree of the given depth becomes
+    a binary atom ``E_j(parent, child)`` with a fresh relation name, so the
+    query is self-join-free and acyclic.  ``depth`` counts edge levels:
+    ``depth=1`` gives ``fanout`` atoms from the root.
+    """
+    if depth < 1 or fanout < 1:
+        raise QueryError("tree query needs depth >= 1 and fanout >= 1")
+    atoms: list[Atom] = []
+    counter = 0
+    frontier = [Variable("v0")]
+    next_id = 1
+    for _level in range(depth):
+        new_frontier: list[Variable] = []
+        for parent in frontier:
+            for _child in range(fanout):
+                child = Variable(f"v{next_id}")
+                next_id += 1
+                counter += 1
+                atoms.append(Atom(f"E{counter}", (parent, child)))
+                new_frontier.append(child)
+        frontier = new_frontier
+    return ConjunctiveQuery(atoms)
+
+
+def chain_query(length: int, arity: int = 3) -> ConjunctiveQuery:
+    """A chain of ``arity``-ary atoms overlapping in ``arity - 1`` variables.
+
+    ``chain_query(2, 3)`` is ``R1(x1,x2,x3), R2(x2,x3,x4)``.  Acyclic for
+    every arity, and exercises the decomposition machinery with non-binary
+    relations.
+    """
+    if length < 1:
+        raise QueryError("chain query length must be >= 1")
+    if arity < 2:
+        raise QueryError("chain query arity must be >= 2")
+    atoms = []
+    for i in range(1, length + 1):
+        args = tuple(_var(j) for j in range(i, i + arity))
+        atoms.append(Atom(f"R{i}", args))
+    return ConjunctiveQuery(atoms)

@@ -1,0 +1,89 @@
+"""Conjunctive-query containment and minimization (Chandra–Merlin).
+
+The paper's "Key Ideas" section traces its approach to Kolaitis and
+Vardi's bridge between conjunctive-query containment and constraint
+satisfaction; this module supplies that classical substrate:
+
+- ``Q1 ⊑ Q2`` (every database satisfying Q1 satisfies Q2) holds iff
+  there is a homomorphism from Q2 into the *canonical database* of Q1 —
+  the instance whose constants are Q1's variables (frozen);
+- the *core* of a query is its unique (up to isomorphism) minimal
+  equivalent subquery, computed by repeatedly removing atoms whose
+  deletion preserves equivalence.
+
+Containment is NP-complete in general (this is the combined-complexity
+lower bound the paper's introduction cites via [7]); the implementation
+is the standard backtracking check, fine at library query sizes.
+"""
+
+from __future__ import annotations
+
+from repro.db.fact import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.semantics import satisfies
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = [
+    "canonical_database",
+    "is_contained_in",
+    "are_equivalent",
+    "core",
+    "is_minimal",
+]
+
+
+def canonical_database(query: ConjunctiveQuery) -> DatabaseInstance:
+    """Freeze the query's variables into constants.
+
+    Each atom ``R(x, y)`` becomes the fact ``R("x", "y")`` (variables
+    serve as their own constants).
+    """
+    return DatabaseInstance(
+        Fact(atom.relation, tuple(v.name for v in atom.args))
+        for atom in query.atoms
+    )
+
+
+def is_contained_in(
+    inner: ConjunctiveQuery, outer: ConjunctiveQuery
+) -> bool:
+    """Decide ``inner ⊑ outer``: every D with D |= inner has D |= outer.
+
+    Chandra–Merlin: equivalent to ``canonical_db(inner) |= outer``.
+    """
+    return satisfies(canonical_database(inner), outer)
+
+
+def are_equivalent(
+    left: ConjunctiveQuery, right: ConjunctiveQuery
+) -> bool:
+    """Logical equivalence: mutual containment."""
+    return is_contained_in(left, right) and is_contained_in(right, left)
+
+
+def core(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The core: a minimal subquery equivalent to ``query``.
+
+    Greedy atom removal; since cores are unique up to isomorphism, any
+    removal order yields an equivalent minimal query.  Self-join-free
+    queries are always their own core (no atom can fold onto another),
+    so this matters for the self-join workloads the lineage methods
+    serve.
+    """
+    atoms = list(query.atoms)
+    changed = True
+    while changed and len(atoms) > 1:
+        changed = False
+        for index in range(len(atoms)):
+            candidate_atoms = atoms[:index] + atoms[index + 1:]
+            candidate = ConjunctiveQuery(candidate_atoms)
+            if are_equivalent(candidate, query):
+                atoms = candidate_atoms
+                changed = True
+                break
+    return ConjunctiveQuery(atoms)
+
+
+def is_minimal(query: ConjunctiveQuery) -> bool:
+    """Is the query its own core?"""
+    return len(core(query)) == len(query)

@@ -1,0 +1,120 @@
+"""Boolean conjunctive queries.
+
+A :class:`ConjunctiveQuery` is an ordered conjunction of atoms.  The order
+of atoms is preserved (it provides the canonical atom order ``≺_atoms``
+used by the Proposition 1 construction) but equality is order-insensitive:
+two queries with the same *set* of atoms are equal, matching the logical
+semantics.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Iterator
+
+from repro.errors import QueryError
+from repro.queries.atoms import Atom, Variable
+
+__all__ = ["ConjunctiveQuery"]
+
+
+class ConjunctiveQuery:
+    """A Boolean conjunctive query ``Q = R1(x̄1), ..., Rn(x̄n)``.
+
+    Parameters
+    ----------
+    atoms:
+        The atoms of the query, in presentation order.  Duplicate atoms
+        (identical relation *and* argument tuple) are rejected: they are
+        logically redundant and would break the bijections used by the
+        automaton constructions.
+
+    >>> from repro.queries.atoms import make_atom
+    >>> q = ConjunctiveQuery([make_atom("R", "x", "y"), make_atom("S", "y", "z")])
+    >>> len(q)
+    2
+    >>> q.is_self_join_free
+    True
+    """
+
+    __slots__ = ("_atoms", "__dict__")
+
+    def __init__(self, atoms: Iterable[Atom]):
+        atom_tuple = tuple(atoms)
+        if not atom_tuple:
+            raise QueryError("a conjunctive query must contain at least one atom")
+        if len(set(atom_tuple)) != len(atom_tuple):
+            raise QueryError("duplicate atoms are not allowed in a query")
+        self._atoms = atom_tuple
+
+    @property
+    def atoms(self) -> tuple[Atom, ...]:
+        """The atoms of the query, in presentation order (``≺_atoms``)."""
+        return self._atoms
+
+    @cached_property
+    def variables(self) -> frozenset[Variable]:
+        """The set ``vars(Q)`` of variables occurring in the query."""
+        out: set[Variable] = set()
+        for atom in self._atoms:
+            out.update(atom.args)
+        return frozenset(out)
+
+    @cached_property
+    def relation_names(self) -> tuple[str, ...]:
+        """Relation names in first-occurrence order (may repeat for
+        queries with self-joins)."""
+        return tuple(a.relation for a in self._atoms)
+
+    @cached_property
+    def is_self_join_free(self) -> bool:
+        """``True`` iff no relation name occurs in two distinct atoms."""
+        names = self.relation_names
+        return len(set(names)) == len(names)
+
+    def atom_for_relation(self, relation: str) -> Atom:
+        """Return the unique atom over ``relation``.
+
+        Raises
+        ------
+        QueryError
+            If the relation does not occur, or occurs more than once
+            (i.e. the query has a self-join on it).
+        """
+        matches = [a for a in self._atoms if a.relation == relation]
+        if not matches:
+            raise QueryError(f"relation {relation!r} does not occur in query")
+        if len(matches) > 1:
+            raise QueryError(
+                f"relation {relation!r} occurs {len(matches)} times; "
+                "atom_for_relation requires self-join-freeness on it"
+            )
+        return matches[0]
+
+    def atoms_with_variable(self, var: Variable) -> tuple[Atom, ...]:
+        """All atoms in which ``var`` occurs (used by the hierarchy test)."""
+        return tuple(a for a in self._atoms if var in a.variables)
+
+    def __len__(self) -> int:
+        """The query length |Q|: its number of atoms."""
+        return len(self._atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __contains__(self, atom: object) -> bool:
+        return atom in self._atoms
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return frozenset(self._atoms) == frozenset(other._atoms)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._atoms))
+
+    def __str__(self) -> str:
+        return "Q :- " + ", ".join(str(a) for a in self._atoms)
+
+    def __repr__(self) -> str:
+        return f"ConjunctiveQuery({list(self._atoms)!r})"

@@ -1,0 +1,205 @@
+"""Exact lifted inference for safe (hierarchical) self-join-free CQs.
+
+Dalvi and Suciu's dichotomy says a self-join-free Boolean conjunctive
+query is computable in polynomial time (data complexity) iff it is
+*hierarchical*; the witnessing algorithm is the classic safe plan built
+from two lifted rules:
+
+- **independent join**: variable-disjoint sub-queries are independent,
+  so their probabilities multiply;
+- **independent project**: a *root variable* x occurring in every atom
+  of a connected query ranges over the active domain independently, so
+  ``Pr[∃x φ(x)] = 1 − Π_a (1 − Pr[φ(a)])``.
+
+A connected hierarchical query always has a root variable, and
+substituting a constant preserves hierarchy, so the recursion always
+bottoms out at ground atoms — whose probability is just their label.
+
+This module supplies the exact-FP entries of Table 1 (the "Safe?" = ✓
+rows) and serves as another independent ground-truth oracle for safe
+queries of any size.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable
+
+from repro.db.fact import Fact
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.errors import QueryError, SelfJoinError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.properties import is_hierarchical
+
+__all__ = ["safe_plan_probability"]
+
+# Internal term representation: ("var", name) or ("const", value).
+_Term = tuple[str, Hashable]
+_GroundableAtom = tuple[str, tuple[_Term, ...]]
+
+
+def safe_plan_probability(
+    query: ConjunctiveQuery, pdb: ProbabilisticDatabase
+) -> Fraction:
+    """``Pr_H(Q)`` exactly, in time polynomial in |H| for fixed Q.
+
+    Raises
+    ------
+    SelfJoinError
+        If the query repeats a relation symbol.
+    QueryError
+        If the query is not hierarchical (i.e. unsafe; use the FPRAS or
+        the lineage evaluators instead).
+    """
+    if not query.is_self_join_free:
+        raise SelfJoinError(f"safe plans require self-join-freeness: {query}")
+    if not is_hierarchical(query):
+        raise QueryError(
+            f"query is not hierarchical, hence unsafe (#P-hard exactly): "
+            f"{query}"
+        )
+    projected = pdb.project_to_query(query)
+    probabilities = projected.probabilities
+    facts_by_relation = {
+        relation: projected.instance.facts_for_relation(relation)
+        for relation in query.relation_names
+    }
+    atoms: list[_GroundableAtom] = [
+        (atom.relation, tuple(("var", v.name) for v in atom.args))
+        for atom in query.atoms
+    ]
+    return _evaluate(atoms, facts_by_relation, probabilities)
+
+
+def _evaluate(
+    atoms: list[_GroundableAtom],
+    facts_by_relation: dict[str, tuple[Fact, ...]],
+    probabilities: dict[Fact, Fraction],
+) -> Fraction:
+    if not atoms:
+        return Fraction(1)
+
+    components = _connected_components(atoms)
+    if len(components) > 1:
+        # Independent join: SJF + variable-disjointness ⇒ independence.
+        result = Fraction(1)
+        for component in components:
+            result *= _evaluate(
+                component, facts_by_relation, probabilities
+            )
+        return result
+
+    component = components[0]
+    variables = _variables_of(component)
+    if not variables:
+        # A single ground atom (multi-atom components always share
+        # variables, and ground atoms share none).
+        assert len(component) == 1
+        relation, terms = component[0]
+        fact = Fact(relation, tuple(value for _kind, value in terms))
+        return probabilities.get(fact, Fraction(0))
+
+    root = _root_variable(component, variables)
+    if root is None:
+        raise QueryError(
+            "no root variable in a connected residual query; the input "
+            "was not hierarchical"
+        )
+
+    domain = _root_domain(component, root, facts_by_relation)
+    # Independent project over the root variable.
+    none_holds = Fraction(1)
+    for value in sorted(domain, key=str):
+        grounded = [
+            _substitute(atom, root, value) for atom in component
+        ]
+        none_holds *= 1 - _evaluate(
+            grounded, facts_by_relation, probabilities
+        )
+    return 1 - none_holds
+
+
+def _variables_of(atoms: list[_GroundableAtom]) -> set[str]:
+    out: set[str] = set()
+    for _relation, terms in atoms:
+        for kind, value in terms:
+            if kind == "var":
+                out.add(value)
+    return out
+
+
+def _connected_components(
+    atoms: list[_GroundableAtom],
+) -> list[list[_GroundableAtom]]:
+    remaining = list(atoms)
+    components: list[list[_GroundableAtom]] = []
+    while remaining:
+        seed = remaining.pop()
+        group = [seed]
+        group_vars = _variables_of([seed])
+        changed = True
+        while changed:
+            changed = False
+            still: list[_GroundableAtom] = []
+            for atom in remaining:
+                if _variables_of([atom]) & group_vars:
+                    group.append(atom)
+                    group_vars |= _variables_of([atom])
+                    changed = True
+                else:
+                    still.append(atom)
+            remaining = still
+        components.append(group)
+    return components
+
+
+def _root_variable(
+    atoms: list[_GroundableAtom], variables: set[str]
+) -> str | None:
+    """A variable occurring in every atom of the component, if any."""
+    candidates = set(variables)
+    for atom in atoms:
+        candidates &= _variables_of([atom])
+        if not candidates:
+            return None
+    return min(candidates)
+
+
+def _root_domain(
+    atoms: list[_GroundableAtom],
+    root: str,
+    facts_by_relation: dict[str, tuple[Fact, ...]],
+) -> set[Hashable]:
+    """Constants the root variable can take: values seen at its
+    positions in any member atom's relation (consistent with already-
+    ground positions)."""
+    domain: set[Hashable] = set()
+    for relation, terms in atoms:
+        positions = [
+            i for i, (kind, value) in enumerate(terms)
+            if kind == "var" and value == root
+        ]
+        if not positions:
+            continue
+        for fact in facts_by_relation.get(relation, ()):
+            consistent = all(
+                kind != "const" or fact.constants[i] == value
+                for i, (kind, value) in enumerate(terms)
+            )
+            if consistent:
+                domain.update(fact.constants[i] for i in positions)
+    return domain
+
+
+def _substitute(
+    atom: _GroundableAtom, variable: str, value: Hashable
+) -> _GroundableAtom:
+    relation, terms = atom
+    return (
+        relation,
+        tuple(
+            ("const", value) if kind == "var" and name == variable
+            else (kind, name)
+            for kind, name in terms
+        ),
+    )

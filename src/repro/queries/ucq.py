@@ -1,0 +1,145 @@
+"""Unions of conjunctive queries (UCQs).
+
+The Dalvi–Suciu dichotomy that frames the paper's Table 1 is stated for
+UCQs; this module extends the library's *evaluation* surface to them.
+A UCQ ``Q = Q1 ∨ … ∨ Qm`` holds on a world iff some disjunct does, so:
+
+- lineage(Q) is the union of the disjuncts' lineages — the exact WMC
+  and Karp–Luby evaluators apply unchanged;
+- brute-force enumeration applies unchanged;
+- the paper's combined FPRAS is defined for single self-join-free CQs;
+  extending it to UCQs is open (the disjuncts' automata would need a
+  *disjoint* union of tree languages over a shared fact alphabet, which
+  the size-fixed bijection does not directly provide).  The evaluator
+  therefore routes UCQs through the intensional methods.
+
+Redundant disjuncts (contained in another) can be removed without
+changing semantics via :meth:`UnionQuery.minimized`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Iterator
+
+from repro.db.instance import DatabaseInstance
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.db.semantics import satisfies, witness_sets
+from repro.errors import QueryError
+from repro.lineage.dnf import DNF
+from repro.lineage.exact_wmc import dnf_probability
+from repro.lineage.karp_luby import KarpLubyResult, karp_luby_probability
+from repro.queries.containment import is_contained_in
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = ["UnionQuery", "ucq_probability", "ucq_probability_karp_luby"]
+
+
+class UnionQuery:
+    """A union (disjunction) of Boolean conjunctive queries."""
+
+    __slots__ = ("_disjuncts",)
+
+    def __init__(self, disjuncts: Iterable[ConjunctiveQuery]):
+        queries = tuple(disjuncts)
+        if not queries:
+            raise QueryError("a UCQ needs at least one disjunct")
+        self._disjuncts = queries
+
+    @property
+    def disjuncts(self) -> tuple[ConjunctiveQuery, ...]:
+        return self._disjuncts
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        out: set[str] = set()
+        for query in self._disjuncts:
+            out.update(query.relation_names)
+        return frozenset(out)
+
+    def satisfied_by(self, instance: DatabaseInstance) -> bool:
+        return any(satisfies(instance, q) for q in self._disjuncts)
+
+    def minimized(self) -> "UnionQuery":
+        """Drop disjuncts contained in another disjunct.
+
+        A disjunct Q ⊑ Q' is absorbed by Q' (Q' already covers all of
+        Q's models); the result is an antichain under containment.
+        """
+        kept: list[ConjunctiveQuery] = []
+        for query in self._disjuncts:
+            if any(is_contained_in(query, other) for other in kept):
+                continue
+            kept = [
+                other for other in kept
+                if not is_contained_in(other, query)
+            ]
+            kept.append(query)
+        return UnionQuery(kept)
+
+    def lineage(self, instance: DatabaseInstance) -> DNF:
+        """The union DNF over all disjuncts' witness sets."""
+        clauses: set[frozenset] = set()
+        for query in self._disjuncts:
+            clauses.update(witness_sets(query, instance))
+        return DNF(clauses)
+
+    def __len__(self) -> int:
+        return len(self._disjuncts)
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self._disjuncts)
+
+    def __str__(self) -> str:
+        return " ∨ ".join(f"({q})" for q in self._disjuncts)
+
+    def __repr__(self) -> str:
+        return f"UnionQuery({list(self._disjuncts)!r})"
+
+
+def _project(
+    pdb: ProbabilisticDatabase, ucq: UnionQuery
+) -> ProbabilisticDatabase:
+    """Drop facts over relations no disjunct mentions (marginalise)."""
+    wanted = set(ucq.relation_names)
+    return ProbabilisticDatabase(
+        {
+            fact: probability
+            for fact, probability in pdb.probabilities.items()
+            if fact.relation in wanted
+        }
+    )
+
+
+def ucq_probability(
+    ucq: UnionQuery, pdb: ProbabilisticDatabase
+) -> Fraction:
+    """Exact ``Pr_H(Q1 ∨ … ∨ Qm)`` via union-lineage WMC."""
+    projected = _project(pdb, ucq)
+    formula = ucq.lineage(projected.instance)
+    return dnf_probability(formula, projected.probabilities)
+
+
+def ucq_probability_karp_luby(
+    ucq: UnionQuery,
+    pdb: ProbabilisticDatabase,
+    epsilon: float = 0.25,
+    delta: float = 0.1,
+    seed: int | None = None,
+    samples: int | None = None,
+) -> KarpLubyResult:
+    """FPRAS for UCQ probability via Karp–Luby on the union lineage.
+
+    Polynomial in the lineage size (not in combined complexity — that
+    remains open for UCQs, per the paper's Table 1 bottom row).
+    """
+    projected = _project(pdb, ucq)
+    formula = ucq.lineage(projected.instance)
+    return karp_luby_probability(
+        formula,
+        projected.probabilities,
+        epsilon=epsilon,
+        delta=delta,
+        seed=seed,
+        samples=samples,
+    )

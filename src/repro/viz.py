@@ -1,0 +1,97 @@
+"""Graphviz/DOT rendering for decompositions and automata.
+
+Pure-text DOT emitters (no graphviz dependency): feed the output to
+``dot -Tpng`` or any online renderer to inspect what a construction
+built.  Intended for debugging and documentation; the strings are
+stable given stable inputs, so tests can assert on structure.
+"""
+
+from __future__ import annotations
+
+from repro.automata.nfa import NFA
+from repro.automata.nfta import LAMBDA, NFTA
+from repro.decomposition.hypertree import HypertreeDecomposition
+
+__all__ = ["decomposition_to_dot", "nfa_to_dot", "nfta_to_dot"]
+
+
+def _escape(text: object) -> str:
+    return str(text).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def decomposition_to_dot(
+    decomposition: HypertreeDecomposition, name: str = "decomposition"
+) -> str:
+    """DOT for a hypertree decomposition: one box per vertex with its
+    χ (variables) and ξ (atoms) labels."""
+    lines = [f"digraph {name} {{", "  node [shape=box];"]
+    for node in decomposition.nodes:
+        chi = ", ".join(sorted(v.name for v in node.chi))
+        xi = ", ".join(str(a) for a in node.xi)
+        label = _escape(f"χ: {{{chi}}}\\nξ: {{{xi}}}")
+        lines.append(f'  n{node.node_id} [label="{label}"];')
+    for node in decomposition.nodes[1:]:
+        parent = decomposition.parent_id(node.node_id)
+        lines.append(f"  n{parent} -> n{node.node_id};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def nfa_to_dot(nfa: NFA, name: str = "nfa") -> str:
+    """DOT for an NFA: doublecircles for accepting states, an arrow
+    from a synthetic start point into each initial state."""
+    ids = {state: f"q{i}" for i, state in enumerate(sorted(nfa.states, key=str))}
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for state, identifier in ids.items():
+        shape = "doublecircle" if state in nfa.accepting else "circle"
+        lines.append(
+            f'  {identifier} [shape={shape} label="{_escape(state)}"];'
+        )
+    for index, state in enumerate(sorted(nfa.initial, key=str)):
+        lines.append(f"  start{index} [shape=point];")
+        lines.append(f"  start{index} -> {ids[state]};")
+    for source, symbol, target in sorted(
+        nfa.transitions(), key=lambda t: (str(t[0]), str(t[1]), str(t[2]))
+    ):
+        lines.append(
+            f'  {ids[source]} -> {ids[target]} '
+            f'[label="{_escape(symbol)}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def nfta_to_dot(nfta: NFTA, name: str = "nfta") -> str:
+    """DOT for a top-down NFTA.
+
+    Each transition becomes a small square "hyper-edge" node labelled
+    with its symbol, connected from the source state and to each child
+    state in order (edge labels 1..k give the child positions).
+    λ-transitions are labelled "λ".
+    """
+    ids = {
+        state: f"q{i}"
+        for i, state in enumerate(sorted(nfta.states, key=str))
+    }
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    for state, identifier in ids.items():
+        peripheries = 2 if state == nfta.initial else 1
+        lines.append(
+            f'  {identifier} [shape=ellipse peripheries={peripheries} '
+            f'label="{_escape(state)}"];'
+        )
+    for index, (source, symbol, children) in enumerate(
+        sorted(
+            nfta.transitions,
+            key=lambda t: (str(t[0]), str(t[1]), str(t[2])),
+        )
+    ):
+        label = "λ" if symbol is LAMBDA else _escape(symbol)
+        lines.append(f'  t{index} [shape=box label="{label}"];')
+        lines.append(f"  {ids[source]} -> t{index};")
+        for position, child in enumerate(children, start=1):
+            lines.append(
+                f'  t{index} -> {ids[child]} [label="{position}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)

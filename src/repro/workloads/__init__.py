@@ -1,0 +1,24 @@
+"""Workload generators for benchmarks, tests, and examples."""
+
+from repro.workloads.graphs import (
+    complete_layered_path_instance,
+    layered_path_instance,
+    random_binary_instance,
+)
+from repro.workloads.instances import (
+    random_instance_for_query,
+    random_probabilities,
+    uniform_half,
+)
+from repro.workloads.warehouse import warehouse_instance, warehouse_query
+
+__all__ = [
+    "warehouse_instance",
+    "warehouse_query",
+    "layered_path_instance",
+    "complete_layered_path_instance",
+    "random_binary_instance",
+    "random_instance_for_query",
+    "random_probabilities",
+    "uniform_half",
+]

@@ -1,0 +1,100 @@
+"""Graph-shaped workload generators.
+
+The paper's motivating class ``3Path`` lives on *labelled graphs*
+(databases of binary facts).  The layered generator here produces the
+natural worst case for lineage size: ``length`` relations between
+consecutive vertex layers, so the number of query homomorphisms — hence
+lineage clauses — multiplies through the layers, while |D| grows only
+linearly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.db.fact import Fact
+from repro.db.instance import DatabaseInstance
+from repro.errors import ReproError
+
+__all__ = [
+    "layered_path_instance",
+    "complete_layered_path_instance",
+    "random_binary_instance",
+]
+
+
+def layered_path_instance(
+    length: int,
+    layer_width: int,
+    edge_probability: float = 0.7,
+    seed: int | None = None,
+    relation_prefix: str = "R",
+) -> DatabaseInstance:
+    """A random layered instance for ``path_query(length)``.
+
+    Vertices are arranged in ``length + 1`` layers of ``layer_width``;
+    each potential edge between consecutive layers (labelled with that
+    position's relation) is included independently with
+    ``edge_probability``.  At least one complete root-to-end path is
+    forced so the instance always satisfies the query.
+    """
+    if length < 1 or layer_width < 1:
+        raise ReproError("length and layer_width must be >= 1")
+    if not 0 <= edge_probability <= 1:
+        raise ReproError("edge_probability must be in [0, 1]")
+    rng = random.Random(seed)
+    facts: set[Fact] = set()
+    for i in range(1, length + 1):
+        relation = f"{relation_prefix}{i}"
+        for a in range(layer_width):
+            for b in range(layer_width):
+                if rng.random() < edge_probability:
+                    facts.add(
+                        Fact(relation, (f"v{i}_{a}", f"v{i + 1}_{b}"))
+                    )
+        # Force one witness edge per layer along the diagonal.
+        facts.add(Fact(relation, (f"v{i}_0", f"v{i + 1}_0")))
+    return DatabaseInstance(facts)
+
+
+def complete_layered_path_instance(
+    length: int,
+    layer_width: int,
+    relation_prefix: str = "R",
+) -> DatabaseInstance:
+    """The fully-connected layered instance: ``layer_width²`` facts per
+    relation and ``layer_width^{length+1}`` homomorphisms — the textbook
+    lineage blow-up (Θ(|D|^|Q|) clauses)."""
+    return layered_path_instance(
+        length,
+        layer_width,
+        edge_probability=1.0,
+        seed=0,
+        relation_prefix=relation_prefix,
+    )
+
+
+def random_binary_instance(
+    relations: int,
+    vertices: int,
+    edges_per_relation: int,
+    seed: int | None = None,
+    relation_prefix: str = "R",
+) -> DatabaseInstance:
+    """An Erdős–Rényi-style labelled graph: for each of ``relations``
+    relation names, ``edges_per_relation`` distinct edges drawn uniformly
+    over ``vertices × vertices``."""
+    if edges_per_relation > vertices * vertices:
+        raise ReproError("more edges requested than vertex pairs exist")
+    rng = random.Random(seed)
+    names = [f"v{i}" for i in range(vertices)]
+    facts: set[Fact] = set()
+    for r in range(1, relations + 1):
+        relation = f"{relation_prefix}{r}"
+        chosen: set[tuple[str, str]] = set()
+        while len(chosen) < edges_per_relation:
+            pair = (rng.choice(names), rng.choice(names))
+            chosen.add(pair)
+        for a, b in chosen:
+            facts.add(Fact(relation, (a, b)))
+    return DatabaseInstance(facts)

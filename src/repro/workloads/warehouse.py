@@ -1,0 +1,85 @@
+"""A star-join (warehouse) workload: fact table plus dimensions.
+
+A classic analytics schema::
+
+    Sales(order, customer, product)          -- the fact table
+    Customer(customer, region)               -- dimension
+    Product(product, category)               -- dimension
+
+with the natural "does any fully-resolved sale exist" query
+
+    Q :- Sales(o, c, p), Customer(c, r), Product(p, g)
+
+This query is **acyclic but non-hierarchical** (the variables c and p
+share only the Sales atom), i.e. it lands exactly in the paper's new
+Table 1 cell: unsafe — #P-hard to evaluate exactly — yet self-join-free
+and of hypertree width 1, so the combined FPRAS applies.  Uncertainty
+models dirty warehouse data: unresolved entity links and low-confidence
+dimension rows.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.db.fact import Fact
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.errors import ReproError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.parser import parse_query
+
+__all__ = ["warehouse_query", "warehouse_instance"]
+
+
+def warehouse_query() -> ConjunctiveQuery:
+    """The star-join query; acyclic, self-join-free, non-hierarchical."""
+    return parse_query(
+        "Q :- Sales(o, c, p), Customer(c, r), Product(p, g)"
+    )
+
+
+def warehouse_instance(
+    customers: int = 4,
+    products: int = 4,
+    sales: int = 6,
+    regions: int = 2,
+    categories: int = 2,
+    link_confidence: tuple[str, ...] = ("9/10", "3/4", "1/2", "1/4"),
+    seed: int | None = None,
+) -> ProbabilisticDatabase:
+    """A random probabilistic warehouse.
+
+    Every sale row and dimension row gets an independent confidence
+    drawn from ``link_confidence`` — modelling probabilistic entity
+    resolution on the foreign keys and noisy dimension data.
+    """
+    if min(customers, products, sales, regions, categories) < 1:
+        raise ReproError("all cardinalities must be >= 1")
+    rng = random.Random(seed)
+    labels: dict[Fact, Fraction] = {}
+
+    customer_names = [f"cust{i}" for i in range(customers)]
+    product_names = [f"prod{i}" for i in range(products)]
+
+    for order in range(sales):
+        fact = Fact(
+            "Sales",
+            (
+                f"order{order}",
+                rng.choice(customer_names),
+                rng.choice(product_names),
+            ),
+        )
+        labels[fact] = Fraction(rng.choice(link_confidence))
+    for customer in customer_names:
+        fact = Fact(
+            "Customer", (customer, f"region{rng.randrange(regions)}")
+        )
+        labels[fact] = Fraction(rng.choice(link_confidence))
+    for product in product_names:
+        fact = Fact(
+            "Product", (product, f"cat{rng.randrange(categories)}")
+        )
+        labels[fact] = Fraction(rng.choice(link_confidence))
+    return ProbabilisticDatabase(labels)

@@ -1,0 +1,46 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import DatabaseInstance, Fact, ProbabilisticDatabase
+from repro.queries import parse_query, path_query
+
+
+@pytest.fixture
+def tiny_path_instance() -> DatabaseInstance:
+    """A 5-fact instance for Q2 = R1(x,y), R2(y,z) with two full paths."""
+    return DatabaseInstance(
+        [
+            Fact("R1", ("a", "b")),
+            Fact("R1", ("a", "c")),
+            Fact("R2", ("b", "d")),
+            Fact("R2", ("c", "d")),
+            Fact("R2", ("e", "f")),
+        ]
+    )
+
+
+@pytest.fixture
+def q2():
+    return path_query(2)
+
+
+@pytest.fixture
+def q3():
+    return path_query(3)
+
+
+@pytest.fixture
+def rs_query():
+    return parse_query("Q :- R(x, y), S(y, z)")
+
+
+@pytest.fixture
+def tiny_pdb(tiny_path_instance) -> ProbabilisticDatabase:
+    labels = {}
+    pool = ["1/2", "1/3", "3/4", "2/5", "5/6"]
+    for i, fact in enumerate(tiny_path_instance):
+        labels[fact] = pool[i % len(pool)]
+    return ProbabilisticDatabase(labels)

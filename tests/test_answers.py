@@ -1,0 +1,139 @@
+"""Tests for non-Boolean (answer-tuple) query evaluation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.exact import exact_probability
+from repro.core.pqe_estimate import pqe_estimate
+from repro.db.fact import Fact
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.errors import QueryError
+from repro.queries.answers import (
+    answer_probabilities,
+    candidate_answers,
+    pin_variables,
+)
+from repro.queries.atoms import Variable
+from repro.queries.parser import parse_query
+from repro.queries.properties import is_hierarchical
+
+
+@pytest.fixture
+def rs_pdb():
+    return ProbabilisticDatabase(
+        {
+            Fact("R", ("a", "b")): "1/2",
+            Fact("R", ("c", "b")): "1/3",
+            Fact("S", ("b", "d")): "2/3",
+            Fact("S", ("b", "e")): "1/4",
+        }
+    )
+
+
+@pytest.fixture
+def rs_query():
+    return parse_query("Q :- R(x, y), S(y, z)")
+
+
+class TestPinVariables:
+    def test_empty_binding_is_identity(self, rs_query, rs_pdb):
+        q, h = pin_variables(rs_query, rs_pdb, {})
+        assert q is rs_query and h is rs_pdb
+
+    def test_adds_eq_atom_and_fact(self, rs_query, rs_pdb):
+        q, h = pin_variables(rs_query, rs_pdb, {Variable("x"): "a"})
+        assert len(q) == 3
+        assert "Eq_x" in q.relation_names
+        assert h.probability(Fact("Eq_x", ("a",))) == 1
+
+    def test_preserves_structure(self, rs_query, rs_pdb):
+        from repro.decomposition import is_acyclic
+
+        q, _h = pin_variables(
+            rs_query, rs_pdb, {Variable("x"): "a", Variable("z"): "d"}
+        )
+        assert q.is_self_join_free
+        assert is_acyclic(q)
+
+    def test_unknown_variable_rejected(self, rs_query, rs_pdb):
+        with pytest.raises(QueryError):
+            pin_variables(rs_query, rs_pdb, {Variable("nope"): "a"})
+
+    def test_pinned_probability_matches_manual(self, rs_query, rs_pdb):
+        q, h = pin_variables(rs_query, rs_pdb, {Variable("x"): "a"})
+        # Pr = Pr[R(a,b)] * Pr[S(b,*) nonempty] = 1/2 * (1 - 1/3*3/4).
+        assert exact_probability(q, h) == Fraction(3, 8)
+
+    def test_pinned_query_through_fpras(self, rs_query, rs_pdb):
+        q, h = pin_variables(rs_query, rs_pdb, {Variable("x"): "a"})
+        result = pqe_estimate(q, h, method="exact-automaton")
+        assert result.estimate == pytest.approx(0.375)
+
+
+class TestCandidateAnswers:
+    def test_candidates(self, rs_query, rs_pdb):
+        assert candidate_answers(rs_query, rs_pdb, [Variable("x")]) == [
+            ("a",),
+            ("c",),
+        ]
+
+    def test_multi_variable_head(self, rs_query, rs_pdb):
+        answers = candidate_answers(
+            rs_query, rs_pdb, [Variable("x"), Variable("z")]
+        )
+        assert ("a", "d") in answers and ("c", "e") in answers
+        assert len(answers) == 4
+
+    def test_unknown_head_rejected(self, rs_query, rs_pdb):
+        with pytest.raises(QueryError):
+            candidate_answers(rs_query, rs_pdb, [Variable("w")])
+
+
+class TestAnswerProbabilities:
+    def test_values(self, rs_query, rs_pdb):
+        answers = answer_probabilities(rs_query, rs_pdb, [Variable("x")])
+        assert answers[("a",)] == pytest.approx(0.375)
+        assert answers[("c",)] == pytest.approx((1 / 3) * 0.75)
+
+    def test_custom_evaluator(self, rs_query, rs_pdb):
+        calls = []
+
+        def evaluator(q, h):
+            calls.append(q)
+            return float(exact_probability(q, h))
+
+        answers = answer_probabilities(
+            rs_query, rs_pdb, [Variable("x")], evaluate=evaluator
+        )
+        assert len(calls) == 2
+        assert answers[("a",)] == pytest.approx(0.375)
+
+    def test_fpras_evaluator(self, rs_query, rs_pdb):
+        answers = answer_probabilities(
+            rs_query,
+            rs_pdb,
+            [Variable("x")],
+            evaluate=lambda q, h: pqe_estimate(
+                q, h, method="exact-automaton"
+            ).estimate,
+        )
+        assert answers[("a",)] == pytest.approx(0.375)
+
+    def test_answers_sum_bounded_by_union(self, rs_query, rs_pdb):
+        # Union bound sanity: Pr[∃ match] <= Σ per-answer probabilities.
+        answers = answer_probabilities(rs_query, rs_pdb, [Variable("x")])
+        total = float(exact_probability(rs_query, rs_pdb))
+        assert total <= sum(answers.values()) + 1e-9
+
+    def test_pinning_keeps_safety_when_hierarchical(self):
+        # Pinning the root variable of a star keeps it hierarchical.
+        query = parse_query("R1(c, y1), R2(c, y2)")
+        pdb = ProbabilisticDatabase(
+            {
+                Fact("R1", ("a", "u")): "1/2",
+                Fact("R2", ("a", "v")): "1/2",
+            }
+        )
+        pinned, _h = pin_variables(query, pdb, {Variable("c"): "a"})
+        assert is_hierarchical(pinned)

@@ -1,0 +1,65 @@
+"""Unit tests for query variables and atoms."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.atoms import Atom, Variable, make_atom
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable_and_interned_semantics(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_ordering(self):
+        assert Variable("a") < Variable("b")
+        assert sorted([Variable("z"), Variable("a")]) == [
+            Variable("a"),
+            Variable("z"),
+        ]
+
+    def test_str(self):
+        assert str(Variable("x7")) == "x7"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(QueryError):
+            Variable("")
+
+
+class TestAtom:
+    def test_construction_and_arity(self):
+        atom = Atom("R", (Variable("x"), Variable("y")))
+        assert atom.arity == 2
+        assert atom.relation == "R"
+
+    def test_variables_deduplicate(self):
+        atom = Atom("R", (Variable("x"), Variable("x")))
+        assert atom.variables == frozenset({Variable("x")})
+        assert atom.arity == 2
+
+    def test_str_rendering(self):
+        assert str(make_atom("Edge", "u", "v")) == "Edge(u, v)"
+
+    def test_equality_structural(self):
+        assert make_atom("R", "x", "y") == make_atom("R", "x", "y")
+        assert make_atom("R", "x", "y") != make_atom("R", "y", "x")
+        assert make_atom("R", "x") != make_atom("S", "x")
+
+    def test_iteration_order(self):
+        atom = make_atom("R", "a", "b", "c")
+        assert [v.name for v in atom] == ["a", "b", "c"]
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("", (Variable("x"),))
+
+    def test_non_variable_args_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("R", ("x",))  # bare string, not a Variable
+
+    def test_hashable(self):
+        atoms = {make_atom("R", "x"), make_atom("R", "x"), make_atom("S", "x")}
+        assert len(atoms) == 2

@@ -1,0 +1,142 @@
+"""Tests for augmented NFTAs and their translation (Section 4.1)."""
+
+import pytest
+
+from repro.automata.augmented import (
+    AnnotatedSymbol,
+    AugmentedNFTA,
+    default_polarize,
+)
+from repro.automata.nfta_counting import count_nfta_exact
+from repro.automata.symbols import Literal
+from repro.automata.trees import LabeledTree, leaf, path_tree
+from repro.db.fact import Fact
+from repro.errors import AutomatonError
+
+
+def A(symbol, optional=False):
+    return AnnotatedSymbol(symbol, optional)
+
+
+class TestAnnotatedSymbol:
+    def test_str(self):
+        assert str(A("x")) == "x"
+        assert str(A("x", True)) == "x?"
+
+
+class TestPolarize:
+    def test_facts_become_literals(self):
+        fact = Fact("R", ("a",))
+        assert default_polarize(fact, True) == Literal(fact, True)
+        assert default_polarize(fact, False) == Literal(fact, False)
+
+    def test_generic_symbols(self):
+        assert default_polarize("x", True) == "x"
+        assert default_polarize("x", False) == ("¬", "x")
+
+
+class TestTranslation:
+    def test_plain_symbol_accepts_positive_only(self):
+        aug = AugmentedNFTA([("s", (A("x"),), ())], initial="s")
+        nfta = aug.translate()
+        assert nfta.accepts(leaf("x"))
+        assert not nfta.accepts(leaf(("¬", "x")))
+
+    def test_optional_symbol_accepts_both(self):
+        aug = AugmentedNFTA([("s", (A("x", True),), ())], initial="s")
+        nfta = aug.translate()
+        assert nfta.accepts(leaf("x"))
+        assert nfta.accepts(leaf(("¬", "x")))
+
+    def test_string_annotation_unrolls_to_chain(self):
+        aug = AugmentedNFTA(
+            [("s", (A("x"), A("y"), A("z")), ())], initial="s"
+        )
+        nfta = aug.translate()
+        assert nfta.accepts(path_tree(["x", "y", "z"]))
+        assert not nfta.accepts(path_tree(["x", "z", "y"]))
+        assert not nfta.accepts(path_tree(["x", "y"]))
+
+    def test_question_marks_multiply_language(self):
+        # x? y z?: four chains of length 3.
+        aug = AugmentedNFTA(
+            [("s", (A("x", True), A("y"), A("z", True)), ())],
+            initial="s",
+        )
+        assert count_nfta_exact(aug.translate(), 3) == 4
+
+    def test_chain_states_count(self):
+        # Annotation of length j adds j-1 fresh states (Remark 1).
+        aug = AugmentedNFTA(
+            [("s", tuple(A(f"g{i}") for i in range(5)), ())],
+            initial="s",
+        )
+        nfta = aug.translate()
+        assert len(nfta.states) == 1 + 4
+
+    def test_annotation_feeding_children(self):
+        aug = AugmentedNFTA(
+            [
+                ("s", (A("r"), A("m")), ("c1", "c2")),
+                ("c1", (A("a"),), ()),
+                ("c2", (A("b"),), ()),
+            ],
+            initial="s",
+        )
+        nfta = aug.translate()
+        tree = LabeledTree(
+            "r", (LabeledTree("m", (leaf("a"), leaf("b"))),)
+        )
+        assert nfta.accepts(tree)
+
+    def test_lambda_annotation_splices(self):
+        aug = AugmentedNFTA(
+            [
+                ("root", (A("r"),), ("m",)),
+                ("m", (), ("p", "q")),
+                ("p", (A("a"),), ()),
+                ("q", (A("b"),), ()),
+            ],
+            initial="root",
+        )
+        nfta = aug.translate()
+        assert nfta.accepts(LabeledTree("r", (leaf("a"), leaf("b"))))
+
+    def test_lambda_kept_when_not_eliminated(self):
+        aug = AugmentedNFTA(
+            [("root", (A("r"),), ("m",)), ("m", (), ())], initial="root"
+        )
+        assert aug.translate(eliminate_lambda=False).has_lambda
+
+    def test_root_lambda_multi_child_raises(self):
+        aug = AugmentedNFTA(
+            [
+                ("s", (), ("p", "q")),
+                ("p", (A("a"),), ()),
+                ("q", (A("b"),), ()),
+            ],
+            initial="s",
+        )
+        with pytest.raises(AutomatonError):
+            aug.translate()
+
+    def test_invalid_annotation_type(self):
+        with pytest.raises(AutomatonError):
+            AugmentedNFTA([("s", ("bare",), ())], initial="s")
+
+    def test_encoding_size(self):
+        aug = AugmentedNFTA(
+            [("s", (A("x"), A("y")), ("c",)), ("c", (A("z"),), ())],
+            initial="s",
+        )
+        assert aug.encoding_size == (2 + 2 + 1) + (2 + 1 + 0)
+
+    def test_custom_polarize(self):
+        aug = AugmentedNFTA(
+            [("s", (A("x", True),), ())],
+            initial="s",
+            polarize=lambda symbol, pos: (symbol, pos),
+        )
+        nfta = aug.translate()
+        assert nfta.accepts(leaf(("x", True)))
+        assert nfta.accepts(leaf(("x", False)))

@@ -1,0 +1,120 @@
+"""Unit tests for the query-family builders."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.builders import (
+    branching_tree_query,
+    chain_query,
+    cycle_query,
+    hierarchical_star_query,
+    path_query,
+    star_query,
+    triangle_query,
+)
+from repro.queries.properties import is_hierarchical, is_path_query
+
+
+class TestPathQuery:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 10])
+    def test_length(self, n):
+        assert len(path_query(n)) == n
+
+    def test_shape(self):
+        q = path_query(3)
+        assert str(q) == "Q :- R1(x1, x2), R2(x2, x3), R3(x3, x4)"
+
+    def test_self_join_free(self):
+        assert path_query(7).is_self_join_free
+
+    def test_is_path(self):
+        assert is_path_query(path_query(4))
+
+    def test_3path_class_non_hierarchical(self):
+        # Corollary 1: every member of 3Path is non-hierarchical.
+        for i in range(3, 9):
+            assert not is_hierarchical(path_query(i))
+
+    def test_short_paths_are_hierarchical(self):
+        assert is_hierarchical(path_query(1))
+        assert is_hierarchical(path_query(2))
+
+    def test_invalid_length(self):
+        with pytest.raises(QueryError):
+            path_query(0)
+
+    def test_custom_prefix(self):
+        q = path_query(2, relation_prefix="E")
+        assert q.relation_names == ("E1", "E2")
+
+
+class TestStarQuery:
+    @pytest.mark.parametrize("arms", [1, 2, 3, 6])
+    def test_length(self, arms):
+        assert len(star_query(arms)) == arms
+
+    def test_hierarchical(self):
+        assert is_hierarchical(star_query(4))
+
+    def test_shared_centre(self):
+        q = star_query(3)
+        centres = [a.args[0] for a in q.atoms]
+        assert len(set(centres)) == 1
+
+    def test_invalid(self):
+        with pytest.raises(QueryError):
+            star_query(0)
+
+
+class TestHierarchicalStar:
+    def test_has_unary_root(self):
+        q = hierarchical_star_query(2)
+        assert q.atoms[0].relation == "U"
+        assert q.atoms[0].arity == 1
+
+    def test_hierarchical(self):
+        assert is_hierarchical(hierarchical_star_query(3))
+
+
+class TestCycleAndTriangle:
+    def test_cycle_closes(self):
+        q = cycle_query(4)
+        assert q.atoms[-1].args[1] == q.atoms[0].args[0]
+
+    def test_triangle_is_cycle3(self):
+        assert triangle_query() == cycle_query(3)
+
+    def test_cycle_not_path(self):
+        assert not is_path_query(cycle_query(3))
+
+    def test_invalid(self):
+        with pytest.raises(QueryError):
+            cycle_query(1)
+
+
+class TestTreeQuery:
+    def test_atom_count(self):
+        # depth 2, fanout 2: 2 + 4 = 6 edges
+        assert len(branching_tree_query(2, 2)) == 6
+
+    def test_self_join_free(self):
+        assert branching_tree_query(2, 3).is_self_join_free
+
+    def test_invalid(self):
+        with pytest.raises(QueryError):
+            branching_tree_query(0)
+
+
+class TestChainQuery:
+    def test_overlap(self):
+        q = chain_query(2, arity=3)
+        first_vars = set(q.atoms[0].variables)
+        second_vars = set(q.atoms[1].variables)
+        assert len(first_vars & second_vars) == 2
+
+    def test_arity(self):
+        assert all(a.arity == 4 for a in chain_query(3, arity=4).atoms)
+
+    def test_invalid(self):
+        with pytest.raises(QueryError):
+            chain_query(1, arity=1)

@@ -1,0 +1,171 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import load_facts_csv, main
+from repro.db.fact import Fact
+from repro.errors import ReproError
+
+CSV = """\
+relation,probability,constant1,constant2
+R1,1/2,a,b
+R2,2/3,b,c
+"""
+
+CSV_NO_HEADER = """\
+R1,1/2,a,b
+R2,2/3,b,c
+"""
+
+CSV_WITH_COMMENTS = """\
+# a probabilistic graph
+R1,1/2,a,b
+
+R2,2/3,b,c
+"""
+
+
+class TestLoadFactsCsv:
+    @pytest.mark.parametrize(
+        "text", [CSV, CSV_NO_HEADER, CSV_WITH_COMMENTS]
+    )
+    def test_load_variants(self, text):
+        pdb = load_facts_csv(io.StringIO(text))
+        assert len(pdb) == 2
+        assert str(pdb.probability(Fact("R1", ("a", "b")))) == "1/2"
+
+    def test_unary_fact(self):
+        pdb = load_facts_csv(io.StringIO("U,1/3,a\n"))
+        assert pdb.probability(Fact("U", ("a",))).denominator == 3
+
+    def test_short_row_rejected(self):
+        with pytest.raises(ReproError):
+            load_facts_csv(io.StringIO("R1,1/2\n"))
+
+    def test_duplicate_fact_rejected(self):
+        with pytest.raises(ReproError):
+            load_facts_csv(io.StringIO("R,1/2,a\nR,1/3,a\n"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            load_facts_csv(io.StringIO("# nothing\n"))
+
+
+class TestMain:
+    @pytest.fixture
+    def data_file(self, tmp_path):
+        path = tmp_path / "facts.csv"
+        path.write_text(CSV)
+        return str(path)
+
+    def test_probability_run(self, data_file, capsys):
+        code = main(
+            ["--data", data_file, "--query", "Q :- R1(x,y), R2(y,z)"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pr_H(Q) =" in out
+        assert "1/3" in out  # 1/2 * 2/3 exactly
+
+    def test_method_selection(self, data_file, capsys):
+        code = main(
+            [
+                "--data", data_file,
+                "--query", "Q :- R1(x,y), R2(y,z)",
+                "--method", "fpras",
+                "--epsilon", "0.2",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        assert "fpras" in capsys.readouterr().out
+
+    def test_reliability_mode(self, data_file, capsys):
+        code = main(
+            [
+                "--data", data_file,
+                "--query", "Q :- R1(x,y), R2(y,z)",
+                "--reliability",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "UR(Q, D) = 1" in out  # only the full instance satisfies
+
+    def test_query_file(self, data_file, tmp_path, capsys):
+        query_path = tmp_path / "query.txt"
+        query_path.write_text("Q :- R1(x, y)")
+        code = main(
+            ["--data", data_file, "--query-file", str(query_path)]
+        )
+        assert code == 0
+        assert "Pr_H(Q) = 0.5" in capsys.readouterr().out
+
+    def test_missing_data_file(self, capsys):
+        code = main(["--data", "/nonexistent.csv", "--query", "R(x)"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_query(self, data_file, capsys):
+        code = main(["--data", data_file, "--query", "not a query(("])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExtendedMethods:
+    @pytest.fixture
+    def data_file(self, tmp_path):
+        path = tmp_path / "facts.csv"
+        path.write_text(CSV)
+        return str(path)
+
+    def test_fpras_weighted(self, data_file, capsys):
+        code = main(
+            [
+                "--data", data_file,
+                "--query", "Q :- R1(x,y), R2(y,z)",
+                "--method", "fpras-weighted",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        assert "fpras-weighted" in capsys.readouterr().out
+
+    def test_monte_carlo(self, data_file, capsys):
+        code = main(
+            [
+                "--data", data_file,
+                "--query", "Q :- R1(x,y), R2(y,z)",
+                "--method", "monte-carlo",
+                "--seed", "3",
+                "--epsilon", "0.2",
+            ]
+        )
+        assert code == 0
+        assert "monte-carlo" in capsys.readouterr().out
+
+    def test_reliability_rejects_karp_luby(self, data_file, capsys):
+        code = main(
+            [
+                "--data", data_file,
+                "--query", "Q :- R1(x,y), R2(y,z)",
+                "--method", "karp-luby",
+                "--reliability",
+            ]
+        )
+        assert code == 1
+
+    def test_explain_flag(self, data_file, capsys):
+        code = main(
+            [
+                "--data", data_file,
+                "--query", "Q :- R1(x,y), R2(y,z)",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "route:" in out

@@ -1,0 +1,93 @@
+"""Unit tests for the ConjunctiveQuery class."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.atoms import make_atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.atoms import Variable
+
+
+def _rs():
+    return ConjunctiveQuery([make_atom("R", "x", "y"), make_atom("S", "y", "z")])
+
+
+class TestConstruction:
+    def test_length(self):
+        assert len(_rs()) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([])
+
+    def test_duplicate_atoms_rejected(self):
+        atom = make_atom("R", "x", "y")
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([atom, atom])
+
+    def test_atom_order_preserved(self):
+        q = _rs()
+        assert [a.relation for a in q.atoms] == ["R", "S"]
+
+
+class TestProperties:
+    def test_variables(self):
+        assert _rs().variables == frozenset(
+            {Variable("x"), Variable("y"), Variable("z")}
+        )
+
+    def test_self_join_free_true(self):
+        assert _rs().is_self_join_free
+
+    def test_self_join_free_false(self):
+        q = ConjunctiveQuery(
+            [make_atom("R", "x", "y"), make_atom("R", "y", "z")]
+        )
+        assert not q.is_self_join_free
+
+    def test_relation_names(self):
+        assert _rs().relation_names == ("R", "S")
+
+    def test_atom_for_relation(self):
+        q = _rs()
+        assert q.atom_for_relation("R") == make_atom("R", "x", "y")
+
+    def test_atom_for_missing_relation(self):
+        with pytest.raises(QueryError):
+            _rs().atom_for_relation("T")
+
+    def test_atom_for_relation_with_self_join(self):
+        q = ConjunctiveQuery(
+            [make_atom("R", "x", "y"), make_atom("R", "y", "z")]
+        )
+        with pytest.raises(QueryError):
+            q.atom_for_relation("R")
+
+    def test_atoms_with_variable(self):
+        q = _rs()
+        assert len(q.atoms_with_variable(Variable("y"))) == 2
+        assert len(q.atoms_with_variable(Variable("x"))) == 1
+        assert q.atoms_with_variable(Variable("w")) == ()
+
+
+class TestEquality:
+    def test_order_insensitive_equality(self):
+        a = make_atom("R", "x", "y")
+        b = make_atom("S", "y", "z")
+        assert ConjunctiveQuery([a, b]) == ConjunctiveQuery([b, a])
+
+    def test_hash_consistent_with_equality(self):
+        a = make_atom("R", "x", "y")
+        b = make_atom("S", "y", "z")
+        assert hash(ConjunctiveQuery([a, b])) == hash(ConjunctiveQuery([b, a]))
+
+    def test_inequality(self):
+        assert _rs() != ConjunctiveQuery([make_atom("R", "x", "y")])
+
+    def test_str(self):
+        assert str(_rs()) == "Q :- R(x, y), S(y, z)"
+
+    def test_contains(self):
+        q = _rs()
+        assert make_atom("R", "x", "y") in q
+        assert make_atom("T", "x") not in q

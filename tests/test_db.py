@@ -1,0 +1,133 @@
+"""Unit tests for schema, facts, and database instances."""
+
+import pytest
+
+from repro.db.fact import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.schema import RelationSymbol, Schema
+from repro.errors import SchemaError
+from repro.queries.parser import parse_query
+
+
+class TestRelationSymbol:
+    def test_str(self):
+        assert str(RelationSymbol("R", 2)) == "R/2"
+
+    def test_invalid_arity(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("R", 0)
+
+    def test_empty_name(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("", 1)
+
+
+class TestSchema:
+    def test_lookup(self):
+        s = Schema([RelationSymbol("R", 2), RelationSymbol("S", 1)])
+        assert s.arity_of("R") == 2
+        assert "S" in s
+        assert "T" not in s
+
+    def test_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            Schema([]).arity_of("R")
+
+    def test_conflicting_arities(self):
+        with pytest.raises(SchemaError):
+            Schema([RelationSymbol("R", 2), RelationSymbol("R", 3)])
+
+    def test_from_query(self):
+        s = Schema.from_query(parse_query("R(x, y), S(y)"))
+        assert s.arity_of("R") == 2
+        assert s.arity_of("S") == 1
+
+    def test_equality(self):
+        a = Schema([RelationSymbol("R", 2)])
+        b = Schema([RelationSymbol("R", 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestFact:
+    def test_str(self):
+        assert str(Fact("R", ("a", "b"))) == "R(a, b)"
+
+    def test_arity(self):
+        assert Fact("R", (1, 2, 3)).arity == 3
+
+    def test_hashable(self):
+        assert len({Fact("R", ("a",)), Fact("R", ("a",))}) == 1
+
+    def test_empty_constants_rejected(self):
+        with pytest.raises(SchemaError):
+            Fact("R", ())
+
+    def test_sort_key_total_order_over_mixed_types(self):
+        facts = [Fact("R", (1, "a")), Fact("R", ("b", 2))]
+        assert sorted(facts, key=Fact.sort_key)  # must not raise
+
+
+class TestDatabaseInstance:
+    def test_set_semantics(self):
+        d = DatabaseInstance([Fact("R", ("a",)), Fact("R", ("a",))])
+        assert len(d) == 1
+
+    def test_relation_index_sorted(self):
+        d = DatabaseInstance(
+            [Fact("R", ("b", "x")), Fact("R", ("a", "x")), Fact("S", ("q",))]
+        )
+        facts = d.facts_for_relation("R")
+        assert [f.constants[0] for f in facts] == ["a", "b"]
+
+    def test_missing_relation_empty(self):
+        assert DatabaseInstance([Fact("R", ("a",))]).facts_for_relation("T") == ()
+
+    def test_schema_inference_conflict(self):
+        with pytest.raises(SchemaError):
+            DatabaseInstance([Fact("R", ("a",)), Fact("R", ("a", "b"))])
+
+    def test_explicit_schema_validation(self):
+        schema = Schema([RelationSymbol("R", 1)])
+        with pytest.raises(SchemaError):
+            DatabaseInstance([Fact("R", ("a", "b"))], schema=schema)
+        with pytest.raises(SchemaError):
+            DatabaseInstance([Fact("S", ("a",))], schema=schema)
+
+    def test_active_domain(self):
+        d = DatabaseInstance([Fact("R", ("a", "b")), Fact("S", ("b", "c"))])
+        assert d.active_domain == frozenset({"a", "b", "c"})
+
+    def test_project_to_query(self):
+        d = DatabaseInstance(
+            [Fact("R", ("a", "b")), Fact("T", ("z",))]
+        )
+        projected = d.project_to_query(parse_query("R(x, y)"))
+        assert len(projected) == 1
+        assert projected.relation_names == frozenset({"R"})
+
+    def test_subinstance_count(self):
+        d = DatabaseInstance([Fact("R", (i,)) for i in range(4)])
+        subs = list(d.subinstances())
+        assert len(subs) == 16
+        assert len(set(subs)) == 16
+        assert frozenset() in subs
+        assert d.facts in subs
+
+    def test_with_without_facts(self):
+        d = DatabaseInstance([Fact("R", ("a",))])
+        d2 = d.with_facts([Fact("R", ("b",))])
+        assert len(d2) == 2 and len(d) == 1
+        d3 = d2.without_facts([Fact("R", ("a",))])
+        assert d3.facts == frozenset({Fact("R", ("b",))})
+
+    def test_equality_and_hash(self):
+        a = DatabaseInstance([Fact("R", ("a",))])
+        b = DatabaseInstance([Fact("R", ("a",))])
+        assert a == b and hash(a) == hash(b)
+
+    def test_iteration_deterministic(self):
+        d = DatabaseInstance(
+            [Fact("R", ("b",)), Fact("R", ("a",)), Fact("Q", ("z",))]
+        )
+        assert [str(f) for f in d] == [str(f) for f in d]

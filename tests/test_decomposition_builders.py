@@ -1,0 +1,190 @@
+"""Tests for GYO join trees, width search, completion, and transforms."""
+
+import pytest
+
+from repro.decomposition import (
+    decompose,
+    generalized_hypertree_width,
+    ghd_by_search,
+    gyo_reduction,
+    is_acyclic,
+    join_tree_decomposition,
+    make_complete,
+)
+from repro.decomposition.search import cover_bags, primal_graph
+from repro.decomposition.transform import (
+    binarize,
+    ensure_construction_ready,
+    reroot,
+)
+from repro.errors import DecompositionError, WidthExceededError
+from repro.queries.atoms import Variable
+from repro.queries.builders import (
+    branching_tree_query,
+    chain_query,
+    cycle_query,
+    path_query,
+    star_query,
+    triangle_query,
+)
+from repro.queries.parser import parse_query
+
+
+class TestGYO:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            path_query(1),
+            path_query(5),
+            star_query(4),
+            branching_tree_query(2, 2),
+            chain_query(3, arity=3),
+            parse_query("R(x, y), S(y, x)"),  # 2-cycle is acyclic
+        ],
+    )
+    def test_acyclic_families(self, query):
+        assert is_acyclic(query)
+
+    @pytest.mark.parametrize(
+        "query", [triangle_query(), cycle_query(4), cycle_query(5)]
+    )
+    def test_cyclic_families(self, query):
+        assert not is_acyclic(query)
+
+    def test_gyo_parents_form_tree(self):
+        parents, acyclic = gyo_reduction(path_query(4))
+        assert acyclic
+        roots = [a for a, p in parents.items() if p is None]
+        assert len(roots) == 1
+
+    def test_join_tree_is_valid_width1(self):
+        for query in (path_query(4), star_query(3), chain_query(2, 3)):
+            d = join_tree_decomposition(query)
+            report = d.validate()
+            assert report.is_hd and report.complete
+            assert d.width == 1
+
+    def test_join_tree_rejects_cyclic(self):
+        with pytest.raises(DecompositionError):
+            join_tree_decomposition(triangle_query())
+
+
+class TestSearch:
+    def test_primal_graph_triangle(self):
+        adjacency = primal_graph(triangle_query())
+        assert all(len(neighbours) == 2 for neighbours in adjacency.values())
+
+    def test_triangle_width_2(self):
+        assert generalized_hypertree_width(triangle_query()) == 2
+
+    def test_cycle4_width_2(self):
+        assert generalized_hypertree_width(cycle_query(4)) == 2
+
+    def test_acyclic_width_1(self):
+        assert generalized_hypertree_width(path_query(6)) == 1
+
+    def test_search_result_is_generalized_hd(self):
+        d = ghd_by_search(triangle_query())
+        assert d.validate().is_generalized_hd
+
+    def test_max_width_enforced(self):
+        with pytest.raises(WidthExceededError):
+            ghd_by_search(triangle_query(), max_width=1)
+
+    def test_cover_bags_uncoverable(self):
+        q = parse_query("R(x, y)")
+        bags = [frozenset({Variable("x"), Variable("w")})]
+        assert cover_bags(q, bags) is None
+
+    def test_large_query_uses_heuristic(self):
+        # > 8 variables triggers the min-fill path; still valid.
+        q = cycle_query(10)
+        d = ghd_by_search(q)
+        assert d.validate().is_generalized_hd
+        assert d.width <= 3
+
+
+class TestCompletion:
+    def test_already_complete_returned_unchanged(self):
+        d = join_tree_decomposition(path_query(3))
+        assert make_complete(d) is d
+
+    def test_completion_adds_covering_vertices(self):
+        d = ghd_by_search(triangle_query())
+        completed = make_complete(d)
+        report = completed.validate()
+        assert report.complete
+        assert completed.width == d.width
+
+
+class TestDecomposeFacade:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            path_query(1),
+            path_query(4),
+            star_query(5),
+            triangle_query(),
+            cycle_query(4),
+            chain_query(3, 3),
+            branching_tree_query(2, 2),
+        ],
+    )
+    def test_always_usable(self, query):
+        d = decompose(query)
+        assert d.validate().usable_for_construction
+
+    def test_width_cap(self):
+        with pytest.raises(WidthExceededError):
+            decompose(triangle_query(), max_width=1)
+
+
+class TestTransforms:
+    def test_reroot_identity(self):
+        d = decompose(path_query(3))
+        assert reroot(d, 0) is d
+
+    def test_reroot_preserves_ghd(self):
+        d = decompose(path_query(4))
+        for new_root in range(len(d.nodes)):
+            rerooted = reroot(d, new_root)
+            report = rerooted.validate()
+            assert report.is_generalized_hd and report.complete
+            assert rerooted.width == d.width
+
+    def test_reroot_bad_id(self):
+        with pytest.raises(DecompositionError):
+            reroot(decompose(path_query(2)), 99)
+
+    def test_binarize_caps_fanout(self):
+        d = decompose(star_query(6))
+        binarized = binarize(d)
+        assert all(
+            len(binarized.children_map[n.node_id]) <= 2
+            for n in binarized.nodes
+        )
+        assert binarized.validate().is_generalized_hd
+        assert binarized.width == d.width
+
+    def test_binarize_noop_when_small(self):
+        d = decompose(path_query(3))
+        assert binarize(d) is d
+
+    def test_binarize_preserves_minimal_covering(self):
+        d = decompose(star_query(5))
+        binarized = binarize(d)
+        # Every atom still has a minimal covering vertex.
+        assert set(binarized.minimal_covering_vertex) == set(
+            d.query.atoms
+        )
+
+    def test_ensure_construction_ready(self):
+        for query in (path_query(3), star_query(5), triangle_query()):
+            ready = ensure_construction_ready(decompose(query))
+            assert any(
+                ready.root.covers(a) for a in query.atoms
+            )
+            assert all(
+                len(ready.children_map[n.node_id]) <= 2
+                for n in ready.nodes
+            )

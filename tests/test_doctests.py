@@ -1,0 +1,49 @@
+"""Run the doctest examples embedded in module documentation."""
+
+import doctest
+
+import pytest
+
+import repro.automata.symbols
+import repro.automata.trees
+import repro.db.fact
+import repro.db.instance
+import repro.db.probabilistic
+import repro.db.schema
+import repro.queries.atoms
+import repro.queries.builders
+import repro.queries.cq
+import repro.queries.parser
+import repro.queries.properties
+
+MODULES = [
+    repro.queries.atoms,
+    repro.queries.cq,
+    repro.queries.parser,
+    repro.queries.builders,
+    repro.queries.properties,
+    repro.db.schema,
+    repro.db.fact,
+    repro.db.instance,
+    repro.db.probabilistic,
+    repro.automata.trees,
+    repro.automata.symbols,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module.__name__}"
+    )
+
+
+def test_doctests_actually_present():
+    # Guard against silently passing because nothing was collected.
+    total = sum(
+        doctest.testmod(m, verbose=False).attempted for m in MODULES
+    )
+    assert total >= 10

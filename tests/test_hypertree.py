@@ -1,0 +1,160 @@
+"""Unit tests for the hypertree decomposition data structure."""
+
+import pytest
+
+from repro.decomposition.hypertree import (
+    HypertreeDecomposition,
+    HypertreeNode,
+)
+from repro.errors import DecompositionError
+from repro.queries.atoms import Variable, make_atom
+from repro.queries.cq import ConjunctiveQuery
+
+
+def _v(*names):
+    return frozenset(Variable(n) for n in names)
+
+
+def _chain_decomposition():
+    """Valid width-1 join tree for R(x,y), S(y,z)."""
+    r = make_atom("R", "x", "y")
+    s = make_atom("S", "y", "z")
+    q = ConjunctiveQuery([r, s])
+    nodes = [
+        HypertreeNode(0, _v("x", "y"), (r,)),
+        HypertreeNode(1, _v("y", "z"), (s,)),
+    ]
+    return HypertreeDecomposition(q, nodes, [-1, 0]), r, s
+
+
+class TestConstructionValidation:
+    def test_node_id_order_enforced(self):
+        r = make_atom("R", "x")
+        q = ConjunctiveQuery([r])
+        with pytest.raises(DecompositionError):
+            HypertreeDecomposition(
+                q, [HypertreeNode(1, _v("x"), (r,))], [-1]
+            )
+
+    def test_parent_before_child(self):
+        r = make_atom("R", "x")
+        s = make_atom("S", "x")
+        q = ConjunctiveQuery([r, s])
+        nodes = [
+            HypertreeNode(0, _v("x"), (r,)),
+            HypertreeNode(1, _v("x"), (s,)),
+        ]
+        with pytest.raises(DecompositionError):
+            HypertreeDecomposition(q, nodes, [-1, 1])
+
+    def test_root_parent_must_be_minus_one(self):
+        r = make_atom("R", "x")
+        q = ConjunctiveQuery([r])
+        with pytest.raises(DecompositionError):
+            HypertreeDecomposition(
+                q, [HypertreeNode(0, _v("x"), (r,))], [0]
+            )
+
+    def test_empty_rejected(self):
+        q = ConjunctiveQuery([make_atom("R", "x")])
+        with pytest.raises(DecompositionError):
+            HypertreeDecomposition(q, [], [])
+
+
+class TestStructure:
+    def test_children_and_depths(self):
+        d, _r, _s = _chain_decomposition()
+        assert d.children_map[0] == (1,)
+        assert d.depths == (0, 1)
+
+    def test_subtree_ids(self):
+        d, _r, _s = _chain_decomposition()
+        assert d.subtree_ids(0) == frozenset({0, 1})
+        assert d.subtree_ids(1) == frozenset({1})
+
+    def test_vertex_order_depth_compatible(self):
+        d, _r, _s = _chain_decomposition()
+        order = d.vertex_order
+        depths = [d.depths[i] for i in order]
+        assert depths == sorted(depths)
+
+    def test_width(self):
+        d, _r, _s = _chain_decomposition()
+        assert d.width == 1
+
+
+class TestCovering:
+    def test_covering_vertices(self):
+        d, r, s = _chain_decomposition()
+        assert d.covering_vertices(r) == (0,)
+        assert d.covering_vertices(s) == (1,)
+
+    def test_minimal_covering_vertex(self):
+        d, r, s = _chain_decomposition()
+        assert d.minimal_covering_vertex[r] == 0
+        assert d.minimal_covering_vertex[s] == 1
+
+    def test_atoms_minimally_covered_at(self):
+        d, r, s = _chain_decomposition()
+        assert d.atoms_minimally_covered_at(0) == (r,)
+        assert d.atoms_minimally_covered_at(1) == (s,)
+
+
+class TestValidation:
+    def test_valid_decomposition(self):
+        d, _r, _s = _chain_decomposition()
+        report = d.validate()
+        assert report.is_hd
+        assert report.complete
+        assert report.usable_for_construction
+        assert report.problems == ()
+
+    def test_condition1_violation_detected(self):
+        r = make_atom("R", "x", "y")
+        s = make_atom("S", "y", "z")
+        q = ConjunctiveQuery([r, s])
+        # Only cover R; S's variables never co-occur in any chi.
+        nodes = [HypertreeNode(0, _v("x", "y"), (r,))]
+        report = HypertreeDecomposition(q, nodes, [-1]).validate()
+        assert not report.covers_all_atoms
+        assert not report.complete
+
+    def test_condition2_violation_detected(self):
+        # x appears at nodes 0 and 2 but not at the middle node 1.
+        r = make_atom("R", "x", "y")
+        s = make_atom("S", "y", "z")
+        t = make_atom("T", "x", "z")
+        q = ConjunctiveQuery([r, s, t])
+        nodes = [
+            HypertreeNode(0, _v("x", "y"), (r,)),
+            HypertreeNode(1, _v("y", "z"), (s,)),
+            HypertreeNode(2, _v("x", "z"), (t,)),
+        ]
+        report = HypertreeDecomposition(q, nodes, [-1, 0, 1]).validate()
+        assert not report.connected
+
+    def test_condition3_violation_detected(self):
+        r = make_atom("R", "x", "y")
+        q = ConjunctiveQuery([r])
+        # chi contains a variable not in vars(xi).
+        nodes = [HypertreeNode(0, _v("x", "y", "z"), (r,))]
+        report = HypertreeDecomposition(q, nodes, [-1]).validate()
+        assert not report.chi_within_xi_vars
+
+    def test_condition4_violation_detected(self):
+        # Node 0 has xi variable z that reappears in a descendant's chi
+        # without being in chi(0).
+        r = make_atom("R", "x", "z")
+        s = make_atom("S", "x", "y")
+        t = make_atom("T", "y", "z")
+        q = ConjunctiveQuery([r, s, t])
+        nodes = [
+            HypertreeNode(0, _v("x"), (r,)),
+            HypertreeNode(1, _v("x", "y"), (s,)),
+            HypertreeNode(2, _v("y", "z"), (t,)),
+        ]
+        d = HypertreeDecomposition(q, nodes, [-1, 0, 1])
+        report = d.validate()
+        assert not report.descendant_condition
+        # But it is still a (generalized) decomposition-candidate check:
+        assert not report.is_hd

@@ -1,0 +1,113 @@
+"""Tests for serialisation (JSON / CSV / query text round-trips)."""
+
+import io
+
+import pytest
+
+from repro.db.fact import Fact
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.errors import ReproError
+from repro.io import (
+    dump_pdb_csv,
+    dump_pdb_json,
+    dump_query,
+    load_pdb,
+    load_pdb_csv,
+    load_pdb_json,
+    load_query,
+    save_pdb,
+)
+from repro.queries.builders import path_query
+
+
+def _pdb() -> ProbabilisticDatabase:
+    return ProbabilisticDatabase(
+        {
+            Fact("R1", ("a", "b")): "1/2",
+            Fact("R2", ("b", "c")): "997/1000",
+            Fact("U", ("x",)): "1",
+        }
+    )
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self):
+        original = _pdb()
+        buffer = io.StringIO()
+        dump_pdb_json(original, buffer)
+        buffer.seek(0)
+        loaded = load_pdb_json(buffer)
+        assert loaded == original
+
+    def test_probabilities_exact(self):
+        buffer = io.StringIO()
+        dump_pdb_json(_pdb(), buffer)
+        buffer.seek(0)
+        loaded = load_pdb_json(buffer)
+        fact = Fact("R2", ("b", "c"))
+        assert loaded.probability(fact).denominator == 1000
+
+    def test_invalid_json(self):
+        with pytest.raises(ReproError):
+            load_pdb_json(io.StringIO("not json"))
+
+    def test_wrong_shape(self):
+        with pytest.raises(ReproError):
+            load_pdb_json(io.StringIO('{"rows": []}'))
+
+    def test_malformed_entry(self):
+        with pytest.raises(ReproError):
+            load_pdb_json(
+                io.StringIO('{"facts": [{"relation": "R"}]}')
+            )
+
+    def test_duplicate_fact(self):
+        text = (
+            '{"facts": ['
+            '{"relation": "R", "constants": ["a"], "probability": "1/2"},'
+            '{"relation": "R", "constants": ["a"], "probability": "1/3"}'
+            "]}"
+        )
+        with pytest.raises(ReproError):
+            load_pdb_json(io.StringIO(text))
+
+    def test_empty(self):
+        with pytest.raises(ReproError):
+            load_pdb_json(io.StringIO('{"facts": []}'))
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self):
+        original = _pdb()
+        buffer = io.StringIO()
+        dump_pdb_csv(original, buffer)
+        buffer.seek(0)
+        loaded = load_pdb_csv(buffer)
+        assert loaded == original
+
+
+class TestPathBased:
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "db.json"
+        save_pdb(_pdb(), path)
+        assert load_pdb(path) == _pdb()
+
+    def test_csv_file(self, tmp_path):
+        path = tmp_path / "db.csv"
+        save_pdb(_pdb(), path)
+        assert load_pdb(path) == _pdb()
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(ReproError):
+            save_pdb(_pdb(), tmp_path / "db.xml")
+        with pytest.raises(ReproError):
+            load_pdb(tmp_path / "db.xml")
+
+
+class TestQueryRoundTrip:
+    def test_round_trip(self):
+        query = path_query(3)
+        buffer = io.StringIO()
+        dump_query(query, buffer)
+        buffer.seek(0)
+        assert load_query(buffer) == query

@@ -1,0 +1,89 @@
+"""Tests for the naive Monte-Carlo baseline."""
+
+import pytest
+
+from repro.core.exact import exact_probability
+from repro.core.monte_carlo import (
+    additive_sample_bound,
+    monte_carlo_probability,
+)
+from repro.db.fact import Fact
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.errors import EstimationError
+from repro.queries.builders import path_query
+from repro.workloads.graphs import layered_path_instance
+from repro.workloads.instances import random_probabilities
+
+
+class TestSampleBound:
+    def test_hoeffding_monotonicity(self):
+        assert additive_sample_bound(0.01, 0.05) > additive_sample_bound(
+            0.1, 0.05
+        )
+        assert additive_sample_bound(0.05, 0.01) > additive_sample_bound(
+            0.05, 0.1
+        )
+
+    def test_invalid(self):
+        with pytest.raises(EstimationError):
+            additive_sample_bound(0, 0.1)
+
+
+class TestEstimator:
+    def test_certain_query(self):
+        pdb = ProbabilisticDatabase(
+            {Fact("R1", ("a", "b")): 1, Fact("R2", ("b", "c")): 1}
+        )
+        result = monte_carlo_probability(
+            path_query(2), pdb, samples=50, seed=0
+        )
+        assert result.estimate == 1.0
+
+    def test_impossible_query(self):
+        pdb = ProbabilisticDatabase({Fact("R1", ("a", "b")): "1/2"})
+        result = monte_carlo_probability(
+            path_query(2), pdb, samples=50, seed=0
+        )
+        assert result.estimate == 0.0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_additive_accuracy(self, seed):
+        instance = layered_path_instance(2, 2, 0.8, seed=seed)
+        pdb = random_probabilities(instance, seed=seed, max_denominator=4)
+        truth = float(exact_probability(path_query(2), pdb))
+        result = monte_carlo_probability(
+            path_query(2), pdb, epsilon=0.05, delta=0.05, seed=seed
+        )
+        assert abs(result.estimate - truth) < 0.1
+
+    def test_standard_error(self):
+        pdb = ProbabilisticDatabase({Fact("R1", ("a", "b")): "1/2"})
+        result = monte_carlo_probability(
+            path_query(1), pdb, samples=400, seed=1
+        )
+        assert 0 < result.standard_error < 0.05
+
+    def test_determinism(self):
+        pdb = ProbabilisticDatabase(
+            {Fact("R1", ("a", "b")): "1/2", Fact("R1", ("c", "d")): "1/3"}
+        )
+        a = monte_carlo_probability(path_query(1), pdb, samples=100, seed=9)
+        b = monte_carlo_probability(path_query(1), pdb, samples=100, seed=9)
+        assert a.estimate == b.estimate
+
+    def test_invalid_samples(self):
+        pdb = ProbabilisticDatabase({Fact("R1", ("a", "b")): "1/2"})
+        with pytest.raises(EstimationError):
+            monte_carlo_probability(path_query(1), pdb, samples=0)
+
+    def test_relative_error_failure_mode(self):
+        """The documented weakness: tiny probabilities need huge sample
+        counts for relative accuracy — with few samples the estimate of
+        a 1e-6-probability event is simply 0."""
+        pdb = ProbabilisticDatabase(
+            {Fact("R1", ("a", "b")): "1/1000000"}
+        )
+        result = monte_carlo_probability(
+            path_query(1), pdb, samples=100, seed=2
+        )
+        assert result.estimate == 0.0  # infinite relative error

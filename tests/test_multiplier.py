@@ -1,0 +1,152 @@
+"""Tests for NFTAs with multipliers and the comparator gadget (Sec 5.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.multiplier import (
+    MultiplierNFTA,
+    comparator_gadget_transitions,
+    minimal_gadget_bits,
+)
+from repro.automata.nfta import NFTA
+from repro.automata.nfta_counting import count_nfta_exact
+from repro.errors import AutomatonError
+
+
+class TestMinimalGadgetBits:
+    def test_paper_formula(self):
+        # u(1) = 0; u(w) = floor(log2(w-1)) + 1 otherwise.
+        assert minimal_gadget_bits(1) == 0
+        assert minimal_gadget_bits(2) == 1
+        assert minimal_gadget_bits(3) == 2
+        assert minimal_gadget_bits(4) == 2
+        assert minimal_gadget_bits(5) == 3
+        assert minimal_gadget_bits(8) == 3
+        assert minimal_gadget_bits(9) == 4
+
+    def test_invalid(self):
+        with pytest.raises(AutomatonError):
+            minimal_gadget_bits(0)
+
+
+class TestComparatorGadget:
+    @given(st.integers(min_value=1, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_accepts_exactly_n_strings(self, n):
+        bits = minimal_gadget_bits(max(n, 2))
+        transitions = comparator_gadget_transitions(
+            n, bits, entry="entry", children=("leaf",), fresh_prefix="g"
+        )
+        transitions.append(("leaf", "end", ()))
+        transitions.append(("root", "start", ("entry",)))
+        nfta = NFTA(transitions, initial="root")
+        # tree: start -> bits of gadget -> end leaf.
+        assert count_nfta_exact(nfta, 2 + bits) == n
+
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_padded_gadgets(self, n, extra):
+        bits = minimal_gadget_bits(max(n, 2)) + extra
+        transitions = comparator_gadget_transitions(
+            n, bits, entry="entry", children=(), fresh_prefix="g"
+        )
+        transitions.append(("root", "start", ("entry",)))
+        nfta = NFTA(transitions, initial="root")
+        assert count_nfta_exact(nfta, 1 + bits) == n
+
+    def test_overflow_rejected(self):
+        with pytest.raises(AutomatonError):
+            comparator_gadget_transitions(
+                5, 2, entry="e", children=(), fresh_prefix="g"
+            )
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(AutomatonError):
+            comparator_gadget_transitions(
+                1, 0, entry="e", children=(), fresh_prefix="g"
+            )
+
+    def test_state_count_logarithmic(self):
+        # ≤ 2·bits states per gadget (Remark 2: logarithmic in n).
+        for n in (3, 9, 33, 1000):
+            bits = minimal_gadget_bits(n)
+            transitions = comparator_gadget_transitions(
+                n, bits, entry="e", children=(), fresh_prefix="g"
+            )
+            states = {t[0] for t in transitions}
+            assert len(states) <= 2 * bits
+
+
+class TestMultiplierNFTA:
+    def test_translation_multiplies_counts(self):
+        # Base automaton: single leaf; multiplier n on the leaf rule.
+        for n in (1, 2, 3, 5, 7, 12):
+            bits = minimal_gadget_bits(n)
+            m = MultiplierNFTA([("s", "a", n, bits, ())], initial="s")
+            assert count_nfta_exact(m.translate(), 1 + bits) == n
+
+    def test_multiplier_zero_drops_transition(self):
+        m = MultiplierNFTA(
+            [("s", "a", 0, 0, ()), ("s", "b", 1, 0, ())], initial="s"
+        )
+        nfta = m.translate()
+        assert count_nfta_exact(nfta, 1) == 1  # only the b leaf
+
+    def test_multipliers_compose_along_tree(self):
+        # Chain of two facts with multipliers 3 and 2: 3·2 = 6 trees.
+        m = MultiplierNFTA(
+            [
+                ("s", "a", 3, 2, ("t",)),
+                ("t", "b", 2, 1, ()),
+            ],
+            initial="s",
+        )
+        # sizes: a node + 2 gadget bits + b node + 1 gadget bit = 5.
+        assert count_nfta_exact(m.translate(), 5) == 6
+
+    def test_multipliers_sum_across_branches(self):
+        # Two alternative leaf rules with same gadget length: counts add.
+        m = MultiplierNFTA(
+            [
+                ("s", "a", 3, 2, ()),
+                ("s", "b", 2, 2, ()),
+            ],
+            initial="s",
+        )
+        assert count_nfta_exact(m.translate(), 3) == 5
+
+    def test_binary_transition_with_multiplier(self):
+        m = MultiplierNFTA(
+            [
+                ("s", "r", 2, 1, ("u", "v")),
+                ("u", "a", 1, 0, ()),
+                ("v", "b", 1, 0, ()),
+            ],
+            initial="s",
+        )
+        # r node + 1 gadget bit + a + b = 4 nodes.
+        assert count_nfta_exact(m.translate(), 4) == 2
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(AutomatonError):
+            MultiplierNFTA([("s", "a", -1, 0, ())], initial="s")
+
+    def test_multiplier_does_not_fit(self):
+        with pytest.raises(AutomatonError):
+            MultiplierNFTA([("s", "a", 5, 2, ())], initial="s")
+
+    def test_bits_zero_multiplier_above_one_rejected_at_translate(self):
+        # Constructor catches it via the fit check.
+        with pytest.raises(AutomatonError):
+            MultiplierNFTA([("s", "a", 2, 0, ())], initial="s")
+
+    def test_encoding_size(self):
+        m = MultiplierNFTA(
+            [("s", "a", 2, 1, ("t",)), ("t", "b", 1, 0, ())],
+            initial="s",
+        )
+        assert m.encoding_size == (3 + 1) + (3 + 0)

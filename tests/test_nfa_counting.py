@@ -1,0 +1,246 @@
+"""Tests for the CountNFA FPRAS (hybrid and pure-sampling regimes)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.nfa import NFA
+from repro.automata.nfa_counting import (
+    count_nfa,
+    default_sample_count,
+    sample_accepted_strings,
+)
+from repro.errors import EstimationError
+
+
+def _random_nfa(seed: int, states: int = 6) -> NFA:
+    rng = random.Random(seed)
+    transitions = []
+    for s in range(states):
+        for symbol in "ab":
+            for t in range(states):
+                if rng.random() < 0.3:
+                    transitions.append((s, symbol, t))
+    initial = [s for s in range(states) if rng.random() < 0.5] or [0]
+    accepting = [s for s in range(states) if rng.random() < 0.4] or [
+        states - 1
+    ]
+    return NFA(transitions, initial=initial, accepting=accepting)
+
+
+class TestHybridRegime:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_hybrid_is_exact_on_small_automata(self, seed):
+        nfa = _random_nfa(seed)
+        n = 7
+        exact = nfa.count_exact(n)
+        result = count_nfa(nfa, n, epsilon=0.5, seed=seed)
+        if result.exact:
+            assert result.estimate == exact
+
+    def test_empty_language(self):
+        nfa = NFA([(0, "a", 1)], initial=[0], accepting=[])
+        result = count_nfa(nfa, 3, seed=0)
+        assert result.estimate == 0
+        assert result.exact
+
+    def test_length_zero(self):
+        nfa = NFA([(0, "a", 0)], initial=[0], accepting=[0])
+        result = count_nfa(nfa, 0, seed=0)
+        assert result.estimate == 1
+
+
+class TestSamplingRegime:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_pure_sampling_accuracy(self, seed):
+        nfa = _random_nfa(seed)
+        n = 8
+        exact = nfa.count_exact(n)
+        result = count_nfa(
+            nfa, n, epsilon=0.2, seed=seed, exact_set_cap=0,
+            repetitions=3,
+        )
+        if exact == 0:
+            assert result.estimate == 0
+        else:
+            assert abs(result.estimate - exact) / exact < 0.35
+
+    def test_samples_override(self):
+        nfa = _random_nfa(1)
+        result = count_nfa(
+            nfa, 6, seed=0, exact_set_cap=0, samples=32
+        )
+        assert result.estimate >= 0
+
+    def test_invalid_epsilon(self):
+        nfa = _random_nfa(0)
+        with pytest.raises(EstimationError):
+            count_nfa(nfa, 3, epsilon=0.0)
+        with pytest.raises(EstimationError):
+            count_nfa(nfa, 3, epsilon=1.5)
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(EstimationError):
+            count_nfa(_random_nfa(0), 3, repetitions=0)
+
+    def test_default_sample_count_scales(self):
+        assert default_sample_count(10, 0.1) > default_sample_count(10, 0.5)
+        assert default_sample_count(100, 0.2) > default_sample_count(4, 0.2)
+
+
+class TestSampling:
+    def test_samples_are_accepted_strings(self):
+        nfa = _random_nfa(3)
+        n = 6
+        if nfa.count_exact(n) == 0:
+            pytest.skip("empty language for this seed")
+        words = sample_accepted_strings(nfa, n, k=20, seed=1)
+        assert len(words) == 20
+        for word in words:
+            assert len(word) == n
+            assert nfa.accepts(word)
+
+    def test_sampling_empty_language_raises(self):
+        nfa = NFA([(0, "a", 1)], initial=[0], accepting=[])
+        with pytest.raises(EstimationError):
+            sample_accepted_strings(nfa, 3, k=5, seed=0)
+
+    def test_sampling_coverage(self):
+        # Over many draws from a tiny language every member should show.
+        nfa = NFA(
+            [(0, "a", 1), (0, "b", 1), (1, "a", 2), (1, "b", 2)],
+            initial=[0],
+            accepting=[2],
+        )
+        words = sample_accepted_strings(
+            nfa, 2, k=200, seed=7, exact_set_cap=0
+        )
+        assert len(set(words)) == 4
+
+
+class TestDeterminism:
+    def test_same_seed_same_estimate(self):
+        nfa = _random_nfa(5)
+        a = count_nfa(nfa, 7, seed=42, exact_set_cap=0)
+        b = count_nfa(nfa, 7, seed=42, exact_set_cap=0)
+        assert a.estimate == b.estimate
+
+    def test_median_of_repetitions(self):
+        nfa = _random_nfa(5)
+        result = count_nfa(
+            nfa, 7, seed=42, exact_set_cap=0, repetitions=5
+        )
+        assert result.samples_used > 0
+
+
+class TestWeightedStringCounting:
+    def test_exact_weighted_single_letter(self):
+        nfa = NFA([(0, "a", 1), (0, "b", 1)], initial=[0], accepting=[1])
+        weights = {"a": 3, "b": 5}
+        assert nfa.count_exact(1, weight_of=weights.get) == 8
+
+    def test_exact_weighted_chain(self):
+        nfa = NFA([(0, "a", 1), (1, "b", 2)], initial=[0], accepting=[2])
+        weights = {"a": 2, "b": 7}
+        assert nfa.count_exact(2, weight_of=weights.get) == 14
+
+    def test_zero_weight_prunes(self):
+        nfa = NFA([(0, "a", 1), (0, "b", 1)], initial=[0], accepting=[1])
+        weights = {"a": 0, "b": 5}
+        assert nfa.count_exact(1, weight_of=weights.get) == 5
+
+    def test_weighted_ambiguity_not_overcounted(self):
+        # Two runs accept the same string "a": weight counted once.
+        nfa = NFA(
+            [(0, "a", 1), (0, "a", 2)], initial=[0], accepting=[1, 2]
+        )
+        assert nfa.count_exact(1, weight_of=lambda _s: 3) == 3
+
+    def test_fpras_weighted_matches_exact(self):
+        nfa = _random_nfa(4)
+        weights = {"a": 2, "b": 3}
+        n = 7
+        exact = nfa.count_exact(n, weight_of=weights.get)
+        if exact == 0:
+            return
+        result = count_nfa(
+            nfa, n, epsilon=0.2, seed=5, exact_set_cap=0,
+            weight_of=weights.get, repetitions=3,
+        )
+        assert abs(result.estimate - exact) / exact < 0.4
+
+    def test_fpras_weighted_hybrid(self):
+        nfa = _random_nfa(2)
+        weights = {"a": 2, "b": 1}
+        n = 6
+        exact = nfa.count_exact(n, weight_of=weights.get)
+        result = count_nfa(nfa, n, epsilon=0.3, seed=0, weight_of=weights.get)
+        if result.exact and exact:
+            assert abs(result.estimate - exact) / exact < 1e-9
+
+    def test_weighted_sampling_proportional(self):
+        nfa = NFA(
+            [(0, "light", 1), (0, "heavy", 1)],
+            initial=[0],
+            accepting=[1],
+        )
+        weights = {"light": 1, "heavy": 9}
+        words = sample_accepted_strings(
+            nfa, 1, k=400, seed=6, exact_set_cap=16,
+            weight_of=weights.get,
+        )
+        heavy = sum(1 for w in words if w == ("heavy",))
+        assert 0.8 < heavy / 400 < 0.97
+
+
+class TestAdversarialAmbiguity:
+    """Highly-ambiguous automata: the union correction's hardest case."""
+
+    def test_m_identical_branches(self):
+        # m disjoint state copies all accepting {a,b}^n: naive summing
+        # over components would report m·2^n; the KL correction must
+        # recover ~2^n.
+        m, n = 6, 6
+        transitions = []
+        for copy in range(m):
+            for symbol in "ab":
+                transitions.append(((copy, 0), symbol, (copy, 1)))
+                transitions.append(((copy, 1), symbol, (copy, 1)))
+        nfa = NFA(
+            transitions,
+            initial=[(copy, 0) for copy in range(m)],
+            accepting=[(copy, 1) for copy in range(m)],
+        )
+        exact = nfa.count_exact(n)
+        assert exact == 2**n
+        result = count_nfa(
+            nfa, n, epsilon=0.15, seed=3, exact_set_cap=0,
+            repetitions=3,
+        )
+        assert abs(result.estimate - exact) / exact < 0.3
+
+    def test_nested_ambiguity(self):
+        # Every state at every level has two successors accepting the
+        # same suffix language.
+        n = 6
+        transitions = []
+        for level in range(n):
+            for branch in (0, 1):
+                for nxt in (0, 1):
+                    transitions.append(
+                        ((level, branch), "a", (level + 1, nxt))
+                    )
+        nfa = NFA(
+            transitions,
+            initial=[(0, 0)],
+            accepting=[(n, 0), (n, 1)],
+        )
+        exact = nfa.count_exact(n)
+        assert exact == 1  # only a^n, massively ambiguous
+        result = count_nfa(
+            nfa, n, epsilon=0.2, seed=1, exact_set_cap=0
+        )
+        assert abs(result.estimate - 1) < 0.3

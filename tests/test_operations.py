@@ -1,0 +1,187 @@
+"""Tests for automata language operations and bounded comparison."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.nfa import NFA
+from repro.automata.nfta import LAMBDA, NFTA
+from repro.automata.operations import (
+    nfa_equivalent_upto,
+    nfa_included_upto,
+    nfa_intersection,
+    nfa_union,
+    nfta_equivalent_upto,
+    nfta_included_upto,
+    nfta_intersection,
+    nfta_union,
+)
+from repro.automata.nfta_counting import count_nfta_exact
+from repro.errors import AutomatonError
+
+
+def _ends_in(symbol: str) -> NFA:
+    return NFA(
+        [(0, "a", 0), (0, "b", 0), (0, symbol, 1)],
+        initial=[0],
+        accepting=[1],
+    )
+
+
+def _random_nfa(seed: int, states: int = 4) -> NFA:
+    rng = random.Random(seed)
+    transitions = []
+    for s in range(states):
+        for symbol in "ab":
+            for t in range(states):
+                if rng.random() < 0.35:
+                    transitions.append((s, symbol, t))
+    initial = [s for s in range(states) if rng.random() < 0.5] or [0]
+    accepting = [s for s in range(states) if rng.random() < 0.4]
+    return NFA(transitions, initial=initial, accepting=accepting)
+
+
+class TestNFAOperations:
+    def test_union_counts(self):
+        ends_a, ends_b = _ends_in("a"), _ends_in("b")
+        union = nfa_union(ends_a, ends_b)
+        for n in range(1, 6):
+            # ends in a OR ends in b = all strings of length n.
+            assert union.count_exact(n) == 2**n
+
+    def test_intersection_counts(self):
+        ends_a, ends_b = _ends_in("a"), _ends_in("b")
+        intersection = nfa_intersection(ends_a, ends_b)
+        for n in range(1, 6):
+            assert intersection.count_exact(n) == 0
+
+    def test_intersection_nonempty(self):
+        ends_a = _ends_in("a")
+        everything = NFA(
+            [(0, "a", 0), (0, "b", 0)], initial=[0], accepting=[0]
+        )
+        intersection = nfa_intersection(ends_a, everything)
+        for n in range(1, 5):
+            assert intersection.count_exact(n) == ends_a.count_exact(n)
+
+    def test_inclusion_positive(self):
+        ends_a = _ends_in("a")
+        union = nfa_union(ends_a, _ends_in("b"))
+        assert nfa_included_upto(ends_a, union, 6)
+
+    def test_inclusion_negative(self):
+        ends_a, ends_b = _ends_in("a"), _ends_in("b")
+        assert not nfa_included_upto(ends_a, ends_b, 3)
+
+    def test_equivalence_reflexive(self):
+        nfa = _random_nfa(3)
+        assert nfa_equivalent_upto(nfa, nfa, 6)
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_trim_equivalent(self, seed):
+        nfa = _random_nfa(seed)
+        assert nfa_equivalent_upto(nfa, nfa.trimmed(), 6)
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_inclusion_consistent_with_enumeration(self, seed):
+        a = _random_nfa(seed)
+        b = _random_nfa(seed + 1)
+        included = nfa_included_upto(a, b, 4)
+        brute = all(
+            word in set(b.enumerate_language(n))
+            for n in range(5)
+            for word in a.enumerate_language(n)
+        )
+        assert included == brute
+
+
+def _leafy(symbol: str) -> NFTA:
+    """Accepts exactly the single leaf tree `symbol`."""
+    return NFTA([("q", symbol, ())], initial="q")
+
+
+def _all_unary_chains() -> NFTA:
+    return NFTA(
+        [("q", "a", ()), ("q", "a", ("q",))], initial="q"
+    )
+
+
+class TestNFTAOperations:
+    def test_union_counts(self):
+        union = nfta_union(_leafy("a"), _leafy("b"))
+        assert count_nfta_exact(union, 1) == 2
+
+    def test_union_with_chains(self):
+        union = nfta_union(_leafy("b"), _all_unary_chains())
+        assert count_nfta_exact(union, 1) == 2  # leaf a and leaf b
+        assert count_nfta_exact(union, 3) == 1  # only the a-chain
+
+    def test_intersection(self):
+        chains = _all_unary_chains()
+        restricted = NFTA(
+            [("p", "a", ()), ("p", "a", ("r",)), ("r", "a", ())],
+            initial="p",
+        )  # chains of length 1 or 2 only
+        intersection = nfta_intersection(chains, restricted)
+        assert count_nfta_exact(intersection, 1) == 1
+        assert count_nfta_exact(intersection, 2) == 1
+        assert count_nfta_exact(intersection, 3) == 0
+
+    def test_inclusion(self):
+        chains = _all_unary_chains()
+        assert nfta_included_upto(_leafy("a"), chains, 4)
+        assert not nfta_included_upto(chains, _leafy("a"), 4)
+
+    def test_equivalence_reflexive(self):
+        chains = _all_unary_chains()
+        assert nfta_equivalent_upto(chains, chains, 5)
+
+    def test_lambda_elimination_preserves_language(self):
+        with_lambda = NFTA(
+            [
+                ("root", "r", ("m",)),
+                ("m", LAMBDA, ("p", "q")),
+                ("m", "c", ()),
+                ("p", "a", ()),
+                ("q", "b", ()),
+            ],
+            initial="root",
+        )
+        eliminated = with_lambda.eliminate_lambda()
+        reference = NFTA(
+            [
+                ("root", "r", ("m",)),
+                ("root", "r", ("p", "q")),
+                ("m", "c", ()),
+                ("p", "a", ()),
+                ("q", "b", ()),
+            ],
+            initial="root",
+        )
+        # The spliced language: r(c) and r(a, b).
+        assert nfta_equivalent_upto(eliminated, reference, 4)
+
+    def test_trimmed_equivalent(self):
+        nfta = NFTA(
+            [
+                ("q", "a", ()),
+                ("q", "b", ("dead",)),
+                ("island", "a", ()),
+            ],
+            initial="q",
+        )
+        assert nfta_equivalent_upto(nfta, nfta.trimmed(), 4)
+
+    def test_lambda_operand_rejected(self):
+        bad = NFTA([("s", LAMBDA, ("t",)), ("t", "a", ())], initial="s")
+        good = _leafy("a")
+        with pytest.raises(AutomatonError):
+            nfta_union(bad, good)
+        with pytest.raises(AutomatonError):
+            nfta_intersection(bad, good)
+        with pytest.raises(AutomatonError):
+            nfta_included_upto(bad, good, 3)

@@ -1,0 +1,96 @@
+"""Unit tests for the textual query parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.queries.atoms import make_atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.parser import parse_query
+
+
+class TestAcceptedSyntax:
+    def test_basic_body(self):
+        q = parse_query("R(x,y), S(y,z)")
+        assert q == ConjunctiveQuery(
+            [make_atom("R", "x", "y"), make_atom("S", "y", "z")]
+        )
+
+    def test_rule_head(self):
+        assert parse_query("Q :- R(x,y)") == parse_query("R(x,y)")
+
+    def test_rule_head_with_parens(self):
+        assert parse_query("Q() :- R(x,y)") == parse_query("R(x,y)")
+
+    def test_whitespace_insensitive(self):
+        assert parse_query("  R( x ,y )  ,S(y,  z)") == parse_query(
+            "R(x,y), S(y,z)"
+        )
+
+    def test_single_atom(self):
+        q = parse_query("Edge(u, v)")
+        assert len(q) == 1
+        assert q.atoms[0].relation == "Edge"
+
+    def test_unary_atom(self):
+        q = parse_query("U(x)")
+        assert q.atoms[0].arity == 1
+
+    def test_high_arity(self):
+        q = parse_query("T(a, b, c, d, e)")
+        assert q.atoms[0].arity == 5
+
+    def test_repeated_variable_in_atom(self):
+        q = parse_query("R(x, x)")
+        assert [v.name for v in q.atoms[0]] == ["x", "x"]
+
+    def test_identifier_characters(self):
+        q = parse_query("R_1(x', y2)")
+        assert q.atoms[0].relation == "R_1"
+        assert [v.name for v in q.atoms[0]] == ["x'", "y2"]
+
+    def test_self_join_parses(self):
+        q = parse_query("R(x,y), R(y,z)")
+        assert not q.is_self_join_free
+
+    def test_head_name_same_as_relation(self):
+        # 'R' head followed by body starting with R(...) atom.
+        q = parse_query("R :- R(x, y)")
+        assert len(q) == 1
+
+
+class TestRejectedSyntax:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "R(x,y",          # unclosed paren
+            "R(x,y))",        # trailing junk
+            "R(,y)",          # missing arg
+            "R()",            # no args at all
+            "R(x,y) S(y,z)",  # missing comma
+            "R(x,y),",        # trailing comma
+            ",R(x,y)",        # leading comma
+            "R(x,1y)!!",      # illegal character
+            ":- R(x,y) :-",   # stray rule marker
+            "R",              # bare identifier
+        ],
+    )
+    def test_raises(self, text):
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "R(x, y)",
+            "R1(x1, x2), R2(x2, x3), R3(x3, x4)",
+            "U(c), R1(c, y1), R2(c, y2)",
+            "T(a, b, c), S(b, c, d)",
+        ],
+    )
+    def test_parse_str_parse_fixpoint(self, text):
+        q = parse_query(text)
+        assert parse_query(str(q)) == q

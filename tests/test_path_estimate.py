@@ -1,0 +1,230 @@
+"""Tests for the Section 3 warm-up: path queries via NFA reduction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import exact_uniform_reliability
+from repro.core.path_estimate import build_path_nfa, path_estimate
+from repro.db.fact import Fact
+from repro.db.instance import DatabaseInstance
+from repro.errors import QueryError, SelfJoinError
+from repro.queries.builders import path_query, star_query
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.atoms import make_atom
+from repro.queries.parser import parse_query
+from repro.workloads.graphs import layered_path_instance
+
+
+def _random_layered(seed: int):
+    rng = random.Random(seed)
+    length = rng.choice([2, 3])
+    return path_query(length), layered_path_instance(
+        length, 2, edge_probability=0.6, seed=seed
+    )
+
+
+class TestValidation:
+    def test_rejects_non_path(self):
+        with pytest.raises(QueryError):
+            build_path_nfa(
+                star_query(2), DatabaseInstance([Fact("R1", ("a", "b"))])
+            )
+
+    def test_rejects_self_join(self):
+        q = ConjunctiveQuery(
+            [make_atom("R", "x", "y"), make_atom("R", "y", "z")]
+        )
+        with pytest.raises(SelfJoinError):
+            build_path_nfa(q, DatabaseInstance([Fact("R", ("a", "b"))]))
+
+    def test_rejects_non_binary_facts(self):
+        q = path_query(1)
+        with pytest.raises(QueryError):
+            build_path_nfa(q, DatabaseInstance([Fact("R1", ("a", "b", "c"))]))
+
+
+class TestBijection:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_count_equals_ur(self, seed):
+        query, instance = _random_layered(seed)
+        if len(instance) > 14:
+            instance = DatabaseInstance(list(instance)[:14])
+        reduction = build_path_nfa(query, instance)
+        automaton_count = (
+            reduction.nfa.count_exact(reduction.string_length)
+            * reduction.scale
+        )
+        assert automaton_count == exact_uniform_reliability(
+            query, instance, method="enumerate"
+        )
+
+    def test_accepted_strings_have_consistent_order(self):
+        query = path_query(2)
+        instance = DatabaseInstance(
+            [
+                Fact("R1", ("a", "b")),
+                Fact("R1", ("a", "c")),
+                Fact("R2", ("b", "d")),
+                Fact("R2", ("c", "d")),
+            ]
+        )
+        reduction = build_path_nfa(query, instance)
+        strings = set(
+            reduction.nfa.enumerate_language(reduction.string_length)
+        )
+        # Each accepted string mentions each fact exactly once, in the
+        # same global order.
+        orders = set()
+        for word in strings:
+            facts = tuple(lit.fact for lit in word)
+            assert len(set(facts)) == len(instance)
+            orders.add(facts)
+        assert len(orders) == 1
+
+    def test_empty_relation_yields_zero(self):
+        query = path_query(2)
+        instance = DatabaseInstance([Fact("R1", ("a", "b"))])
+        reduction = build_path_nfa(query, instance)
+        assert reduction.nfa.count_exact(reduction.string_length) == 0
+
+    def test_dropped_facts_scale(self):
+        query = path_query(1)
+        instance = DatabaseInstance(
+            [Fact("R1", ("a", "b")), Fact("Other", ("z", "w"))]
+        )
+        reduction = build_path_nfa(query, instance)
+        assert reduction.dropped_facts == 1
+        assert reduction.scale == 2
+        total = (
+            reduction.nfa.count_exact(reduction.string_length)
+            * reduction.scale
+        )
+        assert total == exact_uniform_reliability(
+            query, instance, method="enumerate"
+        )
+
+    def test_atom_order_in_query_object_irrelevant(self):
+        # Scrambled presentation of the same path query.
+        q = parse_query("R2(y, z), R1(x, y), R3(z, w)")
+        instance = layered_path_instance(3, 2, 0.8, seed=5)
+        reduction = build_path_nfa(q, instance)
+        assert reduction.relation_order == ("R1", "R2", "R3")
+
+
+class TestEstimator:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fpras_within_envelope(self, seed):
+        query, instance = _random_layered(seed)
+        truth = exact_uniform_reliability(query, instance, method="lineage")
+        estimate = path_estimate(
+            query, instance, epsilon=0.2, seed=seed, repetitions=3
+        )
+        if truth == 0:
+            assert estimate.estimate == 0
+        else:
+            assert abs(estimate.estimate - truth) / truth < 0.4
+
+    def test_polynomial_automaton_size(self):
+        # NFA stays polynomial as the query grows (combined complexity!).
+        sizes = []
+        for length in (2, 4, 6):
+            query = path_query(length)
+            instance = layered_path_instance(length, 2, 1.0, seed=0)
+            reduction = build_path_nfa(query, instance)
+            sizes.append(reduction.nfa.num_transitions)
+        # Roughly linear growth in query length here; certainly not
+        # exponential (each level multiplies by < 2).
+        assert sizes[2] < sizes[0] * 8
+
+    def test_result_metadata(self):
+        query, instance = _random_layered(1)
+        estimate = path_estimate(query, instance, seed=0)
+        assert estimate.nfa_states > 0
+        assert estimate.string_length == len(instance)
+        assert float(estimate) == estimate.estimate
+
+
+class TestWitnessNfa:
+    def test_counts_homomorphisms(self):
+        from repro.core.path_estimate import build_witness_nfa
+        from repro.db.semantics import count_homomorphisms
+
+        for seed in range(4):
+            query = path_query(3)
+            instance = layered_path_instance(3, 3, 0.5, seed=seed)
+            nfa, n = build_witness_nfa(query, instance)
+            assert n == 3
+            assert nfa.count_exact(n) == count_homomorphisms(
+                query, instance
+            )
+
+    def test_empty_relation(self):
+        from repro.core.path_estimate import build_witness_nfa
+
+        query = path_query(2)
+        instance = DatabaseInstance([Fact("R1", ("a", "b"))])
+        nfa, n = build_witness_nfa(query, instance)
+        assert nfa.count_exact(n) == 0
+
+
+class TestPathPqe:
+    def test_exact_matches_ground_truth(self):
+        from repro.core.exact import exact_probability
+        from repro.core.path_estimate import path_pqe_estimate
+        from repro.workloads.instances import random_probabilities
+
+        for seed in range(4):
+            query = path_query(2)
+            instance = layered_path_instance(2, 2, 0.7, seed=seed)
+            pdb = random_probabilities(
+                instance, seed=seed, max_denominator=4,
+                include_extremes=True,
+            )
+            truth = float(exact_probability(query, pdb, method="lineage"))
+            result = path_pqe_estimate(query, pdb, method="exact")
+            assert result.estimate == __import__("pytest").approx(
+                truth, abs=1e-12
+            )
+
+    def test_fpras_within_envelope(self):
+        from repro.core.exact import exact_probability
+        from repro.core.path_estimate import path_pqe_estimate
+        from repro.workloads.instances import random_probabilities
+
+        query = path_query(3)
+        instance = layered_path_instance(3, 2, 0.8, seed=7)
+        pdb = random_probabilities(instance, seed=8, max_denominator=3)
+        truth = float(exact_probability(query, pdb, method="lineage"))
+        result = path_pqe_estimate(
+            query, pdb, epsilon=0.2, seed=9, exact_set_cap=0,
+            repetitions=3,
+        )
+        assert abs(result.estimate - truth) / truth < 0.4
+
+    def test_agrees_with_tree_pipeline(self):
+        from repro.core.path_estimate import path_pqe_estimate
+        from repro.core.pqe_estimate import pqe_estimate
+        from repro.workloads.instances import random_probabilities
+
+        query = path_query(2)
+        instance = layered_path_instance(2, 2, 0.7, seed=3)
+        pdb = random_probabilities(instance, seed=4, max_denominator=4)
+        nfa_result = path_pqe_estimate(query, pdb, method="exact")
+        tree_result = pqe_estimate(query, pdb, method="exact-weighted")
+        assert nfa_result.estimate == __import__("pytest").approx(
+            tree_result.estimate, abs=1e-12
+        )
+
+    def test_unknown_method(self):
+        from repro.core.path_estimate import path_pqe_estimate
+        from repro.workloads.instances import random_probabilities
+
+        query = path_query(2)
+        instance = layered_path_instance(2, 2, 0.7, seed=1)
+        pdb = random_probabilities(instance, seed=1)
+        with pytest.raises(ValueError):
+            path_pqe_estimate(query, pdb, method="bogus")

@@ -1,0 +1,143 @@
+"""Unit and property tests for probabilistic databases."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.fact import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.errors import ProbabilityError
+from repro.queries.parser import parse_query
+
+
+def _facts(n):
+    return [Fact("R", (f"c{i}",)) for i in range(n)]
+
+
+class TestConstruction:
+    def test_accepts_fraction_strings(self):
+        pdb = ProbabilisticDatabase({_facts(1)[0]: "3/7"})
+        assert pdb.probability(_facts(1)[0]) == Fraction(3, 7)
+
+    def test_accepts_ints(self):
+        pdb = ProbabilisticDatabase({_facts(1)[0]: 1})
+        assert pdb.probability(_facts(1)[0]) == 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ProbabilityError):
+            ProbabilisticDatabase({_facts(1)[0]: "3/2"})
+        with pytest.raises(ProbabilityError):
+            ProbabilisticDatabase({_facts(1)[0]: -1})
+
+    def test_rejects_non_rational(self):
+        with pytest.raises(ProbabilityError):
+            ProbabilisticDatabase({_facts(1)[0]: "garbage"})
+
+    def test_unknown_fact_lookup(self):
+        pdb = ProbabilisticDatabase.uniform(_facts(2))
+        with pytest.raises(ProbabilityError):
+            pdb.probability(Fact("R", ("nope",)))
+
+    def test_uniform_and_certain(self):
+        facts = _facts(3)
+        assert all(
+            ProbabilisticDatabase.uniform(facts).probability(f)
+            == Fraction(1, 2)
+            for f in facts
+        )
+        assert all(
+            ProbabilisticDatabase.certain(facts).probability(f) == 1
+            for f in facts
+        )
+
+
+class TestSizeAndDenominator:
+    def test_denominator_product(self):
+        facts = _facts(3)
+        pdb = ProbabilisticDatabase(
+            {facts[0]: "1/2", facts[1]: "1/3", facts[2]: "3/4"}
+        )
+        assert pdb.denominator_product == 2 * 3 * 4
+
+    def test_size_includes_bit_encoding(self):
+        facts = _facts(1)
+        small = ProbabilisticDatabase({facts[0]: "1/2"})
+        large = ProbabilisticDatabase({facts[0]: "12345/99999"})
+        assert large.size > small.size
+
+
+class TestSubinstanceProbability:
+    def test_simple_product(self):
+        facts = _facts(2)
+        pdb = ProbabilisticDatabase({facts[0]: "1/2", facts[1]: "1/3"})
+        assert pdb.subinstance_probability([facts[0]]) == Fraction(1, 2) * (
+            1 - Fraction(1, 3)
+        )
+
+    def test_unknown_fact_rejected(self):
+        pdb = ProbabilisticDatabase.uniform(_facts(1))
+        with pytest.raises(ProbabilityError):
+            pdb.subinstance_probability([Fact("S", ("x",))])
+
+    @given(
+        st.lists(
+            st.fractions(min_value=0, max_value=1, max_denominator=6),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_distribution_sums_to_one(self, probs):
+        facts = _facts(len(probs))
+        pdb = ProbabilisticDatabase(dict(zip(facts, probs)))
+        total = sum(
+            pdb.subinstance_probability(sub)
+            for sub in pdb.instance.subinstances()
+        )
+        assert total == 1
+
+
+class TestTransforms:
+    def test_project_to_query(self):
+        pdb = ProbabilisticDatabase(
+            {Fact("R", ("a", "b")): "1/2", Fact("T", ("z",)): "1/3"}
+        )
+        projected = pdb.project_to_query(parse_query("R(x, y)"))
+        assert len(projected) == 1
+
+    def test_conditioned_present(self):
+        facts = _facts(2)
+        pdb = ProbabilisticDatabase({facts[0]: "1/2", facts[1]: "1/3"})
+        conditioned = pdb.conditioned(facts[0], present=True)
+        assert conditioned.probability(facts[0]) == 1
+        assert len(conditioned) == 2
+
+    def test_conditioned_absent(self):
+        facts = _facts(2)
+        pdb = ProbabilisticDatabase({facts[0]: "1/2", facts[1]: "1/3"})
+        conditioned = pdb.conditioned(facts[0], present=False)
+        assert len(conditioned) == 1
+
+    def test_conditioned_unknown_fact(self):
+        pdb = ProbabilisticDatabase.uniform(_facts(1))
+        with pytest.raises(ProbabilityError):
+            pdb.conditioned(Fact("S", ("x",)), present=True)
+
+    def test_shannon_expansion_identity(self):
+        # Pr(D') marginalises correctly under conditioning.
+        facts = _facts(3)
+        pdb = ProbabilisticDatabase(
+            {facts[0]: "1/2", facts[1]: "2/3", facts[2]: "1/5"}
+        )
+        pivot = facts[0]
+        p = pdb.probability(pivot)
+        target = frozenset({facts[1]})
+        lhs = pdb.subinstance_probability(target)
+        rhs = (1 - p) * pdb.conditioned(
+            pivot, present=False
+        ).subinstance_probability(target)
+        # pivot absent in target, so only the absent branch contributes.
+        assert lhs == rhs

@@ -1,0 +1,92 @@
+"""Unit tests for structural query properties (hierarchy, safety, paths)."""
+
+import pytest
+
+from repro.queries.atoms import make_atom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.parser import parse_query
+from repro.queries.properties import (
+    atom_sets_by_variable,
+    is_hierarchical,
+    is_path_query,
+    is_safe,
+    is_self_join_free,
+)
+
+
+class TestHierarchy:
+    def test_h0_is_not_hierarchical(self):
+        # The canonical unsafe query R(x), S(x,y), T(y).
+        q = parse_query("R(x), S(x, y), T(y)")
+        assert not is_hierarchical(q)
+
+    def test_star_hierarchical(self):
+        q = parse_query("R1(c, y1), R2(c, y2), R3(c, y3)")
+        assert is_hierarchical(q)
+
+    def test_single_atom(self):
+        assert is_hierarchical(parse_query("R(x, y)"))
+
+    def test_disjoint_atoms(self):
+        assert is_hierarchical(parse_query("R(x, y), S(u, v)"))
+
+    def test_nested_containment(self):
+        # at(x) ⊇ at(y): hierarchical.
+        q = parse_query("R(x, y), S(x)")
+        assert is_hierarchical(q)
+
+    def test_atom_sets_by_variable(self):
+        q = parse_query("R(x, y), S(y, z)")
+        sets = atom_sets_by_variable(q)
+        assert len(sets[q.atoms[0].args[0]]) == 1  # x
+        assert len(sets[q.atoms[0].args[1]]) == 2  # y
+
+
+class TestSafety:
+    def test_safe_iff_hierarchical_for_sjf(self):
+        assert is_safe(parse_query("R1(c, y1), R2(c, y2)"))
+        assert not is_safe(parse_query("R(x), S(x, y), T(y)"))
+
+    def test_self_join_raises(self):
+        with pytest.raises(NotImplementedError):
+            is_safe(parse_query("R(x, y), R(y, z)"))
+
+
+class TestSelfJoinFree:
+    def test_true(self):
+        assert is_self_join_free(parse_query("R(x, y), S(y, z)"))
+
+    def test_false(self):
+        assert not is_self_join_free(parse_query("R(x, y), R(y, z)"))
+
+
+class TestPathDetection:
+    def test_positive(self):
+        assert is_path_query(parse_query("A(x, y), B(y, z), C(z, w)"))
+
+    def test_order_insensitive(self):
+        assert is_path_query(parse_query("B(y, z), A(x, y), C(z, w)"))
+
+    def test_single_binary_atom(self):
+        assert is_path_query(parse_query("R(x, y)"))
+
+    def test_self_loop_not_path(self):
+        assert not is_path_query(parse_query("R(x, x)"))
+
+    def test_star_not_path(self):
+        assert not is_path_query(parse_query("R1(c, y1), R2(c, y2)"))
+
+    def test_cycle_not_path(self):
+        assert not is_path_query(parse_query("R(x, y), S(y, x)"))
+
+    def test_ternary_not_path(self):
+        assert not is_path_query(parse_query("R(x, y, z)"))
+
+    def test_disconnected_not_path(self):
+        assert not is_path_query(parse_query("R(x, y), S(u, v)"))
+
+    def test_branching_not_path(self):
+        assert not is_path_query(parse_query("R(x, y), S(x, z)"))
+
+    def test_two_paths_merging_not_path(self):
+        assert not is_path_query(parse_query("R(x, z), S(y, z)"))

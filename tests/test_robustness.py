@@ -1,0 +1,158 @@
+"""Robustness tests: awkward inputs through the full pipelines."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.exact import exact_probability
+from repro.core.pqe_estimate import build_pqe_reduction, pqe_estimate
+from repro.core.ur_reduction import build_ur_reduction
+from repro.core.estimator import PQEEngine
+from repro.db.fact import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.queries.builders import path_query
+from repro.queries.parser import parse_query
+
+
+class TestExoticConstants:
+    def test_integer_constants(self):
+        query = path_query(2)
+        pdb = ProbabilisticDatabase(
+            {
+                Fact("R1", (1, 2)): "1/2",
+                Fact("R2", (2, 3)): "1/3",
+            }
+        )
+        truth = exact_probability(query, pdb, method="enumerate")
+        automaton = pqe_estimate(query, pdb, method="exact-automaton")
+        assert automaton.estimate == pytest.approx(float(truth))
+
+    def test_mixed_type_constants(self):
+        query = path_query(2)
+        pdb = ProbabilisticDatabase(
+            {
+                Fact("R1", ("a", 7)): "1/2",
+                Fact("R1", (0, 7)): "1/2",
+                Fact("R2", (7, ("tuple", "const"))): "1/3",
+            }
+        )
+        truth = exact_probability(query, pdb, method="enumerate")
+        automaton = pqe_estimate(query, pdb, method="exact-weighted")
+        assert automaton.estimate == pytest.approx(float(truth))
+
+    def test_unicode_names(self):
+        query = parse_query("Straße(x, y), Güter(y, z)")
+        pdb = ProbabilisticDatabase(
+            {
+                Fact("Straße", ("münchen", "köln")): "1/2",
+                Fact("Güter", ("köln", "北京")): "2/3",
+            }
+        )
+        truth = exact_probability(query, pdb, method="enumerate")
+        assert truth == Fraction(1, 3)
+        result = pqe_estimate(query, pdb, method="exact-automaton")
+        assert result.estimate == pytest.approx(float(truth))
+
+
+class TestExtremeProbabilities:
+    def test_large_denominators(self):
+        # 997/1000: positive gadget u(997)=10 bits, negative u(3)=2 →
+        # padded to 10 each.
+        query = path_query(1)
+        fact = Fact("R1", ("a", "b"))
+        pdb = ProbabilisticDatabase({fact: Fraction(997, 1000)})
+        reduction = build_pqe_reduction(query, pdb)
+        assert reduction.tree_size == 1 + 10
+        result = pqe_estimate(query, pdb, method="exact-automaton")
+        assert result.estimate == pytest.approx(0.997)
+        weighted = pqe_estimate(query, pdb, method="exact-weighted")
+        assert weighted.estimate == pytest.approx(0.997)
+
+    def test_all_zero_probabilities(self):
+        query = path_query(2)
+        pdb = ProbabilisticDatabase(
+            {
+                Fact("R1", ("a", "b")): 0,
+                Fact("R2", ("b", "c")): 0,
+            }
+        )
+        assert pqe_estimate(query, pdb, method="exact-automaton").estimate == 0
+        assert pqe_estimate(query, pdb, method="exact-weighted").estimate == 0
+
+    def test_mixed_zero_and_one(self):
+        query = path_query(2)
+        pdb = ProbabilisticDatabase(
+            {
+                Fact("R1", ("a", "b")): 1,
+                Fact("R1", ("a", "z")): 0,
+                Fact("R2", ("b", "c")): "1/2",
+                Fact("R2", ("z", "c")): 1,
+            }
+        )
+        truth = float(exact_probability(query, pdb, method="enumerate"))
+        assert truth == 0.5
+        for method in ("exact-automaton", "exact-weighted"):
+            assert pqe_estimate(
+                query, pdb, method=method
+            ).estimate == pytest.approx(truth)
+
+    def test_prime_denominators(self):
+        query = path_query(1)
+        pdb = ProbabilisticDatabase(
+            {
+                Fact("R1", ("a", "b")): Fraction(6, 7),
+                Fact("R1", ("c", "d")): Fraction(10, 11),
+            }
+        )
+        truth = float(exact_probability(query, pdb, method="enumerate"))
+        result = pqe_estimate(query, pdb, method="exact-automaton")
+        assert result.estimate == pytest.approx(truth)
+        assert result.reduction.denominator == 77
+
+
+class TestMissingRelations:
+    def test_engine_handles_missing_relation(self):
+        query = path_query(2)
+        pdb = ProbabilisticDatabase({Fact("R1", ("a", "b")): "1/2"})
+        engine = PQEEngine(seed=0)
+        answer = engine.probability(query, pdb)
+        assert answer.value == 0
+
+    def test_fpras_handles_missing_relation(self):
+        query = path_query(2)
+        pdb = ProbabilisticDatabase({Fact("R1", ("a", "b")): "1/2"})
+        result = pqe_estimate(query, pdb, seed=0)
+        assert result.estimate == 0
+
+    def test_ur_reduction_on_empty_projection(self):
+        query = path_query(2)
+        instance = DatabaseInstance([Fact("Unrelated", ("x",))])
+        reduction = build_ur_reduction(query, instance)
+        assert reduction.tree_size == 0 or reduction.tree_size >= 0
+
+
+class TestScale:
+    def test_long_query_construction(self):
+        # Combined complexity: a 20-atom query must still construct
+        # quickly on a small instance.
+        query = path_query(20)
+        facts = [
+            Fact(f"R{i}", (f"v{i}", f"v{i + 1}")) for i in range(1, 21)
+        ]
+        instance = DatabaseInstance(facts)
+        reduction = build_ur_reduction(query, instance)
+        assert reduction.nfta.num_transitions < 10_000
+        from repro.automata.nfta_counting import count_nfta_exact
+
+        # Single witness chain: UR = 1.
+        assert count_nfta_exact(reduction.nfta, reduction.tree_size) == 1
+
+    def test_wide_relation_construction(self):
+        query = path_query(2)
+        facts = [Fact("R1", ("a", f"m{i}")) for i in range(20)]
+        facts += [Fact("R2", (f"m{i}", "z")) for i in range(20)]
+        instance = DatabaseInstance(facts)
+        reduction = build_ur_reduction(query, instance)
+        # |S| and |Δ| stay polynomial in |D|.
+        assert reduction.nfta.num_transitions < 40 * 40 * 10

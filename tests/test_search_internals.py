@@ -1,0 +1,106 @@
+"""White-box tests for the decomposition search machinery."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decomposition.search import (
+    _bags_for_order,
+    _min_fill_order,
+    cover_bags,
+    primal_graph,
+)
+from repro.queries.atoms import Variable
+from repro.queries.builders import (
+    cycle_query,
+    path_query,
+    star_query,
+    triangle_query,
+)
+
+
+def _elimination_orders(query, rng, count=3):
+    variables = sorted(primal_graph(query), key=str)
+    for _ in range(count):
+        order = variables[:]
+        rng.shuffle(order)
+        yield order
+
+
+class TestBagsForOrder:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_tree_decomposition_properties(self, seed):
+        rng = random.Random(seed)
+        query = rng.choice(
+            [path_query(4), star_query(3), triangle_query(), cycle_query(4)]
+        )
+        adjacency = primal_graph(query)
+        for order in _elimination_orders(query, rng):
+            bags, parents = _bags_for_order(adjacency, order)
+            # Tree shape: parents precede children (topological ids).
+            assert parents[0] == -1
+            for index, parent in enumerate(parents[1:], start=1):
+                assert 0 <= parent < index
+
+            # Vertex coverage: every query variable is in some bag.
+            covered = set()
+            for bag in bags:
+                covered |= bag
+            assert covered == set(query.variables)
+
+            # Edge coverage: every primal edge lies inside some bag.
+            for left, neighbours in adjacency.items():
+                for right in neighbours:
+                    assert any(
+                        left in bag and right in bag for bag in bags
+                    ), (left, right)
+
+            # Running intersection (condition 2): bags containing any
+            # given variable form a connected subtree.
+            for variable in query.variables:
+                holding = [
+                    i for i, bag in enumerate(bags) if variable in bag
+                ]
+                local_roots = sum(
+                    1
+                    for i in holding
+                    if parents[i] not in holding
+                )
+                assert local_roots == 1, variable
+
+
+class TestMinFill:
+    def test_order_is_permutation(self):
+        adjacency = primal_graph(cycle_query(5))
+        order = _min_fill_order(adjacency)
+        assert sorted(order, key=str) == sorted(adjacency, key=str)
+
+    def test_path_needs_no_fill(self):
+        # Min-fill on a path graph should produce width-1 bags.
+        adjacency = primal_graph(path_query(6))
+        order = _min_fill_order(adjacency)
+        bags, _parents = _bags_for_order(adjacency, order)
+        assert max(len(bag) for bag in bags) == 2
+
+
+class TestCoverBags:
+    def test_minimum_cover_sizes(self):
+        query = triangle_query()
+        bags = [frozenset(query.variables)]  # all three variables
+        covers = cover_bags(query, bags)
+        assert covers is not None
+        assert len(covers[0]) == 2  # two binary atoms cover a triangle
+
+    def test_single_atom_cover_preferred(self):
+        query = path_query(2)
+        bags = [frozenset(query.atoms[0].variables)]
+        covers = cover_bags(query, bags)
+        assert covers is not None
+        assert len(covers[0]) == 1
+
+    def test_uncoverable_bag(self):
+        query = path_query(2)
+        bags = [frozenset({Variable("not_in_query")})]
+        assert cover_bags(query, bags) is None

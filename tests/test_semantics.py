@@ -1,0 +1,148 @@
+"""Unit and property tests for conjunctive-query evaluation."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.fact import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.semantics import (
+    count_homomorphisms,
+    homomorphisms,
+    satisfies,
+    witness_sets,
+    witnesses_per_atom,
+)
+from repro.queries.atoms import Variable
+from repro.queries.builders import path_query, star_query
+from repro.queries.parser import parse_query
+
+
+class TestSatisfies:
+    def test_positive(self, q2, tiny_path_instance):
+        assert satisfies(tiny_path_instance, q2)
+
+    def test_negative_missing_join(self):
+        d = DatabaseInstance(
+            [Fact("R1", ("a", "b")), Fact("R2", ("c", "d"))]
+        )
+        assert not satisfies(d, path_query(2))
+
+    def test_empty_relation(self):
+        d = DatabaseInstance([Fact("R1", ("a", "b"))])
+        assert not satisfies(d, path_query(2))
+
+    def test_repeated_variable_atom(self):
+        q = parse_query("R(x, x)")
+        assert not satisfies(DatabaseInstance([Fact("R", ("a", "b"))]), q)
+        assert satisfies(DatabaseInstance([Fact("R", ("a", "a"))]), q)
+
+    def test_self_join_query(self):
+        q = parse_query("R(x, y), R(y, z)")
+        d = DatabaseInstance([Fact("R", ("a", "b")), Fact("R", ("b", "c"))])
+        assert satisfies(d, q)
+        # A single edge also works if it loops.
+        assert satisfies(DatabaseInstance([Fact("R", ("a", "a"))]), q)
+        assert not satisfies(DatabaseInstance([Fact("R", ("a", "b"))]), q)
+
+
+class TestHomomorphisms:
+    def test_counts(self, q2, tiny_path_instance):
+        # Paths: a->b->d and a->c->d.
+        assert count_homomorphisms(q2, tiny_path_instance) == 2
+
+    def test_assignment_completeness(self, q2, tiny_path_instance):
+        for hom in homomorphisms(q2, tiny_path_instance):
+            assert set(hom) == set(q2.variables)
+
+    def test_star_cross_product(self):
+        facts = [Fact("R1", ("c", f"a{i}")) for i in range(3)]
+        facts += [Fact("R2", ("c", f"b{i}")) for i in range(2)]
+        d = DatabaseInstance(facts)
+        assert count_homomorphisms(star_query(2), d) == 6
+
+    def test_homomorphisms_are_valid(self, tiny_path_instance):
+        q = path_query(2)
+        for hom in homomorphisms(q, tiny_path_instance):
+            for atom in q.atoms:
+                image = Fact(
+                    atom.relation, tuple(hom[v] for v in atom.args)
+                )
+                assert image in tiny_path_instance
+
+
+class TestWitnesses:
+    def test_witness_sets(self, q2, tiny_path_instance):
+        sets = list(witness_sets(q2, tiny_path_instance))
+        assert len(sets) == 2
+        assert all(len(s) == 2 for s in sets)
+
+    def test_witnesses_per_atom_bound(self, q2, tiny_path_instance):
+        per_atom = witnesses_per_atom(q2, tiny_path_instance)
+        # Key Prop-1 observation: at most |D| witnesses per atom.
+        for atom, facts in per_atom.items():
+            assert len(facts) <= len(tiny_path_instance)
+            assert all(f.relation == atom.relation for f in facts)
+
+
+class TestAgainstNaiveEvaluator:
+    """Cross-validate the backtracking evaluator against brute force."""
+
+    @staticmethod
+    def _naive_satisfies(query, instance):
+        """Try every assignment of variables to the active domain."""
+        domain = sorted(instance.active_domain, key=str)
+        variables = sorted(query.variables)
+        if not domain:
+            return False
+
+        def rec(index, partial):
+            if index == len(variables):
+                return all(
+                    Fact(a.relation, tuple(partial[v] for v in a.args))
+                    in instance
+                    for a in query.atoms
+                )
+            for value in domain:
+                partial[variables[index]] = value
+                if rec(index + 1, partial):
+                    return True
+            del partial[variables[index]]
+            return False
+
+        return rec(0, {})
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_naive(self, seed):
+        rng = random.Random(seed)
+        query = rng.choice(
+            [
+                path_query(2),
+                path_query(3),
+                star_query(2),
+                parse_query("R(x, y), S(y, x)"),
+                parse_query("R(x, x)"),
+            ]
+        )
+        facts = set()
+        for atom in query.atoms:
+            for _ in range(rng.randint(0, 3)):
+                facts.add(
+                    Fact(
+                        atom.relation,
+                        tuple(
+                            f"c{rng.randint(0, 2)}"
+                            for _ in range(atom.arity)
+                        ),
+                    )
+                )
+        instance = (
+            DatabaseInstance(facts) if facts else DatabaseInstance(
+                [Fact("Z", ("z",))]
+            )
+        )
+        assert satisfies(instance, query) == self._naive_satisfies(
+            query, instance
+        )

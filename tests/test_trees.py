@@ -1,0 +1,94 @@
+"""Unit tests for labelled trees."""
+
+import pytest
+
+from repro.automata.trees import LabeledTree, leaf, path_tree
+
+
+def _example() -> LabeledTree:
+    #        a
+    #       / \
+    #      b   c
+    #      |
+    #      d
+    return LabeledTree(
+        "a",
+        (
+            LabeledTree("b", (leaf("d"),)),
+            leaf("c"),
+        ),
+    )
+
+
+class TestBasics:
+    def test_size(self):
+        assert _example().size == 4
+        assert leaf("x").size == 1
+
+    def test_depth(self):
+        assert _example().depth == 2
+        assert leaf("x").depth == 0
+
+    def test_is_leaf(self):
+        assert leaf("x").is_leaf
+        assert not _example().is_leaf
+
+    def test_max_arity(self):
+        assert _example().max_arity() == 2
+        assert leaf("x").max_arity() == 0
+
+    def test_equality_structural(self):
+        assert _example() == _example()
+        assert _example() != leaf("a")
+
+    def test_hashable(self):
+        assert len({_example(), _example()}) == 1
+
+    def test_str(self):
+        assert str(_example()) == "a(b(d), c)"
+
+
+class TestTraversal:
+    def test_preorder_labels(self):
+        assert list(_example().labels_preorder()) == ["a", "b", "d", "c"]
+
+    def test_nodes_preorder_count(self):
+        assert len(list(_example().nodes_preorder())) == 4
+
+
+class TestPaths:
+    def test_paths_prefix_closed(self):
+        paths = set(_example().paths())
+        # The paper's tree domain: every prefix of a path is a path.
+        for path in paths:
+            for i in range(len(path)):
+                assert path[:i] in paths
+
+    def test_paths_count_equals_size(self):
+        tree = _example()
+        assert len(set(tree.paths())) == tree.size
+
+    def test_root_is_empty_path(self):
+        assert () in set(leaf("x").paths())
+
+    def test_child_indices_one_based(self):
+        paths = set(_example().paths())
+        assert (1,) in paths and (2,) in paths
+        assert (1, 1) in paths
+        assert (0,) not in paths
+
+
+class TestPathTree:
+    def test_chain(self):
+        tree = path_tree(["a", "b", "c"])
+        assert tree.size == 3
+        assert tree.depth == 2
+        assert list(tree.labels_preorder()) == ["a", "b", "c"]
+        assert tree.max_arity() == 1
+
+    def test_single(self):
+        assert path_tree(["x"]) == leaf("x")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            path_tree([])

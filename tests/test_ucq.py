@@ -1,0 +1,138 @@
+"""Tests for unions of conjunctive queries."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.db.fact import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.db.semantics import satisfies
+from repro.errors import QueryError
+from repro.queries.builders import path_query
+from repro.queries.parser import parse_query
+from repro.queries.ucq import (
+    UnionQuery,
+    ucq_probability,
+    ucq_probability_karp_luby,
+)
+from repro.workloads.instances import (
+    random_instance_for_query,
+    random_probabilities,
+)
+
+
+def _rs_or_tu() -> UnionQuery:
+    return UnionQuery(
+        [parse_query("R(x, y), S(y, z)"), parse_query("T(u, v)")]
+    )
+
+
+class TestUnionQuery:
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            UnionQuery([])
+
+    def test_satisfied_by_any_disjunct(self):
+        ucq = _rs_or_tu()
+        assert ucq.satisfied_by(DatabaseInstance([Fact("T", ("a", "b"))]))
+        assert ucq.satisfied_by(
+            DatabaseInstance(
+                [Fact("R", ("a", "b")), Fact("S", ("b", "c"))]
+            )
+        )
+        assert not ucq.satisfied_by(
+            DatabaseInstance([Fact("R", ("a", "b"))])
+        )
+
+    def test_relation_names(self):
+        assert _rs_or_tu().relation_names == frozenset(
+            {"R", "S", "T"}
+        )
+
+    def test_str(self):
+        assert "∨" in str(_rs_or_tu())
+
+    def test_minimized_drops_contained_disjunct(self):
+        # R(x,y),S(y,z) ⊑ R(a,b), so the union collapses to R(a,b).
+        ucq = UnionQuery(
+            [parse_query("R(x, y), S(y, z)"), parse_query("R(a, b)")]
+        )
+        minimal = ucq.minimized()
+        assert len(minimal) == 1
+        assert minimal.disjuncts[0] == parse_query("R(a, b)")
+
+    def test_minimized_keeps_incomparable(self):
+        assert len(_rs_or_tu().minimized()) == 2
+
+    def test_minimized_equivalent_disjuncts_keep_one(self):
+        ucq = UnionQuery(
+            [parse_query("R(x, y)"), parse_query("R(u, v)")]
+        )
+        assert len(ucq.minimized()) == 1
+
+
+class TestUCQProbability:
+    def _pdb(self):
+        return ProbabilisticDatabase(
+            {
+                Fact("R", ("a", "b")): Fraction(1, 2),
+                Fact("S", ("b", "c")): Fraction(1, 3),
+                Fact("T", ("u", "v")): Fraction(1, 4),
+            }
+        )
+
+    def test_exact_value(self):
+        # Pr[(R∧S) ∨ T] = 1 − (1 − 1/6)(1 − 1/4) = 3/8.
+        assert ucq_probability(_rs_or_tu(), self._pdb()) == Fraction(3, 8)
+
+    def test_exact_matches_enumeration(self):
+        ucq = _rs_or_tu()
+        pdb = self._pdb()
+        total = Fraction(0)
+        for subset in pdb.instance.subinstances():
+            world = DatabaseInstance(subset) if subset else None
+            holds = world is not None and ucq.satisfied_by(world)
+            if holds:
+                total += pdb.subinstance_probability(subset)
+        assert ucq_probability(ucq, pdb) == total
+
+    def test_karp_luby_accuracy(self):
+        ucq = _rs_or_tu()
+        pdb = self._pdb()
+        truth = float(ucq_probability(ucq, pdb))
+        result = ucq_probability_karp_luby(
+            ucq, pdb, epsilon=0.1, delta=0.05, seed=3
+        )
+        assert abs(result.estimate - truth) < 0.05
+
+    def test_single_disjunct_matches_cq_path(self):
+        from repro.core.exact import exact_probability
+
+        query = path_query(2)
+        instance = random_instance_for_query(query, 2, 2, seed=1)
+        pdb = random_probabilities(instance, seed=2)
+        ucq = UnionQuery([query])
+        assert ucq_probability(ucq, pdb) == exact_probability(query, pdb)
+
+    def test_overlapping_disjuncts(self):
+        # Shared relation: (R∧S) ∨ (R∧T); correlation through R.
+        ucq = UnionQuery(
+            [
+                parse_query("R(x, y), S(y, z)"),
+                parse_query("R(x, y), T(y, w)"),
+            ]
+        )
+        pdb = ProbabilisticDatabase(
+            {
+                Fact("R", ("a", "b")): Fraction(1, 2),
+                Fact("S", ("b", "c")): Fraction(1, 2),
+                Fact("T", ("b", "d")): Fraction(1, 2),
+            }
+        )
+        # Pr[R ∧ (S ∨ T)] = 1/2 · 3/4.
+        assert ucq_probability(ucq, pdb) == Fraction(3, 8)
+
+    def test_unsatisfiable_union(self):
+        ucq = UnionQuery([parse_query("Z(q)")])
+        assert ucq_probability(ucq, self._pdb()) == 0

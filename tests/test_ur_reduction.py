@@ -1,0 +1,263 @@
+"""Tests for the Proposition 1 construction (query + DB → augmented NFTA).
+
+The central invariant: the translated NFTA accepts exactly UR(Q, D')
+trees of the reported size, across every query family the paper covers.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.nfta_counting import count_nfta_exact
+from repro.automata.symbols import Literal, PAD
+from repro.core.exact import exact_uniform_reliability
+from repro.core.ur_reduction import build_ur_reduction
+from repro.db.fact import Fact
+from repro.db.instance import DatabaseInstance
+from repro.errors import QueryError, SelfJoinError
+from repro.queries.builders import (
+    branching_tree_query,
+    chain_query,
+    cycle_query,
+    path_query,
+    star_query,
+    triangle_query,
+)
+from repro.queries.parser import parse_query
+from repro.workloads.instances import random_instance_for_query
+
+
+def _check_bijection(query, instance):
+    reduction = build_ur_reduction(query, instance)
+    automaton = count_nfta_exact(reduction.nfta, reduction.tree_size)
+    truth = exact_uniform_reliability(query, instance, method="enumerate")
+    assert automaton * reduction.scale == truth, (
+        f"query={query} |D|={len(instance)}: automaton gives "
+        f"{automaton * reduction.scale}, brute force {truth}"
+    )
+    return reduction
+
+
+class TestValidation:
+    def test_rejects_self_join(self):
+        q = parse_query("R(x, y), R(y, z)")
+        with pytest.raises(SelfJoinError):
+            build_ur_reduction(
+                q, DatabaseInstance([Fact("R", ("a", "b"))])
+            )
+
+    def test_rejects_mismatched_decomposition(self):
+        from repro.decomposition import decompose
+
+        d = decompose(path_query(2))
+        with pytest.raises(QueryError):
+            build_ur_reduction(
+                path_query(3),
+                DatabaseInstance([Fact("R1", ("a", "b"))]),
+                decomposition=d,
+            )
+
+    def test_rejects_unknown_contract_mode(self):
+        with pytest.raises(QueryError):
+            build_ur_reduction(
+                path_query(1),
+                DatabaseInstance([Fact("R1", ("a", "b"))]),
+                contract_mode="nope",
+            )
+
+
+class TestBijectionByFamily:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_path_queries(self, seed):
+        rng = random.Random(seed)
+        length = rng.choice([1, 2, 3])
+        query = path_query(length)
+        instance = random_instance_for_query(
+            query, domain_size=3, facts_per_relation=3, seed=seed
+        )
+        if len(instance) <= 12:
+            _check_bijection(query, instance)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_star_queries(self, seed):
+        rng = random.Random(seed)
+        arms = rng.choice([2, 3, 4])
+        query = star_query(arms)
+        instance = random_instance_for_query(
+            query, domain_size=2, facts_per_relation=3, seed=seed
+        )
+        if len(instance) <= 12:
+            _check_bijection(query, instance)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_triangle_width2(self, seed):
+        query = triangle_query()
+        instance = random_instance_for_query(
+            query, domain_size=2, facts_per_relation=3, seed=seed
+        )
+        if len(instance) <= 11:
+            _check_bijection(query, instance)
+
+    def test_branching_tree(self):
+        query = branching_tree_query(2, 2)
+        instance = random_instance_for_query(
+            query, domain_size=2, facts_per_relation=1, seed=3
+        )
+        if len(instance) <= 12:
+            _check_bijection(query, instance)
+
+    def test_ternary_chain(self):
+        query = chain_query(2, arity=3)
+        instance = random_instance_for_query(
+            query, domain_size=2, facts_per_relation=3, seed=1
+        )
+        if len(instance) <= 12:
+            _check_bijection(query, instance)
+
+    def test_four_cycle(self):
+        query = cycle_query(4)
+        instance = random_instance_for_query(
+            query, domain_size=2, facts_per_relation=2, seed=2
+        )
+        if len(instance) <= 12:
+            _check_bijection(query, instance)
+
+    def test_single_atom(self):
+        query = path_query(1)
+        instance = DatabaseInstance(
+            [Fact("R1", ("a", "b")), Fact("R1", ("c", "d"))]
+        )
+        # UR = subsets containing at least one fact = 3.
+        reduction = _check_bijection(query, instance)
+        assert reduction.tree_size == 2
+
+
+class TestEdgeCases:
+    def test_empty_relation_zero(self):
+        query = path_query(2)
+        instance = DatabaseInstance([Fact("R1", ("a", "b"))])
+        reduction = build_ur_reduction(query, instance)
+        assert count_nfta_exact(reduction.nfta, reduction.tree_size) == 0
+
+    def test_projection_scaling(self):
+        query = path_query(1)
+        instance = DatabaseInstance(
+            [Fact("R1", ("a", "b")), Fact("Noise", ("z",))]
+        )
+        reduction = _check_bijection(query, instance)
+        assert reduction.dropped_facts == 1
+        assert reduction.scale == 2
+
+    def test_repeated_variable_atom(self):
+        query = parse_query("R(x, x), S(x, y)")
+        instance = DatabaseInstance(
+            [
+                Fact("R", ("a", "a")),
+                Fact("R", ("a", "b")),
+                Fact("S", ("a", "c")),
+                Fact("S", ("b", "c")),
+            ]
+        )
+        _check_bijection(query, instance)
+
+
+class TestContractModes:
+    def test_pad_and_lambda_agree(self):
+        # Star query whose join tree gets binarised: both contract modes
+        # must produce the same UR count (at their respective sizes).
+        query = star_query(3)
+        instance = random_instance_for_query(
+            query, domain_size=2, facts_per_relation=2, seed=4
+        )
+        pad = build_ur_reduction(query, instance, contract_mode="pad")
+        lam = build_ur_reduction(query, instance, contract_mode="lambda")
+        count_pad = count_nfta_exact(pad.nfta, pad.tree_size)
+        count_lam = count_nfta_exact(lam.nfta, lam.tree_size)
+        assert count_pad == count_lam
+        assert lam.pad_count == 0
+        assert lam.tree_size == len(lam.projected_instance)
+
+    def test_pad_symbols_in_language(self):
+        query = triangle_query()
+        instance = random_instance_for_query(
+            query, domain_size=2, facts_per_relation=2, seed=0
+        )
+        reduction = build_ur_reduction(query, instance)
+        if reduction.pad_count:
+            assert PAD in reduction.nfta.alphabet
+
+    def test_tree_size_accounting(self):
+        query = star_query(4)
+        instance = random_instance_for_query(
+            query, domain_size=2, facts_per_relation=2, seed=5
+        )
+        reduction = build_ur_reduction(query, instance)
+        assert reduction.tree_size == len(
+            reduction.projected_instance
+        ) + reduction.pad_count
+
+
+class TestAutomatonShape:
+    def test_alphabet_is_literals_and_pad(self):
+        query = path_query(2)
+        instance = random_instance_for_query(
+            query, domain_size=2, facts_per_relation=2, seed=6
+        )
+        reduction = build_ur_reduction(query, instance)
+        for symbol in reduction.nfta.alphabet:
+            assert isinstance(symbol, Literal) or symbol is PAD
+
+    def test_polynomial_growth_in_query_length(self):
+        sizes = []
+        for length in (2, 4, 6):
+            query = path_query(length)
+            instance = random_instance_for_query(
+                query, domain_size=2, facts_per_relation=3, seed=1
+            )
+            reduction = build_ur_reduction(query, instance)
+            sizes.append(reduction.nfta.num_transitions)
+        assert sizes[2] < 10 * sizes[0]
+
+
+class TestForcedBinarization:
+    def test_high_fanout_decomposition_end_to_end(self):
+        """A hand-built fanout-3 decomposition must be binarised into
+        copies (PAD vertices) and still count UR exactly."""
+        from repro.decomposition.hypertree import (
+            HypertreeDecomposition,
+            HypertreeNode,
+        )
+
+        query = star_query(4)
+        atoms = query.atoms
+        # Root covers atom 0; three children cover atoms 1..3 directly,
+        # giving the root fanout 3.
+        nodes = [
+            HypertreeNode(0, atoms[0].variables, (atoms[0],)),
+            HypertreeNode(1, atoms[1].variables, (atoms[1],)),
+            HypertreeNode(2, atoms[2].variables, (atoms[2],)),
+            HypertreeNode(3, atoms[3].variables, (atoms[3],)),
+        ]
+        decomposition = HypertreeDecomposition(
+            query, nodes, [-1, 0, 0, 0]
+        )
+        assert decomposition.validate().usable_for_construction
+
+        instance = random_instance_for_query(
+            query, domain_size=2, facts_per_relation=2, seed=11
+        )
+        reduction = build_ur_reduction(
+            query, instance, decomposition=decomposition
+        )
+        # Binarisation must have introduced at least one PAD copy.
+        assert reduction.pad_count >= 1
+        automaton = count_nfta_exact(reduction.nfta, reduction.tree_size)
+        truth = exact_uniform_reliability(
+            query, instance, method="enumerate"
+        )
+        assert automaton * reduction.scale == truth

@@ -1,0 +1,61 @@
+"""Tests for the DOT rendering utilities."""
+
+from repro.automata.nfa import NFA
+from repro.automata.nfta import LAMBDA, NFTA
+from repro.decomposition import decompose
+from repro.queries.builders import path_query, triangle_query
+from repro.viz import decomposition_to_dot, nfa_to_dot, nfta_to_dot
+
+
+class TestDecompositionDot:
+    def test_structure(self):
+        dot = decomposition_to_dot(decompose(path_query(3)))
+        assert dot.startswith("digraph decomposition {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == 2  # 3 nodes, 2 tree edges
+        assert "χ" in dot and "ξ" in dot
+
+    def test_triangle(self):
+        decomposition = decompose(triangle_query())
+        dot = decomposition_to_dot(decomposition, name="tri")
+        assert "digraph tri {" in dot
+        assert dot.count("->") == len(decomposition.nodes) - 1
+
+    def test_deterministic(self):
+        d = decompose(path_query(2))
+        assert decomposition_to_dot(d) == decomposition_to_dot(d)
+
+
+class TestNfaDot:
+    def test_structure(self):
+        nfa = NFA(
+            [(0, "a", 1), (1, "b", 1)], initial=[0], accepting=[1]
+        )
+        dot = nfa_to_dot(nfa)
+        assert "doublecircle" in dot       # accepting state
+        assert "shape=point" in dot        # start marker
+        assert dot.count('label="a"') == 1
+        assert dot.count('label="b"') == 1
+
+    def test_escaping(self):
+        nfa = NFA([(0, 'sym"bol', 1)], initial=[0], accepting=[1])
+        dot = nfa_to_dot(nfa)
+        assert '\\"' in dot
+
+
+class TestNftaDot:
+    def test_structure(self):
+        nfta = NFTA(
+            [("q", "a", ()), ("q", "a", ("q", "q"))], initial="q"
+        )
+        dot = nfta_to_dot(nfta)
+        assert "peripheries=2" in dot      # initial state marked
+        assert dot.count("shape=box") == 2  # one per transition
+        assert 'label="1"' in dot and 'label="2"' in dot
+
+    def test_lambda_label(self):
+        nfta = NFTA(
+            [("s", LAMBDA, ("t",)), ("t", "a", ())], initial="s"
+        )
+        dot = nfta_to_dot(nfta)
+        assert 'label="λ"' in dot

@@ -1,0 +1,162 @@
+"""Tests for workload generators."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.db.semantics import satisfies
+from repro.errors import ReproError
+from repro.queries.builders import path_query, triangle_query
+from repro.workloads.graphs import (
+    complete_layered_path_instance,
+    layered_path_instance,
+    random_binary_instance,
+)
+from repro.workloads.instances import (
+    random_instance_for_query,
+    random_probabilities,
+    uniform_half,
+)
+
+
+class TestLayeredPaths:
+    def test_always_satisfiable(self):
+        for seed in range(5):
+            instance = layered_path_instance(3, 2, 0.3, seed=seed)
+            assert satisfies(instance, path_query(3))
+
+    def test_relations_match_query(self):
+        instance = layered_path_instance(4, 2, 0.5, seed=0)
+        assert instance.relation_names <= {"R1", "R2", "R3", "R4"}
+
+    def test_complete_instance_size(self):
+        instance = complete_layered_path_instance(3, 2)
+        assert len(instance) == 3 * 4
+
+    def test_deterministic_by_seed(self):
+        a = layered_path_instance(3, 3, 0.5, seed=42)
+        b = layered_path_instance(3, 3, 0.5, seed=42)
+        assert a == b
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            layered_path_instance(0, 2)
+        with pytest.raises(ReproError):
+            layered_path_instance(2, 2, edge_probability=2.0)
+
+
+class TestRandomBinary:
+    def test_edge_counts(self):
+        instance = random_binary_instance(3, 4, 5, seed=1)
+        for r in ("R1", "R2", "R3"):
+            assert len(instance.facts_for_relation(r)) == 5
+
+    def test_too_many_edges(self):
+        with pytest.raises(ReproError):
+            random_binary_instance(1, 2, 5, seed=0)
+
+
+class TestRandomInstanceForQuery:
+    def test_schema_matches(self):
+        query = triangle_query()
+        instance = random_instance_for_query(query, 3, 4, seed=0)
+        assert instance.relation_names <= set(query.relation_names)
+
+    def test_satisfiability_guarantee(self):
+        for seed in range(5):
+            query = path_query(3)
+            instance = random_instance_for_query(query, 2, 1, seed=seed)
+            assert satisfies(instance, query)
+
+    def test_without_guarantee_flag(self):
+        query = path_query(3)
+        instance = random_instance_for_query(
+            query, 5, 1, seed=0, ensure_satisfiable=False
+        )
+        # Just shape-checking; satisfaction is not promised here.
+        assert all(f.arity == 2 for f in instance)
+
+    def test_invalid(self):
+        with pytest.raises(ReproError):
+            random_instance_for_query(path_query(1), 0, 1)
+
+
+class TestProbabilities:
+    def test_random_probabilities_in_range(self):
+        query = path_query(2)
+        instance = random_instance_for_query(query, 3, 4, seed=0)
+        pdb = random_probabilities(instance, seed=1, max_denominator=6)
+        for fact in instance:
+            p = pdb.probability(fact)
+            assert 0 < p < 1
+            assert p.denominator <= 6
+
+    def test_extremes_flag(self):
+        query = path_query(2)
+        instance = random_instance_for_query(query, 4, 16, seed=0)
+        pdb = random_probabilities(
+            instance, seed=3, include_extremes=True
+        )
+        values = {pdb.probability(f) for f in instance}
+        assert Fraction(0) in values or Fraction(1) in values
+
+    def test_uniform_half(self):
+        query = path_query(1)
+        instance = random_instance_for_query(query, 2, 2, seed=0)
+        pdb = uniform_half(instance)
+        assert all(
+            pdb.probability(f) == Fraction(1, 2) for f in instance
+        )
+
+    def test_invalid_denominator(self):
+        query = path_query(1)
+        instance = random_instance_for_query(query, 2, 2, seed=0)
+        with pytest.raises(ReproError):
+            random_probabilities(instance, max_denominator=1)
+
+
+class TestWarehouse:
+    def test_query_shape(self):
+        from repro.decomposition import is_acyclic
+        from repro.queries.properties import is_hierarchical
+        from repro.workloads.warehouse import warehouse_query
+
+        query = warehouse_query()
+        assert query.is_self_join_free
+        assert is_acyclic(query)
+        assert not is_hierarchical(query)
+
+    def test_instance_schema(self):
+        from repro.workloads.warehouse import warehouse_instance
+
+        pdb = warehouse_instance(seed=0)
+        names = {f.relation for f in pdb}
+        assert names == {"Sales", "Customer", "Product"}
+        for fact in pdb:
+            assert 0 <= pdb.probability(fact) <= 1
+
+    def test_deterministic(self):
+        from repro.workloads.warehouse import warehouse_instance
+
+        assert warehouse_instance(seed=3) == warehouse_instance(seed=3)
+
+    def test_invalid(self):
+        from repro.errors import ReproError
+        from repro.workloads.warehouse import warehouse_instance
+
+        with pytest.raises(ReproError):
+            warehouse_instance(customers=0)
+
+    def test_end_to_end(self):
+        from repro.core.exact import exact_probability
+        from repro.core.pqe_estimate import pqe_estimate
+        from repro.workloads.warehouse import (
+            warehouse_instance,
+            warehouse_query,
+        )
+
+        query = warehouse_query()
+        pdb = warehouse_instance(customers=2, products=2, sales=3, seed=1)
+        truth = float(exact_probability(query, pdb, method="enumerate"))
+        result = pqe_estimate(query, pdb, method="exact-weighted")
+        assert result.estimate == pytest.approx(truth, abs=1e-12)

@@ -1,0 +1,152 @@
+"""Tests for the Yannakakis acyclic-CQ evaluator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.fact import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.semantics import count_homomorphisms, satisfies
+from repro.db.yannakakis import (
+    is_acyclic_evaluable,
+    yannakakis_count_homomorphisms,
+    yannakakis_satisfies,
+)
+from repro.errors import DecompositionError
+from repro.queries.builders import (
+    branching_tree_query,
+    chain_query,
+    path_query,
+    star_query,
+    triangle_query,
+)
+from repro.queries.parser import parse_query
+from repro.workloads.instances import random_instance_for_query
+
+
+class TestApplicability:
+    def test_acyclic_families(self):
+        for query in (path_query(4), star_query(3), chain_query(2, 3)):
+            assert is_acyclic_evaluable(query)
+
+    def test_cyclic_rejected(self):
+        assert not is_acyclic_evaluable(triangle_query())
+        with pytest.raises(DecompositionError):
+            yannakakis_satisfies(
+                DatabaseInstance([Fact("R1", ("a", "b"))]),
+                triangle_query(),
+            )
+
+
+class TestBoolean:
+    def test_simple_positive(self):
+        instance = DatabaseInstance(
+            [Fact("R1", ("a", "b")), Fact("R2", ("b", "c"))]
+        )
+        assert yannakakis_satisfies(instance, path_query(2))
+
+    def test_simple_negative(self):
+        instance = DatabaseInstance(
+            [Fact("R1", ("a", "b")), Fact("R2", ("c", "d"))]
+        )
+        assert not yannakakis_satisfies(instance, path_query(2))
+
+    def test_empty_relation(self):
+        instance = DatabaseInstance([Fact("R1", ("a", "b"))])
+        assert not yannakakis_satisfies(instance, path_query(2))
+
+    def test_repeated_variable(self):
+        query = parse_query("R(x, x), S(x, y)")
+        yes = DatabaseInstance(
+            [Fact("R", ("a", "a")), Fact("S", ("a", "b"))]
+        )
+        no = DatabaseInstance(
+            [Fact("R", ("a", "b")), Fact("S", ("a", "b"))]
+        )
+        assert yannakakis_satisfies(yes, query)
+        assert not yannakakis_satisfies(no, query)
+
+    @given(st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_backtracking(self, seed):
+        rng = random.Random(seed)
+        query = rng.choice(
+            [
+                path_query(2),
+                path_query(4),
+                star_query(3),
+                branching_tree_query(2, 2),
+                chain_query(2, 3),
+            ]
+        )
+        instance = random_instance_for_query(
+            query,
+            domain_size=rng.randint(2, 3),
+            facts_per_relation=rng.randint(0, 4),
+            seed=seed,
+            ensure_satisfiable=rng.random() < 0.5,
+        )
+        assert yannakakis_satisfies(instance, query) == satisfies(
+            instance, query
+        )
+
+
+class TestCounting:
+    def test_path_count(self):
+        instance = DatabaseInstance(
+            [
+                Fact("R1", ("a", "b")),
+                Fact("R1", ("a", "c")),
+                Fact("R2", ("b", "d")),
+                Fact("R2", ("c", "d")),
+            ]
+        )
+        assert yannakakis_count_homomorphisms(path_query(2), instance) == 2
+
+    def test_star_cross_product(self):
+        facts = [Fact("R1", ("c", f"a{i}")) for i in range(3)]
+        facts += [Fact("R2", ("c", f"b{i}")) for i in range(2)]
+        assert (
+            yannakakis_count_homomorphisms(
+                star_query(2), DatabaseInstance(facts)
+            )
+            == 6
+        )
+
+    @given(st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_backtracking_count(self, seed):
+        rng = random.Random(seed)
+        query = rng.choice(
+            [
+                path_query(3),
+                star_query(2),
+                branching_tree_query(1, 3),
+                chain_query(2, 3),
+            ]
+        )
+        instance = random_instance_for_query(
+            query,
+            domain_size=2,
+            facts_per_relation=rng.randint(0, 4),
+            seed=seed,
+            ensure_satisfiable=False,
+        )
+        assert yannakakis_count_homomorphisms(
+            query, instance
+        ) == count_homomorphisms(query, instance)
+
+    def test_scales_beyond_backtracking_comfort(self):
+        # A long path over a wide complete layered instance: the count
+        # is width^(length+1), huge, but Yannakakis runs in poly time.
+        from repro.workloads.graphs import complete_layered_path_instance
+
+        length, width = 10, 4
+        instance = complete_layered_path_instance(length, width)
+        expected = width ** (length + 1)
+        assert (
+            yannakakis_count_homomorphisms(path_query(length), instance)
+            == expected
+        )
