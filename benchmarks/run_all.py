@@ -13,6 +13,7 @@ import bench_3path_scaling
 import bench_ablation_contract
 import bench_ablation_hybrid
 import bench_automata_counting
+import bench_batch_parallel
 import bench_data_scaling
 import bench_decomposition
 import bench_epsilon_scaling
@@ -120,6 +121,11 @@ def main() -> None:
     print("# AB3 — ablation: gadgets vs native weighted counting")
     print("#" * 70)
     bench_weighted_vs_gadget.run_comparison().print()
+
+    print("#" * 70)
+    print("# B1 — batch evaluation: shared cache + worker pool")
+    print("#" * 70)
+    bench_batch_parallel.run_batch_parallel().print()
 
     print(f"total: {time.time() - start:.1f}s")
 

@@ -20,9 +20,19 @@ Run with:  python examples/answer_ranking.py
 
 import random
 
-from repro import Fact, ProbabilisticDatabase, parse_query, pqe_estimate
+from repro import (
+    BatchItem,
+    Fact,
+    PQEEngine,
+    ProbabilisticDatabase,
+    parse_query,
+)
 from repro.queries import Variable
-from repro.queries.answers import answer_probabilities
+from repro.queries.answers import (
+    answer_probabilities,
+    candidate_answers,
+    pin_variables,
+)
 
 QUERY = parse_query(
     "Q :- Targets(d, p), ParticipatesIn(p, w), LinkedTo(w, s)"
@@ -62,15 +72,21 @@ def main() -> None:
     # Exact per-answer probabilities via the auto-routing engine.
     exact = answer_probabilities(QUERY, pdb, [Variable("d")])
 
-    # The same ranking through the paper's FPRAS (per pinned answer).
-    approximate = answer_probabilities(
-        QUERY,
-        pdb,
-        [Variable("d")],
-        evaluate=lambda q, h: pqe_estimate(
-            q, h, epsilon=0.2, seed=0, method="fpras-weighted"
-        ).estimate,
-    )
+    # The same ranking through the paper's FPRAS — but as *one batch*:
+    # every candidate answer becomes a pinned Boolean item, and
+    # evaluate_batch runs them over a shared reduction cache and a
+    # worker pool.  All pinned instances share one query shape, so the
+    # decomposition is computed once for the whole ranking.
+    head = (Variable("d"),)
+    answers = candidate_answers(QUERY, pdb, head)
+    items = [
+        BatchItem(*pin_variables(QUERY, pdb, dict(zip(head, answer))),
+                  method="fpras-weighted")
+        for answer in answers
+    ]
+    engine = PQEEngine(epsilon=0.2)
+    batch = engine.evaluate_batch(items, seed=0)
+    approximate = dict(zip(answers, batch.values))
 
     print("\nanswers ranked by probability (exact | FPRAS):")
     for answer, probability in sorted(
@@ -80,6 +96,7 @@ def main() -> None:
             f"  {answer[0]:8s}  {probability:.4f}  |  "
             f"{approximate[answer]:.4f}"
         )
+    print(f"\nbatch: {batch.describe()}")
 
 
 if __name__ == "__main__":

@@ -23,9 +23,14 @@ Quick start::
 """
 
 from repro.core import (
+    BatchItem,
+    BatchResult,
+    CacheStats,
     PQEAnswer,
     PQEEngine,
     PQEPlan,
+    ReductionCache,
+    evaluate_batch,
     exact_probability,
     exact_uniform_reliability,
     path_estimate,
@@ -88,4 +93,10 @@ __all__ = [
     "PQEEngine",
     "PQEAnswer",
     "PQEPlan",
+    # batch evaluation
+    "BatchItem",
+    "BatchResult",
+    "CacheStats",
+    "ReductionCache",
+    "evaluate_batch",
 ]

@@ -120,6 +120,29 @@ class NFTA:
         )
 
     @cached_property
+    def fingerprint(self) -> str:
+        """Order-insensitive digest of ``(s_init, Δ)``.
+
+        Lets callers check that two automata are structurally identical
+        without comparing transition tables — the reduction cache's
+        tests use it to certify that a cached reduction is the same
+        automaton a fresh build would produce.
+        """
+        import hashlib
+
+        canonical = "\x1f".join(
+            sorted(
+                f"{source!r}|{symbol!r}|{children!r}"
+                for source, symbol, children in self._transitions
+            )
+        )
+        digest = hashlib.sha256()
+        digest.update(repr(self._initial).encode("utf-8"))
+        digest.update(b"\x1e")
+        digest.update(canonical.encode("utf-8"))
+        return digest.hexdigest()[:32]
+
+    @cached_property
     def by_source(self) -> dict[State, tuple[Transition, ...]]:
         out: dict[State, list[Transition]] = {}
         for transition in self._transitions:

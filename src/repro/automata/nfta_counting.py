@@ -711,6 +711,7 @@ def count_nfta(
     exact_set_cap: int = 4096,
     repetitions: int = 1,
     weight_of=None,
+    executor=None,
 ) -> CountResult:
     """Estimate ``|L_n(T)|`` — the paper's CountNFTA black box.
 
@@ -720,20 +721,31 @@ def count_nfta(
     estimate targets the weighted tree measure instead (see
     :func:`count_nfta_exact`); the ``exact`` flag then certifies the
     measure up to float rounding.
+
+    ``executor`` (a :class:`concurrent.futures.Executor`) fans the
+    median-of-``repetitions`` runs out as independent tasks.  Every
+    repetition draws from its own RNG stream whose seed is derived up
+    front from ``seed``, so the result is bitwise-identical to the
+    sequential run regardless of how the executor schedules the tasks.
     """
     if not 0 < epsilon < 1:
         raise EstimationError(f"epsilon must be in (0, 1), got {epsilon}")
     if repetitions < 1:
         raise EstimationError("repetitions must be >= 1")
     rng = random.Random(seed)
-    results = [
-        _TreeCounter(
+    repetition_seeds = [rng.randrange(2**63) for _ in range(repetitions)]
+
+    def run_one(repetition_seed: int) -> CountResult:
+        return _TreeCounter(
             nfta, size, epsilon, samples, exact_set_cap,
-            random.Random(rng.randrange(2**63)),
+            random.Random(repetition_seed),
             weight_of=weight_of,
         ).run()
-        for _ in range(repetitions)
-    ]
+
+    if executor is None:
+        results = [run_one(s) for s in repetition_seeds]
+    else:
+        results = list(executor.map(run_one, repetition_seeds))
     results.sort(key=lambda r: r.estimate)
     median = results[len(results) // 2]
     return CountResult(

@@ -13,7 +13,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-__all__ = ["ResultTable", "timed", "fit_growth_exponent", "relative_error"]
+__all__ = [
+    "ResultTable",
+    "timed",
+    "fit_growth_exponent",
+    "relative_error",
+    "BatchComparison",
+    "compare_sequential_vs_batch",
+]
 
 
 @dataclass
@@ -103,3 +110,75 @@ def relative_error(estimate: float, truth: float) -> float:
     if truth == 0:
         return 0.0 if estimate == 0 else math.inf
     return abs(estimate - truth) / abs(truth)
+
+
+@dataclass(frozen=True)
+class BatchComparison:
+    """Sequential-loop vs ``evaluate_batch`` timings over the same items."""
+
+    items: int
+    max_workers: int
+    sequential_seconds: float
+    batch_seconds: float
+    cache_stats: object          # repro.core.cache.CacheStats
+    sequential_values: tuple[float, ...]
+    batch_values: tuple[float, ...]
+
+    @property
+    def speedup(self) -> float:
+        if self.batch_seconds <= 0:
+            return math.inf
+        return self.sequential_seconds / self.batch_seconds
+
+    @property
+    def values_match(self) -> bool:
+        """Bitwise agreement between the loop and the batch (the
+        reproducibility contract of :mod:`repro.core.parallel`)."""
+        return self.sequential_values == self.batch_values
+
+
+def compare_sequential_vs_batch(
+    engine, items, *, max_workers: int, seed: int | None
+) -> BatchComparison:
+    """Run ``items`` twice — a per-item engine loop with no cache, then
+    ``evaluate_batch`` with a shared cache and a pool — and report both
+    timings plus the batch's cache statistics.
+
+    The sequential loop uses the *same* derived per-item seeds as the
+    batch, so the two value tuples must agree bitwise; benchmarks and
+    the CLI both route batch work through this contract.
+    """
+    from repro.core.parallel import derive_item_seed, evaluate_batch
+
+    sequential_values = []
+
+    def run_loop():
+        for index, item in enumerate(items):
+            item_seed = derive_item_seed(seed, index)
+            if item.task == "reliability":
+                answer = engine.uniform_reliability(
+                    item.query, item.database,
+                    method=item.method, seed=item_seed,
+                )
+            else:
+                answer = engine.probability(
+                    item.query, item.database,
+                    method=item.method, seed=item_seed,
+                )
+            sequential_values.append(answer.value)
+
+    _, sequential_seconds = timed(run_loop)
+    batch, batch_seconds = timed(
+        lambda: evaluate_batch(
+            engine, items, max_workers=max_workers, seed=seed
+        )
+    )
+    return BatchComparison(
+        items=len(items),
+        max_workers=max_workers,
+        sequential_seconds=sequential_seconds,
+        batch_seconds=batch_seconds,
+        cache_stats=batch.cache_stats,
+        sequential_values=tuple(sequential_values),
+        batch_values=batch.values,
+    )

@@ -14,22 +14,38 @@ Usage::
     python -m repro --data facts.csv --query-file q.txt \
         --method fpras --epsilon 0.1 --seed 7
     python -m repro --data facts.csv --query "..." --reliability
+    repro eval --data facts.csv --batch batch.json --workers 8 --seed 7
+
+The optional leading ``eval`` subcommand is accepted (and implied) for
+symmetry with the batch form.  A batch file is JSON: a list whose
+entries are either query strings or objects ::
+
+    [
+        "Q :- R1(x,y), R2(y,z)",
+        {"query": "Q :- R1(x,y)", "method": "fpras", "task": "probability"}
+    ]
+
+All batch items are evaluated over the ``--data`` CSV through one
+shared reduction cache and a worker pool; per-item results and the
+cache hit-rate are printed.
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 from typing import Iterable, TextIO
 
 from repro.core.estimator import PQEEngine
+from repro.core.parallel import BatchItem
 from repro.db.fact import Fact
 from repro.db.probabilistic import ProbabilisticDatabase
 from repro.errors import ReproError
 from repro.queries.parser import parse_query
 
-__all__ = ["main", "load_facts_csv"]
+__all__ = ["main", "load_facts_csv", "load_batch_file"]
 
 
 def load_facts_csv(stream: TextIO) -> ProbabilisticDatabase:
@@ -63,6 +79,78 @@ def load_facts_csv(stream: TextIO) -> ProbabilisticDatabase:
     return ProbabilisticDatabase(labels)
 
 
+def load_batch_file(
+    stream: TextIO, pdb: ProbabilisticDatabase
+) -> list[BatchItem]:
+    """Parse the JSON batch format into :class:`BatchItem` objects.
+
+    Entries are query strings (task 'probability', method 'auto') or
+    objects with a required ``query`` and optional ``method``/``task``.
+    Reliability items run against the CSV's underlying instance.
+    """
+    try:
+        payload = json.load(stream)
+    except json.JSONDecodeError as failure:
+        raise ReproError(f"batch file is not valid JSON: {failure}")
+    if not isinstance(payload, list) or not payload:
+        raise ReproError("batch file must be a non-empty JSON list")
+    items: list[BatchItem] = []
+    for index, entry in enumerate(payload):
+        if isinstance(entry, str):
+            entry = {"query": entry}
+        if not isinstance(entry, dict) or "query" not in entry:
+            raise ReproError(
+                f"batch entry {index}: expected a query string or an "
+                f"object with a 'query' field, got {entry!r}"
+            )
+        unknown = set(entry) - {"query", "method", "task"}
+        if unknown:
+            raise ReproError(
+                f"batch entry {index}: unknown fields {sorted(unknown)}"
+            )
+        query = parse_query(entry["query"])
+        task = entry.get("task", "probability")
+        database = pdb.instance if task == "reliability" else pdb
+        items.append(
+            BatchItem(
+                query,
+                database,
+                task=task,
+                method=entry.get("method", "auto"),
+            ).validated(index)
+        )
+    return items
+
+
+def _run_batch(args, pdb: ProbabilisticDatabase) -> int:
+    with open(args.batch, encoding="utf-8") as stream:
+        items = load_batch_file(stream, pdb)
+    engine = PQEEngine(
+        epsilon=args.epsilon,
+        seed=args.seed,
+        repetitions=args.repetitions,
+    )
+    batch = engine.evaluate_batch(
+        items, max_workers=args.workers, seed=args.seed
+    )
+    print(f"facts:   {len(pdb)}")
+    print(
+        f"batch:   {len(batch)} items, {batch.max_workers} workers, "
+        f"seed {args.seed}"
+    )
+    for item, result in zip(items, batch.results):
+        answer = result.answer
+        label = "UR" if item.task == "reliability" else "Pr"
+        exact = " (exact)" if answer.exact else ""
+        print(
+            f"[{result.index}] {label} = {answer.value:<22g} "
+            f"method={answer.method}{exact}  {item.query}"
+        )
+    print(f"cache:   {batch.cache_stats.describe()}")
+    print(f"wall:    {batch.wall_time:.3f}s")
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -81,6 +169,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     query_group.add_argument(
         "--query-file", help="file containing the query text"
+    )
+    query_group.add_argument(
+        "--batch",
+        help="JSON file of batch items (list of query strings or "
+             "{query, method, task} objects) evaluated over --data "
+             "through a shared reduction cache",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool width for --batch (default: one per item, "
+             "capped at the CPU count); results are identical for any "
+             "width under a fixed --seed",
     )
     parser.add_argument(
         "--method",
@@ -115,12 +215,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Iterable[str] | None = None) -> int:
-    args = _build_parser().parse_args(
-        list(argv) if argv is not None else None
-    )
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    if arguments and arguments[0] == "eval":
+        # ``repro eval …`` — the (only) subcommand, accepted for the
+        # batch-serving form; single-query flags work under it too.
+        arguments = arguments[1:]
+    args = _build_parser().parse_args(arguments)
     try:
         with open(args.data, encoding="utf-8") as stream:
             pdb = load_facts_csv(stream)
+        if args.batch:
+            return _run_batch(args, pdb)
         if args.query_file:
             with open(args.query_file, encoding="utf-8") as stream:
                 query_text = stream.read()

@@ -1,8 +1,16 @@
 """The paper's algorithms: PathEstimate, UREstimate, PQEEstimate, the
 underlying reductions, exact ground truth, and the PQEEngine facade."""
 
+from repro.core.cache import CacheStats, ReductionCache
 from repro.core.estimator import PQEAnswer, PQEEngine, PQEPlan
 from repro.core.exact import exact_probability, exact_uniform_reliability
+from repro.core.parallel import (
+    BatchItem,
+    BatchItemResult,
+    BatchResult,
+    derive_item_seed,
+    evaluate_batch,
+)
 from repro.core.monte_carlo import MonteCarloResult, monte_carlo_probability
 from repro.core.sampling import (
     sample_posterior_worlds,
@@ -27,6 +35,13 @@ __all__ = [
     "PQEEngine",
     "PQEAnswer",
     "PQEPlan",
+    "BatchItem",
+    "BatchItemResult",
+    "BatchResult",
+    "CacheStats",
+    "ReductionCache",
+    "derive_item_seed",
+    "evaluate_batch",
     "path_estimate",
     "build_path_nfa",
     "PathEstimate",

@@ -1,0 +1,207 @@
+"""Shared reduction cache: memoized Proposition 1 / Theorem 1 builds.
+
+Constructing the reduction chain — hypertree decomposition → augmented
+NFTA → (optionally) multiplier gadgets — is deterministic and often the
+dominant cost of an evaluation, yet workloads like answer ranking
+evaluate *the same query shape* over *the same database* many times
+(one pinned instance per candidate answer, repeated across requests).
+:class:`ReductionCache` memoizes those builds behind canonical keys so
+a batch pays for each distinct construction once.
+
+Keys are tuples of short strings:
+
+    ("ghd", query_token)                      — construction-ready
+                                                decomposition
+    ("ur",  query_token, instance_token, cm)  — Proposition 1 reduction
+    ("pqe", query_token, pdb_token, weighted) — Theorem 1 reduction
+    ("count", kind, …, cap)                   — *exact* hybrid-counter
+                                                results (seed-
+                                                independent by
+                                                construction; sampled
+                                                counts are never
+                                                stored)
+
+where the tokens are the ``cache_token`` digests exposed by
+:class:`~repro.queries.cq.ConjunctiveQuery`,
+:class:`~repro.db.instance.DatabaseInstance` and
+:class:`~repro.db.probabilistic.ProbabilisticDatabase`: canonical (order
+insensitive, repr-exact) SHA-256 digests, so two structurally equal
+inputs share an entry regardless of construction order.
+
+The cache is safe for concurrent use from the batch evaluator's worker
+pool.  Concurrent ``get_or_build`` calls on the same missing key are
+deduplicated: exactly one caller runs the builder (and counts the miss);
+the others block and then count hits — so hit/miss totals depend only on
+the request multiset, not on thread scheduling, which is what makes the
+cache accounting in ``tests/test_parallel.py`` deterministic across
+``max_workers`` settings.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.errors import ReproError
+
+__all__ = ["CacheStats", "ReductionCache"]
+
+Key = Hashable
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of cache traffic counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        """Traffic since an earlier snapshot (per-batch accounting)."""
+        return CacheStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            evictions=self.evictions - other.evictions,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"evictions={self.evictions} hit-rate={self.hit_rate:.1%}"
+        )
+
+
+class _InFlight:
+    """One pending build: waiters block on the event, then re-check."""
+
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+
+
+class ReductionCache:
+    """A thread-safe LRU cache with build deduplication.
+
+    Parameters
+    ----------
+    maxsize:
+        Entry budget before least-recently-used eviction; ``None`` means
+        unbounded.  Reductions for small instances are a few kilobytes,
+        so the default comfortably covers a serving workload's hot set.
+    """
+
+    def __init__(self, maxsize: int | None = 128):
+        if maxsize is not None and maxsize < 1:
+            raise ReproError(f"cache maxsize must be >= 1, got {maxsize}")
+        self._maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Key, object] = OrderedDict()
+        self._inflight: dict[Key, _InFlight] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def get_or_build(
+        self,
+        key: Key,
+        builder: Callable[[], object],
+        cache_if: Callable[[object], bool] | None = None,
+    ):
+        """Return the cached value for ``key``, building it on miss.
+
+        Exactly one concurrent caller per key runs ``builder``; a
+        builder exception is propagated to its caller and the key stays
+        absent, so a later call retries.
+
+        ``cache_if`` decides whether a freshly built value is stored.
+        A rejected value is still returned to its builder's caller and
+        still counts as a miss, but waiters deduplicated onto that
+        build re-run their *own* builder instead of sharing it.  This
+        is how seed-*dependent* count results stay private to their
+        item while seed-independent (exact) ones are shared — and the
+        hit/miss totals remain a function of the request multiset
+        alone, not of thread scheduling.
+        """
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    return self._entries[key]
+                pending = self._inflight.get(key)
+                if pending is None:
+                    pending = _InFlight()
+                    self._inflight[key] = pending
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                # Someone else is building; wait, then re-check (counts
+                # as a hit on success, or retries if the build failed).
+                pending.event.wait()
+                continue
+            try:
+                value = builder()
+            except BaseException:
+                with self._lock:
+                    del self._inflight[key]
+                pending.event.set()
+                raise
+            store = cache_if is None or cache_if(value)
+            with self._lock:
+                self._misses += 1
+                if store:
+                    self._entries[key] = value
+                    self._entries.move_to_end(key)
+                    if self._maxsize is not None:
+                        while len(self._entries) > self._maxsize:
+                            self._entries.popitem(last=False)
+                            self._evictions += 1
+                del self._inflight[key]
+            pending.event.set()
+            return value
+
+    def peek(self, key: Key, default=None):
+        """Non-recording lookup (no hit/miss counted, no LRU touch)."""
+        with self._lock:
+            return self._entries.get(key, default)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(self._hits, self._misses, self._evictions)
+
+    def clear(self) -> None:
+        """Drop every entry; traffic counters are preserved."""
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReductionCache(entries={len(self)}, "
+            f"maxsize={self._maxsize}, {self.stats.describe()})"
+        )

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 
+from repro.core.cache import ReductionCache
 from repro.core.exact import exact_probability, exact_uniform_reliability
 from repro.core.monte_carlo import monte_carlo_probability
 from repro.core.pqe_estimate import pqe_estimate
@@ -36,6 +37,10 @@ from repro.queries.properties import is_hierarchical
 from repro.queries.safe_plan import safe_plan_probability
 
 __all__ = ["PQEAnswer", "PQEPlan", "PQEEngine"]
+
+# Distinguishes "seed not overridden" from an explicit seed=None
+# (nondeterministic) override in the per-call keyword arguments.
+_UNSET = object()
 
 _METHODS = (
     "auto",
@@ -120,6 +125,18 @@ class PQEEngine:
     lineage_budget:
         Clause budget below which 'auto' prefers exact lineage counting
         over the FPRAS for unsafe queries.
+    exact_set_cap:
+        Language-size threshold under which the hybrid tree counter
+        materialises exact sets instead of sampling (see
+        :func:`repro.automata.nfta_counting.count_nfta`).  Exact counts
+        are deterministic and therefore shareable through the reduction
+        cache.
+    cache:
+        Optional :class:`~repro.core.cache.ReductionCache` shared by
+        every evaluation this engine performs: reduction builds plus
+        exact (seed-independent) count results.  Randomized counting is
+        unaffected — sampled counts are never cached.  Per-call
+        ``cache`` arguments override it.
     """
 
     def __init__(
@@ -128,6 +145,8 @@ class PQEEngine:
         seed: int | None = None,
         lineage_budget: int = 10_000,
         repetitions: int = 1,
+        cache: ReductionCache | None = None,
+        exact_set_cap: int = 4096,
     ):
         if not 0 < epsilon < 1:
             raise ReproError(f"epsilon must be in (0, 1), got {epsilon}")
@@ -135,6 +154,8 @@ class PQEEngine:
         self.seed = seed
         self.lineage_budget = lineage_budget
         self.repetitions = repetitions
+        self.cache = cache
+        self.exact_set_cap = exact_set_cap
 
     # ------------------------------------------------------------------
 
@@ -143,14 +164,25 @@ class PQEEngine:
         query: ConjunctiveQuery,
         pdb: ProbabilisticDatabase,
         method: str = "auto",
+        *,
+        seed=_UNSET,
+        cache: ReductionCache | None = None,
     ) -> PQEAnswer:
-        """``Pr_H(Q)``, routed per the class table in the module docs."""
+        """``Pr_H(Q)``, routed per the class table in the module docs.
+
+        ``seed`` overrides the engine seed for this call (pass ``None``
+        for a nondeterministic draw); ``cache`` overrides the engine's
+        reduction cache.  Both are what the batch evaluator uses to give
+        every item its own RNG stream over one shared cache.
+        """
         if method not in _METHODS:
             raise ReproError(
                 f"unknown method {method!r}; choose from {_METHODS}"
             )
+        seed = self.seed if seed is _UNSET else seed
+        cache = self.cache if cache is None else cache
         if method == "auto":
-            return self._auto_probability(query, pdb)
+            return self._auto_probability(query, pdb, seed, cache)
         if method == "safe-plan":
             value = safe_plan_probability(query, pdb)
             return PQEAnswer(float(value), "safe-plan", True, value)
@@ -159,9 +191,11 @@ class PQEEngine:
                 query,
                 pdb,
                 epsilon=self.epsilon,
-                seed=self.seed,
+                seed=seed,
                 repetitions=self.repetitions,
+                exact_set_cap=self.exact_set_cap,
                 method=method,
+                cache=cache,
             )
             return PQEAnswer(estimate.estimate, method, estimate.exact)
         if method == "lineage-exact":
@@ -174,12 +208,12 @@ class PQEEngine:
                 formula,
                 projected.probabilities,
                 epsilon=self.epsilon,
-                seed=self.seed,
+                seed=seed,
             )
             return PQEAnswer(result.estimate, "karp-luby", False)
         if method == "monte-carlo":
             result = monte_carlo_probability(
-                query, pdb, epsilon=self.epsilon / 4, seed=self.seed
+                query, pdb, epsilon=self.epsilon / 4, seed=seed
             )
             return PQEAnswer(result.estimate, "monte-carlo", False)
         # method == "enumerate"
@@ -187,7 +221,11 @@ class PQEEngine:
         return PQEAnswer(float(value), "enumerate", True, value)
 
     def _auto_probability(
-        self, query: ConjunctiveQuery, pdb: ProbabilisticDatabase
+        self,
+        query: ConjunctiveQuery,
+        pdb: ProbabilisticDatabase,
+        seed,
+        cache: ReductionCache | None,
     ) -> PQEAnswer:
         if query.is_self_join_free and is_hierarchical(query):
             value = safe_plan_probability(query, pdb)
@@ -196,13 +234,17 @@ class PQEEngine:
             small = self._try_small_lineage(query, pdb)
             if small is not None:
                 return small
-            return self.probability(query, pdb, method="fpras")
+            return self.probability(
+                query, pdb, method="fpras", seed=seed, cache=cache
+            )
         # Self-joins: the combined FPRAS does not apply (open per
         # Table 1); fall back to the intensional route.
         small = self._try_small_lineage(query, pdb)
         if small is not None:
             return small
-        return self.probability(query, pdb, method="karp-luby")
+        return self.probability(
+            query, pdb, method="karp-luby", seed=seed, cache=cache
+        )
 
     def _try_small_lineage(
         self, query: ConjunctiveQuery, pdb: ProbabilisticDatabase
@@ -284,6 +326,9 @@ class PQEEngine:
         present=(),
         absent=(),
         method: str = "auto",
+        *,
+        seed=_UNSET,
+        cache: ReductionCache | None = None,
     ) -> PQEAnswer:
         """``Pr_H(Q | evidence)`` under fact-level evidence.
 
@@ -297,7 +342,9 @@ class PQEEngine:
             conditioned = conditioned.conditioned(fact, present=True)
         for fact in absent:
             conditioned = conditioned.conditioned(fact, present=False)
-        return self.probability(query, conditioned, method=method)
+        return self.probability(
+            query, conditioned, method=method, seed=seed, cache=cache
+        )
 
     # ------------------------------------------------------------------
 
@@ -306,14 +353,21 @@ class PQEEngine:
         query: ConjunctiveQuery,
         instance: DatabaseInstance,
         method: str = "auto",
+        *,
+        seed=_UNSET,
+        cache: ReductionCache | None = None,
     ) -> PQEAnswer:
         """``UR(Q, D)``: number of satisfying subinstances."""
+        seed = self.seed if seed is _UNSET else seed
+        cache = self.cache if cache is None else cache
         if method in ("auto", "safe-plan", "lineage-exact"):
             pdb = ProbabilisticDatabase.uniform(instance)
             answer = self.probability(
                 query,
                 pdb,
                 method="auto" if method == "auto" else method,
+                seed=seed,
+                cache=cache,
             )
             scale = Fraction(2) ** len(instance)
             if answer.rational is not None:
@@ -329,8 +383,10 @@ class PQEEngine:
                 query,
                 instance,
                 epsilon=self.epsilon,
-                seed=self.seed,
+                seed=seed,
                 repetitions=self.repetitions,
+                exact_set_cap=self.exact_set_cap,
+                cache=cache,
             )
             return PQEAnswer(estimate.estimate, "fpras", estimate.exact)
         if method == "enumerate":
@@ -340,4 +396,36 @@ class PQEEngine:
             return PQEAnswer(float(count), "enumerate", True, Fraction(count))
         raise ReproError(
             f"unknown method {method!r} for uniform reliability"
+        )
+
+    # ------------------------------------------------------------------
+
+    def evaluate_batch(
+        self,
+        items,
+        *,
+        max_workers: int | None = None,
+        seed=_UNSET,
+        cache: ReductionCache | None = None,
+    ):
+        """Evaluate many ``(query, database)`` items through one shared
+        reduction cache and a worker pool.
+
+        ``items`` is a sequence of
+        :class:`~repro.core.parallel.BatchItem` (or ``(query, database)``
+        tuples).  Every item gets its own deterministically derived RNG
+        stream, so the returned :class:`~repro.core.parallel.BatchResult`
+        is bitwise-identical for a fixed ``seed`` regardless of
+        ``max_workers``, and matches a sequential loop that calls
+        :meth:`probability` with the same per-item seeds.  See
+        :mod:`repro.core.parallel` for the full contract.
+        """
+        from repro.core.parallel import evaluate_batch
+
+        return evaluate_batch(
+            self,
+            items,
+            max_workers=max_workers,
+            seed=self.seed if seed is _UNSET else seed,
+            cache=cache if cache is not None else self.cache,
         )

@@ -1,0 +1,276 @@
+"""Batch evaluation: one reduction cache, many items, a worker pool.
+
+The engine's single-call API rebuilds the full Proposition 1 / Theorem 1
+reduction chain per call.  Serving workloads — answer ranking, repeated
+dashboards, per-tenant groundings of one query shape — evaluate *many*
+items that share most of that construction, and the underlying ACJR
+counting estimator is embarrassingly parallel across items.  This module
+centralises both observations:
+
+- every item is routed through the existing Table 1 logic (safe plan /
+  exact lineage / FPRAS / Karp–Luby) exactly as ``PQEEngine`` would
+  route it individually;
+- reduction construction is memoized in one
+  :class:`~repro.core.cache.ReductionCache` shared by the whole batch
+  (and across batches, if the caller keeps the cache);
+- items are fanned out over a ``concurrent.futures`` thread pool.
+
+Reproducibility contract
+------------------------
+Item ``i`` draws from its own RNG stream, seeded with
+``derive_item_seed(seed, i)`` — a SHA-256 derivation of the batch seed
+and the item index, so the streams are statistically independent and do
+not depend on worker scheduling.  Consequences, both tested in
+``tests/test_parallel.py``:
+
+- a batch is **bitwise-identical** for a fixed ``seed``, whatever
+  ``max_workers`` is (1, 2, 8, …);
+- the batch matches a sequential loop that calls
+  ``engine.probability(item.query, item.database,
+  seed=derive_item_seed(seed, i))`` method-for-method.
+
+With ``seed=None`` every item is nondeterministic (the single-call
+default), and nothing above applies.
+
+Failure contract
+----------------
+Any exception inside a worker — a routing error, a broken input, an
+estimator giving up — is surfaced as
+:class:`~repro.errors.EstimationError` naming the item index, with the
+original exception chained as ``__cause__``.  The first failing index
+wins; remaining items may or may not have completed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.cache import CacheStats, ReductionCache
+from repro.db.instance import DatabaseInstance
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.errors import EstimationError, ReproError
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = [
+    "BatchItem",
+    "BatchItemResult",
+    "BatchResult",
+    "derive_item_seed",
+    "evaluate_batch",
+]
+
+_TASKS = ("probability", "reliability")
+
+
+def derive_item_seed(seed: int | None, index: int) -> int | None:
+    """The RNG-stream seed for batch item ``index`` under batch ``seed``.
+
+    SHA-256 over ``(seed, index)`` — deterministic across processes and
+    platforms (unlike ``hash``), and statistically independent between
+    indices.  ``None`` stays ``None`` (nondeterministic items).
+    """
+    if seed is None:
+        return None
+    digest = hashlib.sha256(
+        f"repro-batch:{seed}:{index}".encode("ascii")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One evaluation request in a batch.
+
+    ``task`` is ``'probability'`` (``database`` must be a
+    :class:`ProbabilisticDatabase`) or ``'reliability'`` (a
+    :class:`DatabaseInstance`; a probabilistic database's underlying
+    instance is used).  ``method`` is any method the engine accepts for
+    that task, including ``'auto'``.
+    """
+
+    query: ConjunctiveQuery
+    database: ProbabilisticDatabase | DatabaseInstance
+    task: str = "probability"
+    method: str = "auto"
+
+    def validated(self, index: int) -> "BatchItem":
+        if self.task not in _TASKS:
+            raise ReproError(
+                f"batch item {index}: unknown task {self.task!r}; "
+                f"choose from {_TASKS}"
+            )
+        if self.task == "probability" and not isinstance(
+            self.database, ProbabilisticDatabase
+        ):
+            raise ReproError(
+                f"batch item {index}: task 'probability' needs a "
+                f"ProbabilisticDatabase, got "
+                f"{type(self.database).__name__}"
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class BatchItemResult:
+    """One item's answer plus its evaluation provenance."""
+
+    index: int
+    answer: object               # PQEAnswer
+    seed: int | None             # the derived per-item stream seed
+    elapsed: float               # worker wall seconds for this item
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Everything a batch run produced, in input order."""
+
+    results: tuple[BatchItemResult, ...]
+    cache_stats: CacheStats      # traffic attributable to this batch
+    wall_time: float
+    max_workers: int
+
+    @property
+    def answers(self) -> tuple:
+        return tuple(r.answer for r in self.results)
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        return tuple(r.answer.value for r in self.results)
+
+    @property
+    def methods(self) -> tuple[str, ...]:
+        return tuple(r.answer.method for r in self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.results)} items in {self.wall_time:.3f}s "
+            f"({self.max_workers} workers); cache "
+            f"{self.cache_stats.describe()}"
+        )
+
+
+def _coerce_items(items: Iterable) -> list[BatchItem]:
+    coerced: list[BatchItem] = []
+    for index, item in enumerate(items):
+        if isinstance(item, BatchItem):
+            coerced.append(item.validated(index))
+        elif isinstance(item, Sequence) and len(item) == 2:
+            query, database = item
+            task = (
+                "probability"
+                if isinstance(database, ProbabilisticDatabase)
+                else "reliability"
+            )
+            coerced.append(
+                BatchItem(query, database, task=task).validated(index)
+            )
+        else:
+            raise ReproError(
+                f"batch item {index}: expected BatchItem or "
+                f"(query, database) pair, got {type(item).__name__}"
+            )
+    return coerced
+
+
+def evaluate_batch(
+    engine,
+    items: Iterable,
+    *,
+    max_workers: int | None = None,
+    seed: int | None = None,
+    cache: ReductionCache | None = None,
+) -> BatchResult:
+    """Evaluate ``items`` with ``engine`` per the module contract.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`~repro.core.estimator.PQEEngine`; its epsilon,
+        repetitions and lineage budget apply to every item.
+    items:
+        :class:`BatchItem` objects or ``(query, database)`` pairs.
+    max_workers:
+        Pool width; defaults to ``min(len(items), cpu_count)``.  With 1
+        the batch runs inline on the calling thread (identical results —
+        only the scheduling changes).
+    seed:
+        Batch seed from which every item stream is derived; ``None``
+        leaves randomized items nondeterministic.
+    cache:
+        Reduction cache to share; a private one is created per call when
+        omitted.  Pass a long-lived cache to amortise construction
+        across batches; ``BatchResult.cache_stats`` always reports only
+        this batch's traffic.
+    """
+    batch = _coerce_items(items)
+    if max_workers is None:
+        max_workers = max(1, min(len(batch), os.cpu_count() or 1))
+    if max_workers < 1:
+        raise ReproError(f"max_workers must be >= 1, got {max_workers}")
+    if cache is None:
+        cache = ReductionCache()
+
+    stats_before = cache.stats
+    started = time.perf_counter()
+
+    def run_item(index: int, item: BatchItem) -> BatchItemResult:
+        item_seed = derive_item_seed(seed, index)
+        item_started = time.perf_counter()
+        try:
+            if item.task == "probability":
+                answer = engine.probability(
+                    item.query,
+                    item.database,
+                    method=item.method,
+                    seed=item_seed,
+                    cache=cache,
+                )
+            else:
+                database = item.database
+                if isinstance(database, ProbabilisticDatabase):
+                    database = database.instance
+                answer = engine.uniform_reliability(
+                    item.query,
+                    database,
+                    method=item.method,
+                    seed=item_seed,
+                    cache=cache,
+                )
+        except Exception as failure:
+            raise EstimationError(
+                f"batch item {index} ({item.task}, {item.query}) "
+                f"failed: {failure}"
+            ) from failure
+        return BatchItemResult(
+            index=index,
+            answer=answer,
+            seed=item_seed,
+            elapsed=time.perf_counter() - item_started,
+        )
+
+    if max_workers == 1 or len(batch) <= 1:
+        results = [run_item(i, item) for i, item in enumerate(batch)]
+    else:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(run_item, i, item)
+                for i, item in enumerate(batch)
+            ]
+            # Collect in input order; the earliest-indexed failure is
+            # re-raised (already wrapped as EstimationError).
+            results = [future.result() for future in futures]
+
+    return BatchResult(
+        results=tuple(results),
+        cache_stats=cache.stats - stats_before,
+        wall_time=time.perf_counter() - started,
+        max_workers=max_workers,
+    )

@@ -35,7 +35,11 @@ from repro.automata.nfa_counting import CountResult
 from repro.automata.nfta import NFTA
 from repro.automata.nfta_counting import count_nfta, count_nfta_exact
 from repro.automata.symbols import Literal
-from repro.core.ur_reduction import URReduction, build_ur_reduction
+from repro.core.ur_reduction import (
+    URReduction,
+    _ready_decomposition,
+    build_ur_reduction,
+)
 from repro.db.fact import Fact
 from repro.db.probabilistic import ProbabilisticDatabase
 from repro.decomposition import HypertreeDecomposition
@@ -96,6 +100,7 @@ def build_pqe_reduction(
     pdb: ProbabilisticDatabase,
     decomposition: HypertreeDecomposition | None = None,
     weighted: bool = False,
+    cache=None,
 ) -> PQEReduction:
     """Build the Section 5.2 automaton: ``Pr_H(Q) = |L_k(T')| / d``.
 
@@ -103,8 +108,37 @@ def build_pqe_reduction(
     Proposition 1 automaton is returned together with a per-symbol
     weight function, and the probability is the weighted tree measure
     over it divided by ``d``.
+
+    ``cache`` (a :class:`~repro.core.cache.ReductionCache`) memoizes the
+    finished reduction under ``("pqe", query.cache_token,
+    pdb.cache_token, weighted)``; the underlying decomposition is cached
+    under its own ``("ghd", …)`` key, so distinct groundings of one
+    query shape still share the decomposition search.  A caller-supplied
+    ``decomposition`` bypasses the cache.
     """
+    if cache is not None and decomposition is None:
+        key = ("pqe", query.cache_token, pdb.cache_token, weighted)
+        return cache.get_or_build(
+            key, lambda: _build_pqe_reduction(query, pdb, None, weighted, cache)
+        )
+    return _build_pqe_reduction(query, pdb, decomposition, weighted, cache)
+
+
+def _build_pqe_reduction(
+    query: ConjunctiveQuery,
+    pdb: ProbabilisticDatabase,
+    decomposition: HypertreeDecomposition | None,
+    weighted: bool,
+    cache,
+) -> PQEReduction:
     projected = pdb.project_to_query(query)
+    if cache is not None and decomposition is None:
+        # Only the decomposition layer is shared here: the full UR entry
+        # would duplicate what the enclosing PQE entry already stores.
+        decomposition = cache.get_or_build(
+            ("ghd", query.cache_token),
+            lambda: _ready_decomposition(query),
+        )
     reduction = build_ur_reduction(
         query, projected.instance, decomposition=decomposition
     )
@@ -203,6 +237,8 @@ def pqe_estimate(
     repetitions: int = 1,
     decomposition: HypertreeDecomposition | None = None,
     method: str = "fpras",
+    cache=None,
+    executor=None,
 ) -> PQEEstimate:
     """Theorem 1's PQEEstimate: (1 ± ε)-approximation of ``Pr_H(Q)``.
 
@@ -220,10 +256,23 @@ def pqe_estimate(
         the plain Proposition 1 automaton — smaller trees, same answer
         (the practical optimisation anticipated in the paper's
         conclusion; see ``benchmarks/bench_weighted_vs_gadget.py``).
+    cache:
+        Optional :class:`~repro.core.cache.ReductionCache`; memoizes the
+        reduction build (see :func:`build_pqe_reduction`) and, when the
+        hybrid counter stays in its exact regime, the count result
+        itself — exact counts are seed-independent, so sharing them
+        changes nothing about any item's value.  Sampled (non-exact)
+        counts are never stored: with or without a cache, a fixed seed
+        yields bitwise the same estimate.
+    executor:
+        Optional :class:`concurrent.futures.Executor` over which
+        median-of-``repetitions`` runs are fanned out (see
+        :func:`repro.automata.nfta_counting.count_nfta`).
     """
     weighted = method in ("fpras-weighted", "exact-weighted")
     reduction = build_pqe_reduction(
-        query, pdb, decomposition=decomposition, weighted=weighted
+        query, pdb, decomposition=decomposition, weighted=weighted,
+        cache=cache,
     )
     if method == "exact-automaton":
         exact_count = count_nfta_exact(reduction.nfta, reduction.tree_size)
@@ -240,16 +289,35 @@ def pqe_estimate(
             estimate=float(measure), exact=True, samples_used=0
         )
     elif method in ("fpras", "fpras-weighted"):
-        count_result = count_nfta(
-            reduction.nfta,
-            reduction.tree_size,
-            epsilon=epsilon,
-            seed=seed,
-            samples=samples,
-            exact_set_cap=exact_set_cap,
-            repetitions=repetitions,
-            weight_of=reduction.weight_of if weighted else None,
-        )
+        def run_count() -> CountResult:
+            return count_nfta(
+                reduction.nfta,
+                reduction.tree_size,
+                epsilon=epsilon,
+                seed=seed,
+                samples=samples,
+                exact_set_cap=exact_set_cap,
+                repetitions=repetitions,
+                weight_of=reduction.weight_of if weighted else None,
+                executor=executor,
+            )
+
+        if cache is not None and decomposition is None:
+            # The hybrid counter is deterministic whenever it stays in
+            # the exact regime (the result then depends only on the
+            # automaton, tree size, weights, and the cap — not on the
+            # seed), so exact counts are shareable across batch items;
+            # sampled counts are seed-dependent and stay private.
+            count_result = cache.get_or_build(
+                (
+                    "count", "pqe", query.cache_token, pdb.cache_token,
+                    method, exact_set_cap,
+                ),
+                run_count,
+                cache_if=lambda result: result.exact,
+            )
+        else:
+            count_result = run_count()
     else:
         raise ValueError(f"unknown method {method!r}")
     # A probability estimate above 1 can only be sampling error;

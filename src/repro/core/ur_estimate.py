@@ -57,6 +57,8 @@ def ur_estimate(
     repetitions: int = 1,
     decomposition: HypertreeDecomposition | None = None,
     method: str = "fpras",
+    cache=None,
+    executor=None,
 ) -> UREstimate:
     """Theorem 3's UREstimate: a (1 ± ε)-approximation of UR(Q, D).
 
@@ -69,9 +71,19 @@ def ur_estimate(
         ``'fpras'`` (the paper's algorithm) or ``'exact-automaton'``
         (same reduction, but the determinization-based exact counter —
         exponential worst case, used for validation).
+    cache:
+        Optional :class:`~repro.core.cache.ReductionCache`; memoizes the
+        Proposition 1 build (see
+        :func:`repro.core.ur_reduction.build_ur_reduction`) and exact
+        (seed-independent) count results; sampled counts are never
+        stored, so a fixed seed yields the same estimate with or
+        without a cache.
+    executor:
+        Optional :class:`concurrent.futures.Executor` over which
+        median-of-``repetitions`` runs are fanned out.
     """
     reduction = build_ur_reduction(
-        query, instance, decomposition=decomposition
+        query, instance, decomposition=decomposition, cache=cache
     )
     if method == "exact-automaton":
         exact_count = count_nfta_exact(reduction.nfta, reduction.tree_size)
@@ -79,15 +91,31 @@ def ur_estimate(
             estimate=float(exact_count), exact=True, samples_used=0
         )
     elif method == "fpras":
-        count_result = count_nfta(
-            reduction.nfta,
-            reduction.tree_size,
-            epsilon=epsilon,
-            seed=seed,
-            samples=samples,
-            exact_set_cap=exact_set_cap,
-            repetitions=repetitions,
-        )
+        def run_count() -> CountResult:
+            return count_nfta(
+                reduction.nfta,
+                reduction.tree_size,
+                epsilon=epsilon,
+                seed=seed,
+                samples=samples,
+                exact_set_cap=exact_set_cap,
+                repetitions=repetitions,
+                executor=executor,
+            )
+
+        if cache is not None and decomposition is None:
+            # Exact (seed-independent) counts are shareable; sampled
+            # ones stay private.  See pqe_estimate for the rationale.
+            count_result = cache.get_or_build(
+                (
+                    "count", "ur", query.cache_token,
+                    instance.cache_token, exact_set_cap,
+                ),
+                run_count,
+                cache_if=lambda result: result.exact,
+            )
+        else:
+            count_result = run_count()
     else:
         raise ValueError(f"unknown method {method!r}")
     return UREstimate(

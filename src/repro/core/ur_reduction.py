@@ -51,6 +51,15 @@ from repro.queries.cq import ConjunctiveQuery
 
 __all__ = ["URReduction", "build_ur_reduction"]
 
+
+def _ready_decomposition(query: ConjunctiveQuery):
+    """The construction-ready decomposition cached under ``("ghd", …)``.
+
+    ``ensure_construction_ready`` is idempotent, so handing this shared
+    object back into the builders is safe.
+    """
+    return ensure_construction_ready(decompose(query))
+
 _INIT = ("init",)
 
 Assignment = tuple[tuple[str, Hashable], ...]
@@ -147,6 +156,7 @@ def build_ur_reduction(
     instance: DatabaseInstance,
     decomposition: HypertreeDecomposition | None = None,
     contract_mode: str = "pad",
+    cache=None,
 ) -> URReduction:
     """Proposition 1: an augmented NFTA with
     ``|L_k(T+)| = UR(Q, D')``, where D' is D projected onto Q's
@@ -160,9 +170,41 @@ def build_ur_reduction(
     contract_mode:
         ``'pad'`` (default) or ``'lambda'`` — how vertices that cover no
         atom minimally are represented; see the module docstring.
+    cache:
+        Optional :class:`~repro.core.cache.ReductionCache`.  The whole
+        reduction is memoized under
+        ``("ur", query.cache_token, instance.cache_token, contract_mode)``
+        and the construction-ready decomposition under
+        ``("ghd", query.cache_token)`` — so many instances of one query
+        shape share a single decomposition search.  A caller-supplied
+        ``decomposition`` bypasses the cache entirely (the key cannot
+        describe it).
     """
     if contract_mode not in ("pad", "lambda"):
         raise QueryError(f"unknown contract_mode {contract_mode!r}")
+    if cache is not None and decomposition is None:
+        key = ("ur", query.cache_token, instance.cache_token, contract_mode)
+        return cache.get_or_build(
+            key,
+            lambda: _build_ur_reduction(
+                query,
+                instance,
+                cache.get_or_build(
+                    ("ghd", query.cache_token),
+                    lambda: _ready_decomposition(query),
+                ),
+                contract_mode,
+            ),
+        )
+    return _build_ur_reduction(query, instance, decomposition, contract_mode)
+
+
+def _build_ur_reduction(
+    query: ConjunctiveQuery,
+    instance: DatabaseInstance,
+    decomposition: HypertreeDecomposition | None,
+    contract_mode: str,
+) -> URReduction:
     if not query.is_self_join_free:
         raise SelfJoinError(
             f"the Proposition 1 construction requires self-join-freeness: "

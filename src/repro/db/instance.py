@@ -92,6 +92,23 @@ class DatabaseInstance:
         return frozenset(self._by_relation)
 
     @cached_property
+    def cache_token(self) -> str:
+        """Canonical digest of the fact set, for reduction-cache keys.
+
+        Uses ``repr`` of each fact's relation and constants so that,
+        e.g., the constants ``1`` and ``"1"`` do not collide.
+        """
+        import hashlib
+
+        canonical = "\x1f".join(
+            sorted(
+                f"{fact.relation!r}{fact.constants!r}"
+                for fact in self._facts
+            )
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+    @cached_property
     def active_domain(self) -> frozenset:
         """All constants appearing in some fact."""
         out = set()

@@ -111,6 +111,25 @@ class ProbabilisticDatabase:
         return len(self._instance) + bits
 
     @cached_property
+    def cache_token(self) -> str:
+        """Canonical digest of facts *and* labels, for reduction-cache keys.
+
+        Two probabilistic databases share a token iff they are equal —
+        same facts, same exact rational probabilities — so a cached
+        Theorem 1 reduction is reused only when it is bit-for-bit valid.
+        """
+        import hashlib
+
+        canonical = "\x1f".join(
+            sorted(
+                f"{fact.relation!r}{fact.constants!r}="
+                f"{prob.numerator}/{prob.denominator}"
+                for fact, prob in self._probabilities.items()
+            )
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+    @cached_property
     def denominator_product(self) -> int:
         """``d = Π_i d_i``, the product of all label denominators.
 

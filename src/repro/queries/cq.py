@@ -67,6 +67,18 @@ class ConjunctiveQuery:
         return tuple(a.relation for a in self._atoms)
 
     @cached_property
+    def cache_token(self) -> str:
+        """Canonical digest of the atom *set*, for reduction-cache keys.
+
+        Order-insensitive (matching :meth:`__eq__`), so two equal queries
+        share cache entries no matter how their atoms were listed.
+        """
+        import hashlib
+
+        canonical = "\x1f".join(sorted(str(atom) for atom in self._atoms))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+    @cached_property
     def is_self_join_free(self) -> bool:
         """``True`` iff no relation name occurs in two distinct atoms."""
         names = self.relation_names

@@ -169,3 +169,85 @@ class TestExtendedMethods:
         out = capsys.readouterr().out
         assert "plan:" in out
         assert "route:" in out
+
+
+BATCH_JSON = """\
+[
+    "Q :- R1(x, y), R2(y, z)",
+    {"query": "Q :- R1(x, y)", "method": "fpras-weighted"},
+    {"query": "Q :- R1(x, y), R2(y, z)", "task": "reliability"}
+]
+"""
+
+
+class TestBatch:
+    @pytest.fixture
+    def data_file(self, tmp_path):
+        path = tmp_path / "facts.csv"
+        path.write_text(CSV)
+        return str(path)
+
+    @pytest.fixture
+    def batch_file(self, tmp_path):
+        path = tmp_path / "batch.json"
+        path.write_text(BATCH_JSON)
+        return str(path)
+
+    def test_batch_run(self, data_file, batch_file, capsys):
+        code = main(
+            [
+                "eval",
+                "--data", data_file,
+                "--batch", batch_file,
+                "--workers", "2",
+                "--seed", "7",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[0] Pr" in out and "[2] UR" in out
+        assert "cache:" in out and "hit-rate" in out
+        assert "0.333333" in out  # item 0 exactly 1/3
+
+    def test_batch_is_reproducible_across_workers(
+        self, data_file, batch_file, capsys
+    ):
+        outputs = []
+        for workers in ("1", "4"):
+            assert main(
+                [
+                    "--data", data_file,
+                    "--batch", batch_file,
+                    "--workers", workers,
+                    "--seed", "7",
+                ]
+            ) == 0
+            lines = capsys.readouterr().out.splitlines()
+            outputs.append(
+                [line for line in lines if line.startswith("[")]
+            )
+        assert outputs[0] == outputs[1]
+
+    def test_eval_token_optional_for_single_query(self, data_file, capsys):
+        code = main(
+            ["eval", "--data", data_file,
+             "--query", "Q :- R1(x,y), R2(y,z)"]
+        )
+        assert code == 0
+        assert "Pr_H(Q) =" in capsys.readouterr().out
+
+    def test_batch_excludes_query(self, data_file, batch_file, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["--data", data_file, "--batch", batch_file,
+                 "--query", "Q :- R1(x,y)"]
+            )
+
+    def test_bad_batch_entries(self, data_file, tmp_path, capsys):
+        for payload in ("{}", "[]", '[{"method": "auto"}]',
+                        '[{"query": "Q :- R1(x,y)", "bogus": 1}]'):
+            path = tmp_path / "bad.json"
+            path.write_text(payload)
+            code = main(["--data", data_file, "--batch", str(path)])
+            assert code == 1
+            assert "error:" in capsys.readouterr().err

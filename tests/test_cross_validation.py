@@ -129,6 +129,55 @@ def test_pqe_all_paths_agree(seed):
 
 @given(st.integers(min_value=0, max_value=100_000))
 @settings(max_examples=20, deadline=None)
+def test_engine_routes_agree_metamorphically(seed):
+    """Metamorphic cross-backend check through the PQEEngine facade.
+
+    Changing the evaluation route must not change the answer: every
+    exact route agrees to rounding, and the randomized FPRAS lands in a
+    loose envelope around them (or exactly on 0/1, which the reduction
+    preserves exactly).
+    """
+    from repro.core.estimator import PQEEngine
+
+    rng = random.Random(seed)
+    query = _random_sjf_query(rng)
+    if len(query.variables) > 5:
+        return
+    instance = _random_instance(query, rng, max_facts=8)
+    pdb = ProbabilisticDatabase(
+        {fact: rng.choice(_PROBS[2:]) for fact in instance}
+    )
+    engine = PQEEngine(epsilon=0.3, seed=seed, repetitions=3)
+
+    exact_routes = ["enumerate", "lineage-exact"]
+    if is_hierarchical(query):
+        exact_routes.append("safe-plan")
+    answers = {
+        route: engine.probability(query, pdb, method=route)
+        for route in exact_routes
+    }
+    truth = answers["enumerate"].rational
+    for route, answer in answers.items():
+        assert answer.exact
+        assert answer.rational == truth, (route, str(query))
+
+    fpras = engine.probability(query, pdb, method="fpras-weighted")
+    if truth == 0:
+        assert fpras.value == 0
+    else:
+        assert abs(fpras.value - float(truth)) / float(truth) < 0.75, (
+            str(query)
+        )
+
+    auto = engine.probability(query, pdb)
+    if auto.exact:
+        assert abs(auto.value - float(truth)) <= 1e-9
+    elif truth > 0:
+        assert abs(auto.value - float(truth)) / float(truth) < 0.75
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=20, deadline=None)
 def test_fpras_inside_envelope_or_zero(seed):
     rng = random.Random(seed)
     query = _random_sjf_query(rng)

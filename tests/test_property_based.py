@@ -1,0 +1,168 @@
+"""Property-based (hypothesis) tests for the parser and the sampler.
+
+Two invariant families the example-based suites cannot exhaustively
+cover:
+
+- **Parser round-trip**: ``parse_query(str(q)) == q`` for arbitrary
+  conjunctive queries, so the textual form is a faithful serialisation
+  (the CLI batch format depends on this).
+- **Tree decoding**: every tree sampled from the Proposition 1 /
+  Theorem 1 automata decodes — via ``_decode_tree`` — into a
+  subinstance that (a) only contains facts of the input database,
+  (b) satisfies the query, and (c) never trips the duplicate-fact
+  invariant that guards the reduction.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import (
+    sample_posterior_worlds,
+    sample_satisfying_subinstances,
+)
+from repro.db.fact import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.db.semantics import satisfies
+from repro.queries.atoms import Atom, Variable
+from repro.queries.builders import path_query, star_query
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.parser import parse_query
+
+# ---------------------------------------------------------------------
+# Parser round-trip
+# ---------------------------------------------------------------------
+
+_IDENT_HEAD = "abcdefghXYZ_"
+_IDENT_TAIL = _IDENT_HEAD + "0123456789'"
+
+
+def _random_identifier(rng: random.Random) -> str:
+    head = rng.choice(_IDENT_HEAD)
+    tail = "".join(
+        rng.choice(_IDENT_TAIL) for _ in range(rng.randint(0, 4))
+    )
+    return head + tail
+
+
+def _random_query(rng: random.Random) -> ConjunctiveQuery:
+    variables = [
+        Variable(name)
+        for name in {_random_identifier(rng) for _ in range(4)}
+    ]
+    atoms = []
+    for index in range(rng.randint(1, 5)):
+        arity = rng.randint(1, 4)
+        atoms.append(
+            Atom(
+                f"{_random_identifier(rng)}_{index}",
+                tuple(rng.choice(variables) for _ in range(arity)),
+            )
+        )
+    return ConjunctiveQuery(atoms)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=100, deadline=None)
+def test_parser_round_trips_str(seed):
+    rng = random.Random(seed)
+    query = _random_query(rng)
+    assert parse_query(str(query)) == query
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=50, deadline=None)
+def test_parser_round_trip_survives_whitespace_and_head(seed):
+    rng = random.Random(seed)
+    query = _random_query(rng)
+    text = str(query)
+    # The head prefix is optional and whitespace is free.
+    body = text.split(":-", 1)[1]
+    assert parse_query(body) == query
+    assert parse_query(body.replace(" ", "")) == query
+    assert parse_query("  " + text.replace(", ", " ,\n ")) == query
+
+
+def test_builder_docstring_round_trips():
+    for query in (path_query(4), star_query(3)):
+        assert parse_query(str(query)) == query
+
+
+# ---------------------------------------------------------------------
+# Sampler / _decode_tree invariants
+# ---------------------------------------------------------------------
+
+def _random_shape(rng: random.Random) -> ConjunctiveQuery:
+    if rng.random() < 0.5:
+        return path_query(rng.randint(1, 3))
+    return star_query(rng.randint(1, 3))
+
+
+def _random_instance_with_witness(
+    query: ConjunctiveQuery, rng: random.Random
+) -> DatabaseInstance:
+    constants = ["a", "b", "c"]
+    facts: set[Fact] = set()
+    for atom in query.atoms:
+        for _ in range(rng.randint(0, 2)):
+            facts.add(
+                Fact(
+                    atom.relation,
+                    tuple(rng.choice(constants) for _ in range(atom.arity)),
+                )
+            )
+    # Inject one canonical witness so the sampled language is nonempty.
+    assignment = {v: rng.choice(constants) for v in query.variables}
+    for atom in query.atoms:
+        facts.add(
+            Fact(atom.relation, tuple(assignment[v] for v in atom.args))
+        )
+    return DatabaseInstance(sorted(facts, key=Fact.sort_key))
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=25, deadline=None)
+def test_sampled_subinstances_satisfy_the_query(seed):
+    rng = random.Random(seed)
+    query = _random_shape(rng)
+    instance = _random_instance_with_witness(query, rng)
+
+    # _decode_tree raising (duplicate fact in a tree) would fail here.
+    worlds = sample_satisfying_subinstances(
+        query, instance, k=8, seed=seed
+    )
+    universe = set(instance)
+    for world in worlds:
+        assert world <= universe
+        assert satisfies(DatabaseInstance(world), query)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=15, deadline=None)
+def test_posterior_worlds_satisfy_the_query(seed):
+    rng = random.Random(seed)
+    query = _random_shape(rng)
+    instance = _random_instance_with_witness(query, rng)
+    probabilities = ["1/2", "2/3", "3/4", "9/10"]
+    pdb = ProbabilisticDatabase(
+        {fact: rng.choice(probabilities) for fact in instance}
+    )
+
+    worlds = sample_posterior_worlds(query, pdb, k=6, seed=seed)
+    universe = set(instance)
+    for world in worlds:
+        assert world <= universe
+        assert satisfies(DatabaseInstance(world), query)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=10, deadline=None)
+def test_sampling_is_deterministic_under_a_seed(seed):
+    rng = random.Random(seed)
+    query = _random_shape(rng)
+    instance = _random_instance_with_witness(query, rng)
+    first = sample_satisfying_subinstances(query, instance, k=5, seed=seed)
+    second = sample_satisfying_subinstances(query, instance, k=5, seed=seed)
+    assert first == second

@@ -1,0 +1,116 @@
+"""Empirical (ε, δ) checks for the randomized estimators.
+
+The paper's Theorems 1 and 3 promise ``Pr[|est − truth| ≤ ε·truth] ≥
+1 − δ`` (with δ = 1/4 before median amplification).  These tests
+measure that guarantee directly: ≥ 30 independent seeded trials of the
+FPRAS on small instances whose exact answers come from an independent
+evaluator, forced into the genuinely-sampled regime with
+``exact_set_cap=0`` (otherwise the hybrid counter answers small
+instances exactly and the trials would be vacuous).
+
+Every trial seed is fixed, so the empirical failure counts are
+reproducible — the suite is slow, not flaky.  It runs in its own CI
+job via ``-m statistical``.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core.exact import exact_probability, exact_uniform_reliability
+from repro.core.pqe_estimate import pqe_estimate
+from repro.core.ur_estimate import ur_estimate
+from repro.db.fact import Fact
+from repro.db.instance import DatabaseInstance
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.queries.parser import parse_query
+
+pytestmark = pytest.mark.statistical
+
+TRIALS = 30
+EPSILON = 0.3
+DELTA = 0.25          # the pre-amplification guarantee of Theorems 1/3
+
+QUERY = parse_query("Q :- R1(x, y), R2(y, z)")
+
+# Two join paths a→d plus dangling facts: ambiguous enough that the
+# counter's union estimator actually samples, small enough that exact
+# lineage/enumeration ground truth is instant.
+PDB = ProbabilisticDatabase({
+    Fact("R1", ("a", "b")): "1/2",
+    Fact("R1", ("a", "c")): "2/3",
+    Fact("R2", ("b", "d")): "3/4",
+    Fact("R2", ("c", "d")): "2/5",
+    Fact("R1", ("e", "b")): "1/3",
+    Fact("R2", ("b", "f")): "1/2",
+})
+
+INSTANCE = DatabaseInstance([
+    Fact("R1", ("a", "b")), Fact("R1", ("a", "c")),
+    Fact("R2", ("b", "d")), Fact("R2", ("c", "d")),
+    Fact("R2", ("b", "e")),
+])
+
+
+def _pqe_trial(seed: int, repetitions: int = 1) -> float:
+    return pqe_estimate(
+        QUERY, PDB, epsilon=EPSILON, seed=seed, method="fpras-weighted",
+        exact_set_cap=0, repetitions=repetitions,
+    ).estimate
+
+
+def test_trials_are_really_sampled():
+    result = pqe_estimate(
+        QUERY, PDB, epsilon=EPSILON, seed=0, method="fpras-weighted",
+        exact_set_cap=0,
+    )
+    assert not result.exact
+    assert result.count_result.samples_used > 0
+
+
+def test_pqe_fpras_meets_epsilon_delta_empirically():
+    truth = float(exact_probability(QUERY, PDB, method="lineage"))
+    estimates = [_pqe_trial(seed) for seed in range(TRIALS)]
+    assert all(0.0 <= estimate <= 1.0 for estimate in estimates)
+    failures = sum(
+        1 for estimate in estimates
+        if abs(estimate - truth) > EPSILON * truth
+    )
+    assert failures / TRIALS <= DELTA
+
+
+def test_ur_fpras_meets_epsilon_delta_empirically():
+    truth = exact_uniform_reliability(
+        QUERY, INSTANCE, method="enumerate"
+    )
+    failures = 0
+    for seed in range(TRIALS):
+        estimate = ur_estimate(
+            QUERY, INSTANCE, epsilon=EPSILON, seed=seed, exact_set_cap=0,
+        ).estimate
+        assert estimate >= 0
+        if abs(estimate - truth) > EPSILON * truth:
+            failures += 1
+    assert failures / TRIALS <= DELTA
+
+
+def test_pqe_fpras_is_centered_on_the_truth():
+    # The estimator is (nearly) unbiased, so the trial mean must sit
+    # well inside the single-trial envelope.
+    truth = float(exact_probability(QUERY, PDB, method="lineage"))
+    mean = statistics.fmean(_pqe_trial(seed) for seed in range(TRIALS))
+    assert abs(mean - truth) <= (EPSILON / 2) * truth
+
+
+def test_median_amplification_does_not_degrade():
+    # Median-of-k can only sharpen the tail: amplified trials must fail
+    # at most as often as single runs on the same seeds.
+    truth = float(exact_probability(QUERY, PDB, method="lineage"))
+
+    def failures(repetitions: int) -> int:
+        return sum(
+            1 for seed in range(TRIALS)
+            if abs(_pqe_trial(seed, repetitions) - truth) > EPSILON * truth
+        )
+
+    assert failures(3) <= failures(1) + 1
