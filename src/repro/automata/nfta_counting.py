@@ -38,7 +38,9 @@ from typing import Hashable, Iterator
 from repro.automata.nfa_counting import CountResult, default_sample_count
 from repro.automata.nfta import NFTA
 from repro.automata.trees import LabeledTree
+from repro.core.budget import budget_checkpoint, budget_tick
 from repro.errors import AutomatonError, EstimationError
+from repro.testing.faults import fault_point
 
 __all__ = ["count_nfta_exact", "count_nfta", "sample_accepted_trees"]
 
@@ -70,6 +72,7 @@ def count_nfta_exact(nfta: NFTA, size: int, weight_of=None):
         raise AutomatonError("count_nfta_exact requires a λ-free NFTA")
     if size < 1:
         return 0
+    fault_point("counting.nfta")
     weigh = weight_of if weight_of is not None else (lambda _symbol: 1)
 
     groups: dict[tuple[Symbol, int], list[tuple[State, tuple[State, ...]]]] = {}
@@ -85,6 +88,7 @@ def count_nfta_exact(nfta: NFTA, size: int, weight_of=None):
     ]
 
     for s in range(1, size + 1):
+        budget_checkpoint("counting.nfta")
         cell = table[s]
         for (symbol, arity), rules in groups.items():
             weight = weigh(symbol)
@@ -431,6 +435,7 @@ class _TreeCounter:
             return _ZERO
         needed = self._collect_needed_pairs()
         for pair in sorted(needed, key=lambda p: (p[1], str(p[0]))):
+            budget_checkpoint("counting.nfta")
             self._values[pair] = self._compute(pair)
         return self._values[(self._nfta.initial, self._size)]
 
@@ -577,6 +582,7 @@ class _TreeCounter:
         ):
             attempts += 1
             self.samples_used += 1
+            budget_tick("counting.nfta")
             pick = self._rng.random() * total_weight
             index = _bisect(cumulative, pick)
             tree = product_nodes[index].draw(self._rng)
@@ -732,6 +738,7 @@ def count_nfta(
         raise EstimationError(f"epsilon must be in (0, 1), got {epsilon}")
     if repetitions < 1:
         raise EstimationError("repetitions must be >= 1")
+    fault_point("counting.nfta")
     rng = random.Random(seed)
     repetition_seeds = [rng.randrange(2**63) for _ in range(repetitions)]
 
@@ -777,4 +784,8 @@ def sample_accepted_trees(
     top = counter.top_node()
     if top.count <= 0:
         raise EstimationError("language is (estimated) empty; cannot sample")
-    return [top.draw(rng) for _ in range(k)]
+    drawn: list[LabeledTree] = []
+    for _ in range(k):
+        budget_tick("sampling.trees")
+        drawn.append(top.draw(rng))
+    return drawn

@@ -38,14 +38,22 @@ import json
 import sys
 from typing import Iterable, TextIO
 
+from repro.core.budget import EvaluationBudget
 from repro.core.estimator import PQEEngine
-from repro.core.parallel import BatchItem
+from repro.core.parallel import BatchError, BatchItem
 from repro.db.fact import Fact
 from repro.db.probabilistic import ProbabilisticDatabase
 from repro.errors import ReproError
 from repro.queries.parser import parse_query
 
 __all__ = ["main", "load_facts_csv", "load_batch_file"]
+
+# Batch exit codes (single-query errors keep the classic 1):
+# 0 = every item succeeded; EXIT_PARTIAL = some items failed but others
+# completed; EXIT_ALL_FAILED = no item produced an answer.  Scripts can
+# therefore distinguish "retry the stragglers" from "the batch is dead".
+EXIT_PARTIAL = 3
+EXIT_ALL_FAILED = 4
 
 
 def load_facts_csv(stream: TextIO) -> ProbabilisticDatabase:
@@ -122,6 +130,60 @@ def load_batch_file(
     return items
 
 
+def _batch_exit_code(batch) -> int:
+    if batch.ok:
+        return 0
+    return EXIT_ALL_FAILED if not batch.succeeded else EXIT_PARTIAL
+
+
+def _batch_payload(args, items, batch) -> dict:
+    """The ``--json`` document for a batch run."""
+    records = []
+    for item, result in zip(items, batch.results):
+        record: dict = {
+            "index": result.index,
+            "task": item.task,
+            "query": str(item.query),
+            "ok": result.ok,
+            "elapsed": result.elapsed,
+            "retries": result.retries,
+        }
+        if result.ok:
+            answer = result.answer
+            record.update(
+                value=answer.value,
+                method=answer.method,
+                exact=answer.exact,
+            )
+            if answer.degradations:
+                record["degradations"] = list(answer.degradations)
+        else:
+            error = result.error
+            record["error"] = {
+                "exception": error.exception,
+                "message": error.message,
+                "phase": error.phase,
+                "elapsed": error.elapsed,
+                "retries": error.retries,
+            }
+            if error.budget is not None:
+                record["error"]["budget"] = error.budget.describe()
+            if error.degradations:
+                record["error"]["degradations"] = list(error.degradations)
+        records.append(record)
+    return {
+        "items": len(batch),
+        "succeeded": len(batch.succeeded),
+        "failed": len(batch.errors),
+        "workers": batch.max_workers,
+        "seed": args.seed,
+        "on_error": args.on_error,
+        "wall_time": batch.wall_time,
+        "cache": batch.cache_stats.describe(),
+        "results": records,
+    }
+
+
 def _run_batch(args, pdb: ProbabilisticDatabase) -> int:
     with open(args.batch, encoding="utf-8") as stream:
         items = load_batch_file(stream, pdb)
@@ -130,25 +192,59 @@ def _run_batch(args, pdb: ProbabilisticDatabase) -> int:
         seed=args.seed,
         repetitions=args.repetitions,
     )
-    batch = engine.evaluate_batch(
-        items, max_workers=args.workers, seed=args.seed
-    )
+    try:
+        batch = engine.evaluate_batch(
+            items,
+            max_workers=args.workers,
+            seed=args.seed,
+            timeout=args.timeout,
+            max_retries=args.max_retries,
+            on_error=args.on_error,
+        )
+    except BatchError as failure:
+        # on_error='fail': the exception still carries every completed
+        # sibling's answer plus the structured error records — render
+        # them all rather than discarding the batch's work.
+        print(f"error: {failure}", file=sys.stderr)
+        batch = failure.result
+
+    if args.json:
+        json.dump(_batch_payload(args, items, batch), sys.stdout, indent=2)
+        print()
+        return _batch_exit_code(batch)
+
     print(f"facts:   {len(pdb)}")
     print(
         f"batch:   {len(batch)} items, {batch.max_workers} workers, "
         f"seed {args.seed}"
     )
     for item, result in zip(items, batch.results):
-        answer = result.answer
         label = "UR" if item.task == "reliability" else "Pr"
-        exact = " (exact)" if answer.exact else ""
+        if result.ok:
+            answer = result.answer
+            exact = " (exact)" if answer.exact else ""
+            degraded = (
+                f" degraded×{len(answer.degradations)}"
+                if answer.degradations
+                else ""
+            )
+            print(
+                f"[{result.index}] {label} = {answer.value:<22g} "
+                f"method={answer.method}{exact}{degraded}  {item.query}"
+            )
+        else:
+            print(
+                f"[{result.index}] {label} = FAILED "
+                f"({result.error.describe()})  {item.query}"
+            )
+    if not batch.ok:
         print(
-            f"[{result.index}] {label} = {answer.value:<22g} "
-            f"method={answer.method}{exact}  {item.query}"
+            f"failed:  {len(batch.errors)} of {len(batch)} items "
+            f"(on-error={args.on_error})"
         )
     print(f"cache:   {batch.cache_stats.describe()}")
     print(f"wall:    {batch.wall_time:.3f}s")
-    return 0
+    return _batch_exit_code(batch)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -203,6 +299,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="median-of-k amplification for randomized methods",
     )
     parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline per evaluation (per item for --batch), "
+             "enforced at cooperative checkpoints",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="retries per batch item for transient estimation failures, "
+             "each on a deterministically derived seed",
+    )
+    parser.add_argument(
+        "--on-error", default="fail", choices=["fail", "skip", "degrade"],
+        help="batch fault isolation: fail (report first failure, exit "
+             "nonzero), skip (record structured errors, keep going), or "
+             "degrade (fall back along cheaper routes with widened "
+             "epsilon first)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit batch results as JSON (per-item answers and "
+             "structured error records) instead of text",
+    )
+    parser.add_argument(
         "--reliability", action="store_true",
         help="report uniform reliability (ignores probability labels)",
     )
@@ -240,13 +358,20 @@ def main(argv: Iterable[str] | None = None) -> int:
         )
         if args.explain:
             print(f"plan:    {engine.explain(query, pdb).describe()}")
+        budget = (
+            EvaluationBudget(deadline=args.timeout)
+            if args.timeout is not None
+            else None
+        )
         if args.reliability:
             answer = engine.uniform_reliability(
-                query, pdb.instance, method=args.method
+                query, pdb.instance, method=args.method, budget=budget
             )
             label = "UR(Q, D)"
         else:
-            answer = engine.probability(query, pdb, method=args.method)
+            answer = engine.probability(
+                query, pdb, method=args.method, budget=budget
+            )
             label = "Pr_H(Q)"
     except (ReproError, OSError) as failure:
         print(f"error: {failure}", file=sys.stderr)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 
+from repro.core.budget import EvaluationBudget, budget_scope
 from repro.core.cache import ReductionCache
 from repro.core.exact import exact_probability, exact_uniform_reliability
 from repro.core.monte_carlo import monte_carlo_probability
@@ -56,12 +57,25 @@ _METHODS = (
 
 @dataclass(frozen=True)
 class PQEAnswer:
-    """A probability (or reliability count) with provenance."""
+    """A probability (or reliability count) with provenance.
+
+    ``degradations`` is the resilience layer's attempt log: one entry
+    per failed route/retry that preceded this answer (empty for a
+    first-try success).  ``retries`` counts the transient-failure
+    retries consumed.  See :mod:`repro.core.resilience`.
+    """
 
     value: float
     method: str
     exact: bool
     rational: Fraction | None = None
+    degradations: tuple[str, ...] = ()
+    retries: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True when this answer came from a fallback route or retry."""
+        return bool(self.degradations)
 
     def __float__(self) -> float:
         return self.value
@@ -85,6 +99,7 @@ class PQEPlan:
     nfta_states: int | None         # Theorem 1 automaton (SJF only)
     nfta_transitions: int | None
     tree_size: int | None
+    fallbacks: tuple[str, ...] = ()  # degradation ladder under failure
 
     def describe(self) -> str:
         """A human-readable one-paragraph summary."""
@@ -109,6 +124,10 @@ class PQEPlan:
                 f"automaton: {self.nfta_states} states / "
                 f"{self.nfta_transitions} transitions, "
                 f"tree size {self.tree_size}"
+            )
+        if self.fallbacks:
+            parts.append(
+                "degradation ladder: " + " -> ".join(self.fallbacks)
             )
         return "; ".join(parts)
 
@@ -167,18 +186,27 @@ class PQEEngine:
         *,
         seed=_UNSET,
         cache: ReductionCache | None = None,
+        budget: EvaluationBudget | None = None,
     ) -> PQEAnswer:
         """``Pr_H(Q)``, routed per the class table in the module docs.
 
         ``seed`` overrides the engine seed for this call (pass ``None``
         for a nondeterministic draw); ``cache`` overrides the engine's
         reduction cache.  Both are what the batch evaluator uses to give
-        every item its own RNG stream over one shared cache.
+        every item its own RNG stream over one shared cache.  ``budget``
+        bounds the call with cooperative deadline/work checkpoints (see
+        :mod:`repro.core.budget`); exceeding it raises
+        :class:`~repro.errors.BudgetExceededError`.
         """
         if method not in _METHODS:
             raise ReproError(
                 f"unknown method {method!r}; choose from {_METHODS}"
             )
+        if budget is not None:
+            with budget_scope(budget):
+                return self.probability(
+                    query, pdb, method=method, seed=seed, cache=cache
+                )
         seed = self.seed if seed is _UNSET else seed
         cache = self.cache if cache is None else cache
         if method == "auto":
@@ -305,7 +333,10 @@ class PQEEngine:
         else:
             method = "lineage-exact" if clauses is not None else "karp-luby"
 
+        from repro.core.resilience import degradation_ladder
+
         return PQEPlan(
+            fallbacks=degradation_ladder(query),
             method=method,
             self_join_free=sjf,
             hierarchical=hierarchical,
@@ -356,8 +387,14 @@ class PQEEngine:
         *,
         seed=_UNSET,
         cache: ReductionCache | None = None,
+        budget: EvaluationBudget | None = None,
     ) -> PQEAnswer:
         """``UR(Q, D)``: number of satisfying subinstances."""
+        if budget is not None:
+            with budget_scope(budget):
+                return self.uniform_reliability(
+                    query, instance, method=method, seed=seed, cache=cache
+                )
         seed = self.seed if seed is _UNSET else seed
         cache = self.cache if cache is None else cache
         if method in ("auto", "safe-plan", "lineage-exact"):
@@ -400,6 +437,41 @@ class PQEEngine:
 
     # ------------------------------------------------------------------
 
+    def evaluate_resilient(
+        self,
+        query: ConjunctiveQuery,
+        database,
+        *,
+        task: str = "probability",
+        method: str = "auto",
+        seed=_UNSET,
+        cache: ReductionCache | None = None,
+        budget: EvaluationBudget | None = None,
+        policy=None,
+    ) -> PQEAnswer:
+        """Evaluate with bounded retries and graceful route degradation.
+
+        On budget exhaustion or estimation failure the route falls back
+        along exact-WMC → FPRAS → Monte-Carlo with widened ε; the
+        answer's ``degradations``/``retries`` fields record the path
+        taken.  See :func:`repro.core.resilience.evaluate_with_policy`.
+        """
+        from repro.core.resilience import evaluate_with_policy
+
+        return evaluate_with_policy(
+            self,
+            query,
+            database,
+            task=task,
+            method=method,
+            seed=self.seed if seed is _UNSET else seed,
+            cache=cache if cache is not None else self.cache,
+            budget=budget,
+            policy=policy,
+        )
+
+    # ------------------------------------------------------------------
+
     def evaluate_batch(
         self,
         items,
@@ -407,6 +479,11 @@ class PQEEngine:
         max_workers: int | None = None,
         seed=_UNSET,
         cache: ReductionCache | None = None,
+        timeout: float | None = None,
+        budget: EvaluationBudget | None = None,
+        max_retries: int = 0,
+        on_error: str = "fail",
+        policy=None,
     ):
         """Evaluate many ``(query, database)`` items through one shared
         reduction cache and a worker pool.
@@ -417,7 +494,12 @@ class PQEEngine:
         stream, so the returned :class:`~repro.core.parallel.BatchResult`
         is bitwise-identical for a fixed ``seed`` regardless of
         ``max_workers``, and matches a sequential loop that calls
-        :meth:`probability` with the same per-item seeds.  See
+        :meth:`probability` with the same per-item seeds.
+
+        ``timeout``/``budget`` bound each item, ``max_retries`` retries
+        transient estimation failures on deterministically derived
+        seeds, and ``on_error`` selects the fault-isolation mode
+        (``'fail'``, ``'skip'`` or ``'degrade'``).  See
         :mod:`repro.core.parallel` for the full contract.
         """
         from repro.core.parallel import evaluate_batch
@@ -428,4 +510,9 @@ class PQEEngine:
             max_workers=max_workers,
             seed=self.seed if seed is _UNSET else seed,
             cache=cache if cache is not None else self.cache,
+            timeout=timeout,
+            budget=budget,
+            max_retries=max_retries,
+            on_error=on_error,
+            policy=policy,
         )

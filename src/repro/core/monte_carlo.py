@@ -17,12 +17,14 @@ import math
 import random
 from dataclasses import dataclass
 
+from repro.core.budget import budget_tick
 from repro.db.fact import Fact
 from repro.db.instance import DatabaseInstance
 from repro.db.probabilistic import ProbabilisticDatabase
 from repro.db.semantics import satisfies
 from repro.errors import EstimationError
 from repro.queries.cq import ConjunctiveQuery
+from repro.testing.faults import fault_point
 
 __all__ = ["MonteCarloResult", "monte_carlo_probability"]
 
@@ -70,6 +72,7 @@ def monte_carlo_probability(
     if samples < 1:
         raise EstimationError("samples must be >= 1")
 
+    fault_point("monte_carlo.sample")
     rng = random.Random(seed)
     projected = pdb.project_to_query(query)
     fact_probabilities = [
@@ -82,6 +85,7 @@ def monte_carlo_probability(
 
     positives = 0
     for _ in range(samples):
+        budget_tick("monte_carlo.sample")
         world = [
             fact
             for fact, probability in fact_probabilities

@@ -20,11 +20,15 @@ Reproducibility contract
 Item ``i`` draws from its own RNG stream, seeded with
 ``derive_item_seed(seed, i)`` — a SHA-256 derivation of the batch seed
 and the item index, so the streams are statistically independent and do
-not depend on worker scheduling.  Consequences, both tested in
-``tests/test_parallel.py``:
+not depend on worker scheduling.  Retry attempt ``a`` of an item draws
+from ``derive_retry_seed(item_seed, a)`` (same construction; see
+:mod:`repro.core.resilience`), so retry outcomes are equally
+scheduling-independent.  Consequences, tested in
+``tests/test_parallel.py`` and ``tests/test_faults.py``:
 
 - a batch is **bitwise-identical** for a fixed ``seed``, whatever
-  ``max_workers`` is (1, 2, 8, …);
+  ``max_workers`` is (1, 2, 8, …) — including its error records and
+  retry outcomes under an installed fault plan;
 - the batch matches a sequential loop that calls
   ``engine.probability(item.query, item.database,
   seed=derive_item_seed(seed, i))`` method-for-method.
@@ -32,17 +36,39 @@ not depend on worker scheduling.  Consequences, both tested in
 With ``seed=None`` every item is nondeterministic (the single-call
 default), and nothing above applies.
 
-Failure contract
-----------------
-Any exception inside a worker — a routing error, a broken input, an
-estimator giving up — is surfaced as
-:class:`~repro.errors.EstimationError` naming the item index, with the
-original exception chained as ``__cause__``.  The first failing index
-wins; remaining items may or may not have completed.
+Fault isolation contract
+------------------------
+``on_error`` selects what a failing item does to its batch:
+
+``'fail'`` (default)
+    The batch raises :class:`BatchError` for the lowest-indexed failing
+    item, with the original exception chained as ``__cause__`` — but
+    only after every item has settled, and the exception carries the
+    full :class:`BatchResult` (completed answers *and* structured error
+    records) as ``BatchError.result``.  Completed siblings are never
+    discarded.
+``'skip'``
+    Failing items yield a :class:`BatchItemResult` whose ``error`` is a
+    structured :class:`BatchItemError` (exception class, message,
+    phase, elapsed, budget state, retries); the rest of the batch
+    completes normally and no exception is raised.
+``'degrade'``
+    Like ``'skip'``, but each item is evaluated through
+    :func:`repro.core.resilience.evaluate_with_policy` first: routes
+    fall back along exact-WMC → FPRAS → Monte-Carlo with widened ε
+    before an error record is produced, and answers carry their
+    degradation provenance.
+
+``timeout``/``budget`` bound each item via cooperative checkpoints
+(:mod:`repro.core.budget`): the deadline is absolute per item — shared
+across its retries and degradation rungs — so a stalled item cannot
+overrun it by more than the checkpoint granularity.  ``max_retries``
+bounds deterministic retry of transient estimation failures.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import os
 import time
@@ -50,14 +76,23 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.core.budget import BudgetState, EvaluationBudget, budget_scope
 from repro.core.cache import CacheStats, ReductionCache
+from repro.core.resilience import (
+    DegradationPolicy,
+    TRANSIENT_ERRORS,
+    derive_retry_seed,
+    evaluate_with_policy,
+)
 from repro.db.instance import DatabaseInstance
 from repro.db.probabilistic import ProbabilisticDatabase
-from repro.errors import EstimationError, ReproError
-from repro.queries.cq import ConjunctiveQuery
+from repro.errors import BudgetExceededError, EstimationError, ReproError
+from repro.testing.faults import fault_scope
 
 __all__ = [
+    "BatchError",
     "BatchItem",
+    "BatchItemError",
     "BatchItemResult",
     "BatchResult",
     "derive_item_seed",
@@ -65,6 +100,7 @@ __all__ = [
 ]
 
 _TASKS = ("probability", "reliability")
+_ON_ERROR = ("fail", "skip", "degrade")
 
 
 def derive_item_seed(seed: int | None, index: int) -> int | None:
@@ -93,7 +129,7 @@ class BatchItem:
     that task, including ``'auto'``.
     """
 
-    query: ConjunctiveQuery
+    query: object
     database: ProbabilisticDatabase | DatabaseInstance
     task: str = "probability"
     method: str = "auto"
@@ -116,13 +152,57 @@ class BatchItem:
 
 
 @dataclass(frozen=True)
+class BatchItemError:
+    """Structured record of one item's terminal failure."""
+
+    exception: str               # exception class name
+    message: str
+    phase: str | None            # failing pipeline phase, when known
+    elapsed: float               # worker wall seconds until failure
+    retries: int                 # retry attempts consumed
+    budget: BudgetState | None   # budget state at failure, if budgeted
+    degradations: tuple[str, ...] = ()   # attempt log (degrade mode)
+
+    def describe(self) -> str:
+        parts = [f"{self.exception}: {self.message}"]
+        if self.phase:
+            parts.append(f"phase={self.phase}")
+        if self.retries:
+            parts.append(f"retries={self.retries}")
+        if self.budget is not None:
+            parts.append(f"budget: {self.budget.describe()}")
+        return "; ".join(parts)
+
+
+@dataclass(frozen=True)
 class BatchItemResult:
-    """One item's answer plus its evaluation provenance."""
+    """One item's answer (or error record) plus evaluation provenance."""
 
     index: int
-    answer: object               # PQEAnswer
+    answer: object               # PQEAnswer, or None on failure
     seed: int | None             # the derived per-item stream seed
     elapsed: float               # worker wall seconds for this item
+    error: BatchItemError | None = None
+    retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class BatchError(EstimationError):
+    """A batch item failed under ``on_error='fail'``.
+
+    Unlike a bare worker exception, this carries the whole batch
+    outcome: ``result`` holds every completed sibling's answer and
+    every failing item's structured error record, so one pathological
+    item no longer discards the work the rest of the batch did.
+    """
+
+    def __init__(self, message: str, result: "BatchResult", index: int):
+        super().__init__(message)
+        self.result = result
+        self.index = index
 
 
 @dataclass(frozen=True)
@@ -139,20 +219,40 @@ class BatchResult:
         return tuple(r.answer for r in self.results)
 
     @property
-    def values(self) -> tuple[float, ...]:
-        return tuple(r.answer.value for r in self.results)
+    def values(self) -> tuple:
+        return tuple(
+            r.answer.value if r.answer is not None else None
+            for r in self.results
+        )
 
     @property
-    def methods(self) -> tuple[str, ...]:
-        return tuple(r.answer.method for r in self.results)
+    def methods(self) -> tuple:
+        return tuple(
+            r.answer.method if r.answer is not None else None
+            for r in self.results
+        )
+
+    @property
+    def errors(self) -> tuple[BatchItemResult, ...]:
+        return tuple(r for r in self.results if r.error is not None)
+
+    @property
+    def succeeded(self) -> tuple[BatchItemResult, ...]:
+        return tuple(r for r in self.results if r.error is None)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
 
     def __len__(self) -> int:
         return len(self.results)
 
     def describe(self) -> str:
+        failures = len(self.errors)
+        failed = f", {failures} failed" if failures else ""
         return (
             f"{len(self.results)} items in {self.wall_time:.3f}s "
-            f"({self.max_workers} workers); cache "
+            f"({self.max_workers} workers{failed}); cache "
             f"{self.cache_stats.describe()}"
         )
 
@@ -180,6 +280,37 @@ def _coerce_items(items: Iterable) -> list[BatchItem]:
     return coerced
 
 
+def _combine_budget(
+    budget: EvaluationBudget | None, timeout: float | None
+) -> EvaluationBudget | None:
+    """Fold a ``timeout`` shorthand into the per-item budget."""
+    if timeout is None:
+        return budget
+    if budget is None:
+        return EvaluationBudget(deadline=timeout)
+    deadline = (
+        timeout if budget.deadline is None else min(budget.deadline, timeout)
+    )
+    return dataclasses.replace(budget, deadline=deadline)
+
+
+def _error_record(
+    failure: BaseException,
+    elapsed: float,
+    retries: int,
+    budget_state: BudgetState | None,
+) -> BatchItemError:
+    return BatchItemError(
+        exception=type(failure).__name__,
+        message=str(failure),
+        phase=getattr(failure, "phase", None),
+        elapsed=elapsed,
+        retries=retries,
+        budget=budget_state,
+        degradations=tuple(getattr(failure, "degradations", ())),
+    )
+
+
 def evaluate_batch(
     engine,
     items: Iterable,
@@ -187,6 +318,11 @@ def evaluate_batch(
     max_workers: int | None = None,
     seed: int | None = None,
     cache: ReductionCache | None = None,
+    timeout: float | None = None,
+    budget: EvaluationBudget | None = None,
+    max_retries: int = 0,
+    on_error: str = "fail",
+    policy: DegradationPolicy | None = None,
 ) -> BatchResult:
     """Evaluate ``items`` with ``engine`` per the module contract.
 
@@ -208,52 +344,160 @@ def evaluate_batch(
         Reduction cache to share; a private one is created per call when
         omitted.  Pass a long-lived cache to amortise construction
         across batches; ``BatchResult.cache_stats`` always reports only
-        this batch's traffic.
+        this batch's traffic.  Failed builds are never stored (the
+        cache retries them), so aborted items cannot poison siblings.
+    timeout:
+        Per-item wall-clock deadline in seconds — shorthand for (and
+        combined with) ``budget``'s deadline; the tighter wins.
+    budget:
+        Per-item :class:`~repro.core.budget.EvaluationBudget`, enforced
+        at cooperative checkpoints inside the evaluation loops.
+    max_retries:
+        Retries per item for transient estimation failures, each on a
+        deterministically derived seed (``derive_retry_seed``).
+    on_error:
+        ``'fail'``, ``'skip'`` or ``'degrade'`` — see the module
+        docstring's fault-isolation contract.
+    policy:
+        :class:`~repro.core.resilience.DegradationPolicy` for
+        ``'degrade'`` mode (and retry backoff); defaults to
+        ``DegradationPolicy(max_retries=max_retries)``.
     """
     batch = _coerce_items(items)
+    if on_error not in _ON_ERROR:
+        raise ReproError(
+            f"unknown on_error mode {on_error!r}; choose from {_ON_ERROR}"
+        )
+    if max_retries < 0:
+        raise ReproError(f"max_retries must be >= 0, got {max_retries}")
     if max_workers is None:
         max_workers = max(1, min(len(batch), os.cpu_count() or 1))
     if max_workers < 1:
         raise ReproError(f"max_workers must be >= 1, got {max_workers}")
     if cache is None:
         cache = ReductionCache()
+    if policy is None:
+        policy = DegradationPolicy(max_retries=max_retries)
+    item_budget = _combine_budget(budget, timeout)
 
     stats_before = cache.stats
     started = time.perf_counter()
+    causes: dict[int, BaseException] = {}
+
+    def call_engine(item: BatchItem, call_seed: int | None):
+        if item.task == "probability":
+            return engine.probability(
+                item.query,
+                item.database,
+                method=item.method,
+                seed=call_seed,
+                cache=cache,
+            )
+        database = item.database
+        if isinstance(database, ProbabilisticDatabase):
+            database = database.instance
+        return engine.uniform_reliability(
+            item.query,
+            database,
+            method=item.method,
+            seed=call_seed,
+            cache=cache,
+        )
+
+    def run_degrading(
+        item: BatchItem, item_seed: int | None, item_started: float
+    ):
+        database = item.database
+        if item.task == "reliability" and isinstance(
+            database, ProbabilisticDatabase
+        ):
+            database = database.instance
+        answer = evaluate_with_policy(
+            engine,
+            item.query,
+            database,
+            task=item.task,
+            method=item.method,
+            seed=item_seed,
+            cache=cache,
+            budget=item_budget,
+            policy=policy,
+        )
+        return answer, answer.retries, None
+
+    def run_retrying(
+        item: BatchItem, item_seed: int | None, item_started: float
+    ):
+        attempt = 0
+        while True:
+            try:
+                with budget_scope(
+                    item_budget, started=item_started
+                ) as scope:
+                    answer = call_engine(
+                        item, derive_retry_seed(item_seed, attempt)
+                    )
+                return answer, attempt, scope
+            except TRANSIENT_ERRORS as failure:
+                # BudgetExceededError is not an EstimationError, so
+                # budget exhaustion never consumes retries.
+                if attempt >= policy.max_retries:
+                    raise
+                attempt += 1
+                delay = policy.backoff(attempt)
+                if delay:
+                    time.sleep(delay)
 
     def run_item(index: int, item: BatchItem) -> BatchItemResult:
         item_seed = derive_item_seed(seed, index)
         item_started = time.perf_counter()
-        try:
-            if item.task == "probability":
-                answer = engine.probability(
-                    item.query,
-                    item.database,
-                    method=item.method,
+        retries = 0
+        scope = None
+        with fault_scope(index):
+            try:
+                if on_error == "degrade":
+                    answer, retries, scope = run_degrading(
+                        item, item_seed, item_started
+                    )
+                else:
+                    answer, retries, scope = run_retrying(
+                        item, item_seed, item_started
+                    )
+            except BaseException as failure:
+                elapsed = time.perf_counter() - item_started
+                causes[index] = failure
+                retries = getattr(failure, "retries", retries)
+                if scope is not None:
+                    budget_state = scope.snapshot()
+                elif item_budget is not None:
+                    budget_state = BudgetState(
+                        deadline=item_budget.deadline,
+                        max_work_units=item_budget.max_work_units,
+                        lineage_clause_cap=item_budget.lineage_clause_cap,
+                        elapsed=elapsed,
+                        work_units=getattr(failure, "used", 0)
+                        if isinstance(failure, BudgetExceededError)
+                        and failure.kind == "work_units"
+                        else 0,
+                    )
+                else:
+                    budget_state = None
+                return BatchItemResult(
+                    index=index,
+                    answer=None,
                     seed=item_seed,
-                    cache=cache,
+                    elapsed=elapsed,
+                    error=_error_record(
+                        failure, elapsed, retries, budget_state
+                    ),
+                    retries=retries,
                 )
-            else:
-                database = item.database
-                if isinstance(database, ProbabilisticDatabase):
-                    database = database.instance
-                answer = engine.uniform_reliability(
-                    item.query,
-                    database,
-                    method=item.method,
-                    seed=item_seed,
-                    cache=cache,
-                )
-        except Exception as failure:
-            raise EstimationError(
-                f"batch item {index} ({item.task}, {item.query}) "
-                f"failed: {failure}"
-            ) from failure
         return BatchItemResult(
             index=index,
             answer=answer,
             seed=item_seed,
             elapsed=time.perf_counter() - item_started,
+            retries=retries,
         )
 
     if max_workers == 1 or len(batch) <= 1:
@@ -264,13 +508,25 @@ def evaluate_batch(
                 pool.submit(run_item, i, item)
                 for i, item in enumerate(batch)
             ]
-            # Collect in input order; the earliest-indexed failure is
-            # re-raised (already wrapped as EstimationError).
+            # Every future settles — workers record failures instead of
+            # raising, so no sibling's work is ever discarded.
             results = [future.result() for future in futures]
 
-    return BatchResult(
+    result = BatchResult(
         results=tuple(results),
         cache_stats=cache.stats - stats_before,
         wall_time=time.perf_counter() - started,
         max_workers=max_workers,
     )
+
+    if on_error == "fail" and not result.ok:
+        first = result.errors[0]
+        item = batch[first.index]
+        raise BatchError(
+            f"batch item {first.index} ({item.task}, {item.query}) "
+            f"failed: {first.error.message}",
+            result,
+            first.index,
+        ) from causes.get(first.index)
+
+    return result

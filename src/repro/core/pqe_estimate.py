@@ -131,6 +131,9 @@ def _build_pqe_reduction(
     weighted: bool,
     cache,
 ) -> PQEReduction:
+    from repro.testing.faults import fault_point
+
+    fault_point("reduction.pqe")
     projected = pdb.project_to_query(query)
     if cache is not None and decomposition is None:
         # Only the decomposition layer is shared here: the full UR entry

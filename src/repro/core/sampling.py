@@ -29,6 +29,7 @@ from repro.db.instance import DatabaseInstance
 from repro.db.probabilistic import ProbabilisticDatabase
 from repro.errors import EstimationError
 from repro.queries.cq import ConjunctiveQuery
+from repro.testing.faults import fault_point
 
 __all__ = ["sample_satisfying_subinstances", "sample_posterior_worlds"]
 
@@ -69,6 +70,7 @@ def sample_satisfying_subinstances(
     EstimationError
         If no subinstance satisfies the query.
     """
+    fault_point("sampling.trees")
     reduction = build_ur_reduction(query, instance)
     trees = sample_accepted_trees(
         reduction.nfta,
@@ -96,6 +98,7 @@ def sample_posterior_worlds(
     prior probability — so conditioning on acceptance yields the
     posterior over satisfying worlds.
     """
+    fault_point("sampling.trees")
     reduction = build_pqe_reduction(query, pdb)
     trees = sample_accepted_trees(
         reduction.nfta,

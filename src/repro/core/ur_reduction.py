@@ -205,6 +205,9 @@ def _build_ur_reduction(
     decomposition: HypertreeDecomposition | None,
     contract_mode: str,
 ) -> URReduction:
+    from repro.testing.faults import fault_point
+
+    fault_point("reduction.ur")
     if not query.is_self_join_free:
         raise SelfJoinError(
             f"the Proposition 1 construction requires self-join-freeness: "

@@ -22,11 +22,13 @@ from __future__ import annotations
 
 from itertools import combinations, permutations
 
+from repro.core.budget import budget_tick
 from repro.decomposition.hypertree import (
     HypertreeDecomposition,
     HypertreeNode,
 )
 from repro.errors import DecompositionError, WidthExceededError
+from repro.testing.faults import fault_point
 from repro.queries.atoms import Atom, Variable
 from repro.queries.cq import ConjunctiveQuery
 
@@ -191,12 +193,14 @@ def ghd_by_search(
     WidthExceededError
         If ``max_width`` is given and no decomposition within it is found.
     """
+    fault_point("decomposition.search")
     adjacency = primal_graph(query)
     variables = sorted(adjacency, key=str)
 
     best: HypertreeDecomposition | None = None
     if len(variables) <= _EXHAUSTIVE_VARIABLE_LIMIT:
         for order in permutations(variables):
+            budget_tick("decomposition.search")
             candidate = _decomposition_from_order(
                 query, adjacency, list(order)
             )
@@ -213,12 +217,15 @@ def ghd_by_search(
 
     if best is None:
         raise DecompositionError(
-            f"could not construct any decomposition for {query}"
+            f"could not construct any decomposition for {query}",
+            phase="decomposition.search",
         )
     if max_width is not None and best.width > max_width:
         raise WidthExceededError(
             f"best decomposition found has width {best.width} > "
-            f"requested {max_width}"
+            f"requested {max_width}",
+            phase="decomposition.search",
+            limits={"max_width": max_width},
         )
     return best
 

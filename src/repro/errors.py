@@ -12,6 +12,49 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+def _context_suffix(phase, elapsed, limits) -> str:
+    """Render structured failure context for an exception message."""
+    parts = []
+    if phase is not None:
+        parts.append(f"phase={phase}")
+    if elapsed is not None:
+        parts.append(f"elapsed={elapsed:.3f}s")
+    if limits:
+        rendered = ", ".join(
+            f"{name}={value}" for name, value in sorted(limits.items())
+        )
+        parts.append(f"limits: {rendered}")
+    return f" [{'; '.join(parts)}]" if parts else ""
+
+
+class ContextualError(ReproError):
+    """A failure carrying structured evaluation context.
+
+    Mirrors :class:`LineageSizeBudgetExceeded`'s pattern of exposing the
+    run state at failure time as attributes: ``phase`` (which stage of
+    the reduce → NFTA → CountNFTA chain was executing), ``elapsed``
+    (wall seconds into the evaluation, when known) and ``limits`` (a
+    mapping of limit names to the values that were hit).  All three are
+    optional; a plain ``ContextualError("message")`` behaves exactly
+    like the unstructured exceptions it replaces.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        phase: str | None = None,
+        elapsed: float | None = None,
+        limits: dict | None = None,
+    ):
+        self.phase = phase
+        self.elapsed = elapsed
+        self.limits = dict(limits) if limits else {}
+        super().__init__(
+            f"{message}{_context_suffix(phase, elapsed, self.limits)}"
+        )
+
+
 class QueryError(ReproError):
     """A conjunctive query is malformed or violates a required property."""
 
@@ -33,7 +76,7 @@ class ProbabilityError(ReproError):
     """A probability annotation is outside ``[0, 1]`` or not rational."""
 
 
-class DecompositionError(ReproError):
+class DecompositionError(ContextualError):
     """A hypertree decomposition is invalid or could not be constructed."""
 
 
@@ -46,9 +89,42 @@ class AutomatonError(ReproError):
     """An automaton is structurally malformed."""
 
 
-class EstimationError(ReproError):
+class EstimationError(ContextualError):
     """A randomized estimation procedure could not produce an estimate
     satisfying its configured guarantees."""
+
+
+class BudgetExceededError(ContextualError):
+    """An :class:`~repro.core.budget.EvaluationBudget` limit was hit at
+    a cooperative checkpoint.
+
+    ``kind`` names the exhausted limit (``'deadline'``,
+    ``'work_units'`` or ``'lineage_clauses'``); ``used`` and ``limit``
+    record how far past the cap the run was when the checkpoint fired.
+    Deliberately *not* a subclass of :class:`EstimationError`: budget
+    exhaustion is non-transient, so retry logic must not treat it as a
+    retryable estimation failure.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        phase: str | None = None,
+        elapsed: float | None = None,
+        limit=None,
+        used=None,
+    ):
+        self.kind = kind
+        self.limit = limit
+        self.used = used
+        detail = f" ({used} > {limit})" if limit is not None else ""
+        super().__init__(
+            f"evaluation budget exhausted: {kind}{detail}",
+            phase=phase,
+            elapsed=elapsed,
+            limits={kind: limit} if limit is not None else None,
+        )
 
 
 class LineageError(ReproError):

@@ -11,11 +11,13 @@ memory.
 
 from __future__ import annotations
 
+from repro.core.budget import budget_tick, effective_clause_budget
 from repro.db.instance import DatabaseInstance
 from repro.db.semantics import witness_sets
 from repro.errors import LineageSizeBudgetExceeded
 from repro.lineage.dnf import DNF
 from repro.queries.cq import ConjunctiveQuery
+from repro.testing.faults import fault_point
 
 __all__ = ["build_lineage", "lineage_clause_count"]
 
@@ -36,9 +38,16 @@ def build_lineage(
         the count reached.
     minimize:
         Also remove absorbed clauses (supersets of smaller clauses).
+
+    An active :class:`~repro.core.budget.EvaluationBudget` participates
+    too: its ``lineage_clause_cap`` tightens ``budget``, and every
+    witness charges one work unit against the deadline/work caps.
     """
+    fault_point("lineage.build")
+    budget = effective_clause_budget(budget)
     clauses: set[frozenset] = set()
     for witness in witness_sets(query, instance):
+        budget_tick("lineage.build")
         clauses.add(witness)
         if budget is not None and len(clauses) > budget:
             raise LineageSizeBudgetExceeded(budget, len(clauses))
@@ -58,8 +67,10 @@ def lineage_clause_count(
     Streaming variant for the blow-up benchmarks; same budget semantics
     as :func:`build_lineage`.
     """
+    budget = effective_clause_budget(budget)
     clauses: set[frozenset] = set()
     for witness in witness_sets(query, instance):
+        budget_tick("lineage.build")
         clauses.add(witness)
         if budget is not None and len(clauses) > budget:
             raise LineageSizeBudgetExceeded(budget, len(clauses))

@@ -28,9 +28,11 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Mapping
 
+from repro.core.budget import budget_tick
 from repro.db.fact import Fact
 from repro.errors import EstimationError
 from repro.lineage.dnf import DNF, clause_probability
+from repro.testing.faults import fault_point
 
 __all__ = ["KarpLubyResult", "karp_luby_probability", "required_samples"]
 
@@ -60,7 +62,12 @@ def karp_luby_probability(
     seed: int | None = None,
     samples: int | None = None,
 ) -> KarpLubyResult:
-    """Estimate ``Pr[φ]`` for a monotone DNF under independent facts."""
+    """Estimate ``Pr[φ]`` for a monotone DNF under independent facts.
+
+    Each sample charges one work unit against any active
+    :class:`~repro.core.budget.EvaluationBudget`.
+    """
+    fault_point("lineage.karp_luby")
     if formula.is_false():
         return KarpLubyResult(estimate=0.0, samples=0, accepted=0)
 
@@ -88,6 +95,7 @@ def karp_luby_probability(
 
     accepted = 0
     for _ in range(samples):
+        budget_tick("lineage.karp_luby")
         pick = rng.random() * total_weight
         index = _bisect(cumulative, pick)
         forced = clauses[index]

@@ -1,0 +1,25 @@
+"""Test-support machinery that ships with the library.
+
+:mod:`repro.testing.faults` provides the deterministic fault-injection
+harness used by the robustness test suite and CI; production modules
+mark named injection sites with :func:`repro.testing.faults.fault_point`
+so failures can be forced at any phase without monkeypatching internals.
+"""
+
+from repro.testing.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    fault_point,
+    fault_scope,
+    inject_faults,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "fault_point",
+    "fault_scope",
+    "inject_faults",
+]

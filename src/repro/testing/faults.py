@@ -1,0 +1,220 @@
+"""Deterministic fault injection at named sites in the pipeline.
+
+Production modules mark *named injection sites* by calling
+``fault_point("site.name")`` at the start of each phase of the
+reduce → NFTA → CountNFTA chain.  With no plan installed the call is a
+read of one module global and an immediate return, so the sites cost
+nothing in normal operation.  Tests and CI install a :class:`FaultPlan`
+(usually via the :func:`inject_faults` context manager) to force a
+failure — or a cooperative stall — at any phase, for any batch item,
+without monkeypatching internals.
+
+Determinism contract
+--------------------
+Triggering is counted per ``(spec, scope)`` where the *scope* is the
+logical work key installed by :func:`fault_scope` — the batch evaluator
+scopes every item to its input index.  Hit counts therefore depend only
+on what each item does, never on worker scheduling, so a faulted batch
+is as reproducible across ``max_workers`` settings as a fault-free one
+(asserted in ``tests/test_faults.py``).
+
+A spec with ``times=1`` models a *transient* failure: the first attempt
+inside the scope raises, the retry succeeds.  ``stall=seconds`` models
+a wedged phase: the site spins cooperatively (checkpointing the active
+:mod:`~repro.core.budget` every millisecond), so a per-item deadline
+cuts the stall off with :class:`~repro.errors.BudgetExceededError`
+within the checkpoint granularity.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.budget import budget_checkpoint
+from repro.errors import EstimationError, ReproError
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultSpec",
+    "FaultPlan",
+    "fault_point",
+    "fault_scope",
+    "inject_faults",
+]
+
+#: Every named injection site, one per phase of the pipeline.  The
+#: registry is authoritative: ``FaultSpec`` rejects unknown names, so a
+#: site renamed in production code breaks loudly in the test suite.
+FAULT_SITES = (
+    "decomposition.search",
+    "reduction.ur",
+    "reduction.pqe",
+    "lineage.build",
+    "lineage.karp_luby",
+    "counting.nfta",
+    "sampling.trees",
+    "monte_carlo.sample",
+)
+
+#: Granularity of the cooperative stall loop (seconds).
+_STALL_RESOLUTION = 0.001
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule.
+
+    Parameters
+    ----------
+    site:
+        A name from :data:`FAULT_SITES`.
+    exception:
+        Exception class raised on trigger (default
+        :class:`~repro.errors.EstimationError`, the transient kind).
+        Ignored when ``stall`` is set.
+    scope:
+        Restrict to one logical scope key (a batch item index under
+        :func:`fault_scope`); ``None`` matches every scope, with hits
+        still counted per scope.
+    after:
+        Skip this many hits within the scope before triggering.
+    times:
+        Trigger at most this many hits (``None`` = every hit past
+        ``after``).  ``times=1`` models a transient failure that a
+        retry survives.
+    stall:
+        Instead of raising, spin cooperatively for this many seconds —
+        checkpointing any active evaluation budget — to simulate a
+        wedged phase for deadline tests.
+    """
+
+    site: str
+    exception: type[BaseException] = EstimationError
+    scope: Hashable | None = None
+    after: int = 0
+    times: int | None = None
+    stall: float = 0.0
+
+    def __post_init__(self):
+        if self.site not in FAULT_SITES:
+            raise ReproError(
+                f"unknown fault site {self.site!r}; "
+                f"choose from {FAULT_SITES}"
+            )
+        if self.after < 0:
+            raise ReproError(f"after must be >= 0, got {self.after}")
+        if self.times is not None and self.times < 1:
+            raise ReproError(f"times must be >= 1, got {self.times}")
+        if self.stall < 0:
+            raise ReproError(f"stall must be >= 0, got {self.stall}")
+
+
+class FaultPlan:
+    """A set of specs with per-(spec, scope) hit accounting."""
+
+    def __init__(self, *specs: FaultSpec):
+        self.specs = tuple(specs)
+        self._lock = threading.Lock()
+        self._hits: dict[tuple[int, Hashable], int] = {}
+
+    def match(self, site: str, scope: Hashable) -> FaultSpec | None:
+        """Record a hit at ``site`` under ``scope``; return the spec to
+        trigger, if any.  The first matching spec (in installation
+        order) wins."""
+        triggered: FaultSpec | None = None
+        for index, spec in enumerate(self.specs):
+            if spec.site != site:
+                continue
+            if spec.scope is not None and spec.scope != scope:
+                continue
+            with self._lock:
+                count = self._hits.get((index, scope), 0) + 1
+                self._hits[(index, scope)] = count
+            if count <= spec.after:
+                continue
+            if spec.times is not None and count > spec.after + spec.times:
+                continue
+            if triggered is None:
+                triggered = spec
+        return triggered
+
+    def hits(self, site: str, scope: Hashable = None) -> int:
+        """Hit count for the first spec on ``site`` under ``scope``."""
+        for index, spec in enumerate(self.specs):
+            if spec.site == site:
+                with self._lock:
+                    return self._hits.get((index, scope), 0)
+        return 0
+
+
+# The installed plan is process-global (worker threads must see it);
+# the *scope* is per-thread so concurrent items stay independent.
+_PLAN: FaultPlan | None = None
+_PLAN_LOCK = threading.Lock()
+_SCOPE: ContextVar[Hashable] = ContextVar("repro-fault-scope", default=None)
+
+
+def fault_point(site: str) -> None:
+    """A named injection site.  No-op unless a plan is installed."""
+    plan = _PLAN
+    if plan is None:
+        return
+    spec = plan.match(site, _SCOPE.get())
+    if spec is None:
+        return
+    if spec.stall > 0:
+        _stall(spec.stall, site)
+        return
+    message = f"injected fault at {site!r}"
+    try:
+        # Contextual exception types record the site as their phase,
+        # so structured error records name it like real failures do.
+        failure = spec.exception(message, phase=site)
+    except TypeError:
+        failure = spec.exception(message)
+    raise failure
+
+
+def _stall(seconds: float, site: str) -> None:
+    """Spin cooperatively: a deadline budget cuts the stall short."""
+    until = time.perf_counter() + seconds
+    while time.perf_counter() < until:
+        budget_checkpoint(site)
+        time.sleep(_STALL_RESOLUTION)
+
+
+@contextlib.contextmanager
+def fault_scope(key: Hashable):
+    """Tag the current thread's work with a logical scope key (the
+    batch evaluator uses the item index)."""
+    token = _SCOPE.set(key)
+    try:
+        yield
+    finally:
+        _SCOPE.reset(token)
+
+
+@contextlib.contextmanager
+def inject_faults(*specs: FaultSpec):
+    """Install a :class:`FaultPlan` for the duration of the block.
+
+    Plans do not nest (the harness is for tests, where one active plan
+    is the only sane configuration); installing over an existing plan
+    raises.
+    """
+    global _PLAN
+    plan = FaultPlan(*specs)
+    with _PLAN_LOCK:
+        if _PLAN is not None:
+            raise ReproError("a fault plan is already installed")
+        _PLAN = plan
+    try:
+        yield plan
+    finally:
+        with _PLAN_LOCK:
+            _PLAN = None

@@ -251,3 +251,129 @@ class TestBatch:
             code = main(["--data", data_file, "--batch", str(path)])
             assert code == 1
             assert "error:" in capsys.readouterr().err
+
+
+FPRAS_ONLY_BATCH = """\
+[{"query": "Q :- R1(x, y)", "method": "fpras-weighted"}]
+"""
+
+
+@pytest.mark.faults
+class TestBatchResilience:
+    """--timeout / --max-retries / --on-error / --json and exit codes."""
+
+    @pytest.fixture
+    def data_file(self, tmp_path):
+        path = tmp_path / "facts.csv"
+        path.write_text(CSV)
+        return str(path)
+
+    @pytest.fixture
+    def batch_file(self, tmp_path):
+        path = tmp_path / "batch.json"
+        path.write_text(BATCH_JSON)
+        return str(path)
+
+    def test_skip_mode_reports_partial_failure(
+        self, data_file, batch_file, capsys
+    ):
+        from repro.testing import FaultSpec, inject_faults
+
+        with inject_faults(FaultSpec("counting.nfta", scope=1)):
+            code = main(
+                ["--data", data_file, "--batch", batch_file,
+                 "--seed", "7", "--on-error", "skip"]
+            )
+        assert code == 3  # EXIT_PARTIAL
+        out = capsys.readouterr().out
+        assert "[1] Pr = FAILED" in out
+        assert "injected fault" in out
+        assert "failed:  1 of 3 items" in out
+        assert "[0] Pr" in out and "[2] UR" in out  # siblings intact
+
+    def test_json_output_carries_structured_error_records(
+        self, data_file, batch_file, capsys
+    ):
+        import json as json_module
+
+        from repro.testing import FaultSpec, inject_faults
+
+        with inject_faults(FaultSpec("counting.nfta", scope=1)):
+            code = main(
+                ["--data", data_file, "--batch", batch_file,
+                 "--seed", "7", "--on-error", "skip", "--json",
+                 "--timeout", "60"]
+            )
+        assert code == 3
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["items"] == 3
+        assert payload["succeeded"] == 2
+        assert payload["failed"] == 1
+        record = payload["results"][1]
+        assert record["ok"] is False
+        assert record["error"]["exception"] == "EstimationError"
+        assert record["error"]["phase"] == "counting.nfta"
+        assert "deadline=60" in record["error"]["budget"]
+        assert payload["results"][0]["ok"] is True
+
+    def test_all_failed_exit_code(self, data_file, tmp_path, capsys):
+        from repro.testing import FaultSpec, inject_faults
+
+        path = tmp_path / "one.json"
+        path.write_text(FPRAS_ONLY_BATCH)
+        with inject_faults(FaultSpec("counting.nfta")):
+            code = main(
+                ["--data", data_file, "--batch", str(path),
+                 "--seed", "7", "--on-error", "skip"]
+            )
+        assert code == 4  # EXIT_ALL_FAILED
+        capsys.readouterr()
+
+    def test_fail_mode_renders_siblings_and_exits_nonzero(
+        self, data_file, batch_file, capsys
+    ):
+        from repro.testing import FaultSpec, inject_faults
+
+        with inject_faults(FaultSpec("counting.nfta", scope=1)):
+            code = main(
+                ["--data", data_file, "--batch", batch_file, "--seed", "7"]
+            )
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "error: batch item 1" in captured.err
+        assert "[0] Pr" in captured.out  # completed work still shown
+
+    def test_degrade_mode_recovers_and_exits_zero(
+        self, data_file, batch_file, capsys
+    ):
+        from repro.testing import FaultSpec, inject_faults
+
+        with inject_faults(FaultSpec("counting.nfta", scope=1)):
+            code = main(
+                ["--data", data_file, "--batch", batch_file,
+                 "--seed", "7", "--on-error", "degrade"]
+            )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degraded" in out
+
+    def test_max_retries_recovers_transient_fault(
+        self, data_file, batch_file, capsys
+    ):
+        from repro.testing import FaultSpec, inject_faults
+
+        with inject_faults(FaultSpec("counting.nfta", scope=1, times=1)):
+            code = main(
+                ["--data", data_file, "--batch", batch_file,
+                 "--seed", "7", "--max-retries", "1"]
+            )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_single_query_timeout_flag(self, data_file, capsys):
+        code = main(
+            ["--data", data_file, "--query", "Q :- R1(x,y), R2(y,z)",
+             "--timeout", "60"]
+        )
+        assert code == 0
+        assert "Pr_H(Q) =" in capsys.readouterr().out
