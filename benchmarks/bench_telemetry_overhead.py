@@ -1,0 +1,119 @@
+"""O1 — telemetry overhead: disabled hooks must be near-free.
+
+The observability layer (:mod:`repro.obs`) threads ``span()`` and
+``metric_inc()`` calls through every hot path — decomposition search,
+reduction builds, lineage construction, sampling loops, cache traffic.
+The design contract is that a *disabled* hook costs one ContextVar read
+and nothing else, so instrumented code can stay unconditional.
+
+This bench quantifies that contract three ways:
+
+- per-call cost of the disabled primitives, measured over a tight loop
+  (nanoseconds/call — the number the <5% guard in
+  ``tests/test_telemetry.py`` builds on);
+- wall time of an identical FPRAS batch with telemetry off vs on;
+- the enabled run's own stage breakdown, as a sample of what the
+  collected data buys.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import ResultTable, telemetry_table, timed
+from repro.core.estimator import PQEEngine
+from repro.core.parallel import BatchItem
+from repro.db.fact import Fact
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.obs import metric_inc, span
+from repro.queries import parse_query
+
+SEED = 2023
+ITEMS = 24
+NOOP_CALLS = 200_000
+
+QUERY = parse_query("Q :- R(x, y), S(y, z)")
+
+
+def build_pdb(paths: int = 5) -> ProbabilisticDatabase:
+    labels: dict[Fact, str] = {}
+    for i in range(paths):
+        labels[Fact("R", (f"a{i}", f"b{i}"))] = "1/2"
+        labels[Fact("S", (f"b{i}", f"c{i}"))] = "2/3"
+    return ProbabilisticDatabase(labels)
+
+
+def noop_costs() -> tuple[float, float]:
+    """Per-call seconds of disabled ``span`` / ``metric_inc``."""
+    start = time.perf_counter()
+    for _ in range(NOOP_CALLS):
+        with span("bench.noop"):
+            pass
+    span_cost = (time.perf_counter() - start) / NOOP_CALLS
+
+    start = time.perf_counter()
+    for _ in range(NOOP_CALLS):
+        metric_inc("bench.noop")
+    inc_cost = (time.perf_counter() - start) / NOOP_CALLS
+    return span_cost, inc_cost
+
+
+def run_batch(engine: PQEEngine, items, telemetry: bool):
+    return engine.evaluate_batch(
+        items, seed=SEED, max_workers=1, telemetry=telemetry
+    )
+
+
+def main() -> None:
+    pdb = build_pdb()
+    items = [BatchItem(QUERY, pdb, method="fpras")] * ITEMS
+    engine = PQEEngine(seed=SEED)
+
+    span_cost, inc_cost = noop_costs()
+    noop = ResultTable(
+        "disabled-hook cost (no active telemetry)",
+        ["primitive", "calls", "ns/call"],
+    )
+    noop.add_row(["span()", NOOP_CALLS, span_cost * 1e9])
+    noop.add_row(["metric_inc()", NOOP_CALLS, inc_cost * 1e9])
+    noop.print()
+
+    # Warm once so neither timed run pays first-use import costs.
+    run_batch(engine, items, telemetry=False)
+    disabled, disabled_seconds = timed(
+        lambda: run_batch(engine, items, telemetry=False)
+    )
+    enabled, enabled_seconds = timed(
+        lambda: run_batch(engine, items, telemetry=True)
+    )
+    assert disabled.values == enabled.values, (
+        "telemetry must not change any answer"
+    )
+
+    overhead = (
+        (enabled_seconds - disabled_seconds) / disabled_seconds
+        if disabled_seconds > 0
+        else 0.0
+    )
+    table = ResultTable(
+        f"batch of {ITEMS} FPRAS items, workers=1",
+        ["telemetry", "wall s", "overhead"],
+    )
+    table.add_row(["off", disabled_seconds, "-"])
+    table.add_row(["on", enabled_seconds, f"{overhead:+.1%}"])
+    table.print()
+
+    telemetry_table(
+        enabled.telemetry, "enabled run: stage breakdown"
+    ).print()
+    counters = enabled.telemetry.metrics.counters
+    events = sum(counters.values()) + len(enabled.telemetry.spans)
+    print(
+        f"instrumentation events in the enabled run: {events} "
+        f"(x {span_cost * 1e9:.0f}ns/span, {inc_cost * 1e9:.0f}ns/inc "
+        f"when disabled)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -40,6 +40,7 @@ from repro.automata.nfta import NFTA
 from repro.automata.trees import LabeledTree
 from repro.core.budget import budget_checkpoint, budget_tick
 from repro.errors import AutomatonError, EstimationError
+from repro.obs import metric_inc, span
 from repro.testing.faults import fault_point
 
 __all__ = ["count_nfta_exact", "count_nfta", "sample_accepted_trees"]
@@ -87,31 +88,35 @@ def count_nfta_exact(nfta: NFTA, size: int, weight_of=None):
         dict() for _ in range(size + 1)
     ]
 
-    for s in range(1, size + 1):
-        budget_checkpoint("counting.nfta")
-        cell = table[s]
-        for (symbol, arity), rules in groups.items():
-            weight = weigh(symbol)
-            if not weight:
-                continue
-            if arity == 0:
-                if s == 1:
-                    subset = frozenset(source for source, _ in rules)
-                    cell[subset] = cell.get(subset, 0) + weight
-                continue
-            if s < arity + 1:
-                continue
-            for combo, count in _subset_combinations(table, arity, s - 1):
-                evaluated = frozenset(
-                    source
-                    for source, children in rules
-                    if all(
-                        child in subset
-                        for child, subset in zip(children, combo)
+    with span("counting.nfta_exact", size=size):
+        for s in range(1, size + 1):
+            budget_checkpoint("counting.nfta")
+            metric_inc("count_nfta.dp_cells")
+            cell = table[s]
+            for (symbol, arity), rules in groups.items():
+                weight = weigh(symbol)
+                if not weight:
+                    continue
+                if arity == 0:
+                    if s == 1:
+                        subset = frozenset(source for source, _ in rules)
+                        cell[subset] = cell.get(subset, 0) + weight
+                    continue
+                if s < arity + 1:
+                    continue
+                for combo, count in _subset_combinations(table, arity, s - 1):
+                    evaluated = frozenset(
+                        source
+                        for source, children in rules
+                        if all(
+                            child in subset
+                            for child, subset in zip(children, combo)
+                        )
                     )
-                )
-                if evaluated:
-                    cell[evaluated] = cell.get(evaluated, 0) + weight * count
+                    if evaluated:
+                        cell[evaluated] = (
+                            cell.get(evaluated, 0) + weight * count
+                        )
 
     return sum(
         count
@@ -436,6 +441,7 @@ class _TreeCounter:
         needed = self._collect_needed_pairs()
         for pair in sorted(needed, key=lambda p: (p[1], str(p[0]))):
             budget_checkpoint("counting.nfta")
+            metric_inc("count_nfta.dp_cells")
             self._values[pair] = self._compute(pair)
         return self._values[(self._nfta.initial, self._size)]
 
@@ -583,6 +589,7 @@ class _TreeCounter:
             attempts += 1
             self.samples_used += 1
             budget_tick("counting.nfta")
+            metric_inc("count_nfta.samples_drawn")
             pick = self._rng.random() * total_weight
             index = _bisect(cumulative, pick)
             tree = product_nodes[index].draw(self._rng)
@@ -749,10 +756,18 @@ def count_nfta(
             weight_of=weight_of,
         ).run()
 
-    if executor is None:
-        results = [run_one(s) for s in repetition_seeds]
-    else:
-        results = list(executor.map(run_one, repetition_seeds))
+    # Per-cell/per-sample counters inside _TreeCounter are attributed to
+    # the calling thread's telemetry; with an executor the repetitions
+    # run on pool threads whose context lacks it, so only the
+    # repetition count and the span below are recorded in that mode.
+    with span(
+        "counting.nfta", size=size, repetitions=repetitions
+    ):
+        metric_inc("count_nfta.repetitions", repetitions)
+        if executor is None:
+            results = [run_one(s) for s in repetition_seeds]
+        else:
+            results = list(executor.map(run_one, repetition_seeds))
     results.sort(key=lambda r: r.estimate)
     median = results[len(results) // 2]
     return CountResult(
@@ -785,7 +800,9 @@ def sample_accepted_trees(
     if top.count <= 0:
         raise EstimationError("language is (estimated) empty; cannot sample")
     drawn: list[LabeledTree] = []
-    for _ in range(k):
-        budget_tick("sampling.trees")
-        drawn.append(top.draw(rng))
+    with span("sampling.trees", k=k):
+        for _ in range(k):
+            budget_tick("sampling.trees")
+            metric_inc("sampling.trees_drawn")
+            drawn.append(top.draw(rng))
     return drawn

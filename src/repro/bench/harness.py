@@ -20,6 +20,7 @@ __all__ = [
     "relative_error",
     "BatchComparison",
     "compare_sequential_vs_batch",
+    "telemetry_table",
 ]
 
 
@@ -110,6 +111,34 @@ def relative_error(estimate: float, truth: float) -> float:
     if truth == 0:
         return 0.0 if estimate == 0 else math.inf
     return abs(estimate - truth) / abs(truth)
+
+
+def telemetry_table(
+    telemetry, caption: str = "telemetry stage breakdown"
+) -> ResultTable:
+    """A :class:`ResultTable` of per-phase span totals for ``telemetry``
+    (an :class:`repro.obs.EvaluationTelemetry`), largest wall share
+    first — the benchmark-side rendering of ``repro eval --profile``.
+    """
+    phases: dict[str, list[float]] = {}
+    root_total = 0.0
+    for record in telemetry.spans:
+        cell = phases.setdefault(record.name, [0, 0.0, 0.0])
+        cell[0] += 1
+        cell[1] += record.duration
+        cell[2] += record.cpu
+        if record.parent_id is None:
+            root_total += record.duration
+    table = ResultTable(
+        caption, ["phase", "spans", "wall s", "cpu s", "share"]
+    )
+    ordered = sorted(
+        phases.items(), key=lambda pair: pair[1][1], reverse=True
+    )
+    for name, (count, wall, cpu) in ordered:
+        share = wall / root_total if root_total else 0.0
+        table.add_row([name, count, wall, cpu, f"{share:.1%}"])
+    return table
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,9 @@ Usage::
         --method fpras --epsilon 0.1 --seed 7
     python -m repro --data facts.csv --query "..." --reliability
     repro eval --data facts.csv --batch batch.json --workers 8 --seed 7
+    repro eval --data facts.csv --batch batch.json --profile \
+        --metrics-out trace.jsonl
+    repro trace-summary trace.jsonl
 
 The optional leading ``eval`` subcommand is accepted (and implied) for
 symmetry with the batch form.  A batch file is JSON: a list whose
@@ -44,6 +47,12 @@ from repro.core.parallel import BatchError, BatchItem
 from repro.db.fact import Fact
 from repro.db.probabilistic import ProbabilisticDatabase
 from repro.errors import ReproError
+from repro.obs.export import (
+    read_trace,
+    summarize_trace,
+    telemetry_records,
+    write_trace,
+)
 from repro.queries.parser import parse_query
 
 __all__ = ["main", "load_facts_csv", "load_batch_file"]
@@ -136,6 +145,134 @@ def _batch_exit_code(batch) -> int:
     return EXIT_ALL_FAILED if not batch.succeeded else EXIT_PARTIAL
 
 
+def _batch_item_records(items, batch) -> list[dict]:
+    """The per-item ``{"type": "item"}`` payloads for a trace file."""
+    records = []
+    for item, result in zip(items, batch.results):
+        records.append(
+            {
+                "index": result.index,
+                "ok": result.ok,
+                "elapsed": result.elapsed,
+                "task": item.task,
+                "method": (
+                    result.answer.method if result.ok else item.method
+                ),
+            }
+        )
+    return records
+
+
+def _write_metrics_file(path, telemetry, meta, items=None) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        write_trace(stream, telemetry, meta=meta, items=items)
+
+
+def _print_profile(telemetry, meta, items=None, stream=None) -> None:
+    """Per-phase wall/CPU breakdown, largest share first."""
+    stream = stream or sys.stdout
+    summary = summarize_trace(
+        list(telemetry_records(telemetry, meta=meta, items=items))
+    )
+    phases = summary["phases"]
+    if not phases:
+        print("profile: no spans recorded", file=stream)
+        return
+    print(
+        f"profile: {'phase':<24} {'spans':>6} {'wall':>10} "
+        f"{'cpu':>10} {'share':>7}",
+        file=stream,
+    )
+    ordered = sorted(
+        phases.items(), key=lambda pair: pair[1]["total"], reverse=True
+    )
+    for name, cell in ordered:
+        print(
+            f"         {name:<24} {cell['spans']:>6} "
+            f"{cell['total']:>9.4f}s {cell['cpu']:>9.4f}s "
+            f"{cell['share']:>6.1%}",
+            file=stream,
+        )
+    if summary["coverage"] is not None:
+        print(
+            f"         span coverage: {summary['coverage']:.1%} of "
+            f"{summary['item_total']:.4f}s item wall time",
+            file=stream,
+        )
+    counters = telemetry.metrics.counters
+    if counters:
+        print(
+            "counters: "
+            + " ".join(
+                f"{name}={counters[name]}" for name in sorted(counters)
+            ),
+            file=stream,
+        )
+
+
+def _run_trace_summary(arguments: list[str]) -> int:
+    """``repro trace-summary FILE`` — summarise a saved JSONL trace."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace-summary",
+        description=(
+            "Aggregate a JSONL trace written by repro eval "
+            "--metrics-out into a per-phase breakdown"
+        ),
+    )
+    parser.add_argument("trace", help="JSONL trace file")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the summary as JSON instead of text",
+    )
+    args = parser.parse_args(arguments)
+    try:
+        with open(args.trace, encoding="utf-8") as stream:
+            records = read_trace(stream)
+    except (ReproError, OSError) as failure:
+        print(f"error: {failure}", file=sys.stderr)
+        return 1
+    summary = summarize_trace(records)
+    if args.json:
+        json.dump(summary, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    meta = summary["meta"]
+    if meta:
+        print(
+            "trace:   "
+            + " ".join(f"{k}={meta[k]}" for k in sorted(meta))
+        )
+    print(
+        f"{'phase':<24} {'spans':>6} {'wall':>10} {'cpu':>10} {'share':>7}"
+    )
+    ordered = sorted(
+        summary["phases"].items(),
+        key=lambda pair: pair[1]["total"],
+        reverse=True,
+    )
+    for name, cell in ordered:
+        print(
+            f"{name:<24} {cell['spans']:>6} {cell['total']:>9.4f}s "
+            f"{cell['cpu']:>9.4f}s {cell['share']:>6.1%}"
+        )
+    if summary["items"]:
+        coverage = summary["coverage"]
+        print(
+            f"items:   {summary['items']} "
+            f"({summary['item_total']:.4f}s wall, span coverage "
+            f"{coverage:.1%})"
+        )
+    counters = summary["counters"]
+    if counters:
+        print(
+            "counters: "
+            + " ".join(
+                f"{name}={counters[name]}" for name in sorted(counters)
+            )
+        )
+    return 0
+
+
 def _batch_payload(args, items, batch) -> dict:
     """The ``--json`` document for a batch run."""
     records = []
@@ -192,6 +329,7 @@ def _run_batch(args, pdb: ProbabilisticDatabase) -> int:
         seed=args.seed,
         repetitions=args.repetitions,
     )
+    profiled = bool(args.profile or args.metrics_out)
     try:
         batch = engine.evaluate_batch(
             items,
@@ -200,6 +338,7 @@ def _run_batch(args, pdb: ProbabilisticDatabase) -> int:
             timeout=args.timeout,
             max_retries=args.max_retries,
             on_error=args.on_error,
+            telemetry=profiled,
         )
     except BatchError as failure:
         # on_error='fail': the exception still carries every completed
@@ -208,8 +347,30 @@ def _run_batch(args, pdb: ProbabilisticDatabase) -> int:
         print(f"error: {failure}", file=sys.stderr)
         batch = failure.result
 
+    trace_meta = {
+        "items": len(batch),
+        "workers": batch.max_workers,
+        "seed": args.seed,
+        "wall_time": batch.wall_time,
+        "on_error": args.on_error,
+    }
+    item_records = _batch_item_records(items, batch)
+    if args.metrics_out and batch.telemetry is not None:
+        _write_metrics_file(
+            args.metrics_out, batch.telemetry, trace_meta, item_records
+        )
+
     if args.json:
-        json.dump(_batch_payload(args, items, batch), sys.stdout, indent=2)
+        payload = _batch_payload(args, items, batch)
+        if profiled and batch.telemetry is not None:
+            payload["telemetry"] = summarize_trace(
+                list(
+                    telemetry_records(
+                        batch.telemetry, trace_meta, item_records
+                    )
+                )
+            )
+        json.dump(payload, sys.stdout, indent=2)
         print()
         return _batch_exit_code(batch)
 
@@ -244,6 +405,10 @@ def _run_batch(args, pdb: ProbabilisticDatabase) -> int:
         )
     print(f"cache:   {batch.cache_stats.describe()}")
     print(f"wall:    {batch.wall_time:.3f}s")
+    if args.profile and batch.telemetry is not None:
+        _print_profile(batch.telemetry, trace_meta, item_records)
+    if args.metrics_out and batch.telemetry is not None:
+        print(f"trace:   written to {args.metrics_out}")
     return _batch_exit_code(batch)
 
 
@@ -321,6 +486,16 @@ def _build_parser() -> argparse.ArgumentParser:
              "structured error records) instead of text",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="collect spans and metrics during evaluation and print a "
+             "per-phase wall/CPU breakdown (see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the collected telemetry as a JSONL trace to FILE "
+             "(implies collection; inspect with repro trace-summary)",
+    )
+    parser.add_argument(
         "--reliability", action="store_true",
         help="report uniform reliability (ignores probability labels)",
     )
@@ -334,6 +509,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Iterable[str] | None = None) -> int:
     arguments = list(argv) if argv is not None else sys.argv[1:]
+    if arguments and arguments[0] == "trace-summary":
+        return _run_trace_summary(arguments[1:])
     if arguments and arguments[0] == "eval":
         # ``repro eval …`` — the (only) subcommand, accepted for the
         # batch-serving form; single-query flags work under it too.
@@ -363,14 +540,17 @@ def main(argv: Iterable[str] | None = None) -> int:
             if args.timeout is not None
             else None
         )
+        profiled = bool(args.profile or args.metrics_out)
         if args.reliability:
             answer = engine.uniform_reliability(
-                query, pdb.instance, method=args.method, budget=budget
+                query, pdb.instance, method=args.method, budget=budget,
+                telemetry=profiled,
             )
             label = "UR(Q, D)"
         else:
             answer = engine.probability(
-                query, pdb, method=args.method, budget=budget
+                query, pdb, method=args.method, budget=budget,
+                telemetry=profiled,
             )
             label = "Pr_H(Q)"
     except (ReproError, OSError) as failure:
@@ -384,6 +564,15 @@ def main(argv: Iterable[str] | None = None) -> int:
         print(f"{label} = {answer.value} ({answer.rational})")
     else:
         print(f"{label} = {answer.value}")
+    if answer.telemetry is not None:
+        single_meta = {"seed": args.seed, "method": args.method}
+        if args.profile:
+            _print_profile(answer.telemetry, single_meta)
+        if args.metrics_out:
+            _write_metrics_file(
+                args.metrics_out, answer.telemetry, single_meta
+            )
+            print(f"trace:   written to {args.metrics_out}")
     return 0
 
 

@@ -39,6 +39,7 @@ from contextvars import ContextVar
 from dataclasses import dataclass
 
 from repro.errors import BudgetExceededError, ReproError
+from repro.obs import metric_inc
 
 __all__ = [
     "EvaluationBudget",
@@ -227,8 +228,12 @@ def budget_checkpoint(phase: str) -> None:
 
 
 def budget_tick(phase: str, units: int = 1) -> None:
-    """Charge ``units`` of work, then checkpoint.  Hot-loop safe: a
-    single context-variable read when no budget is active."""
+    """Charge ``units`` of work, then checkpoint.  Hot-loop safe: one
+    context-variable read per layer (budget, telemetry) when neither is
+    active.  Ticks are counted into the ``budget.ticks`` telemetry
+    counter whether or not a budget is installed — the tick sites *are*
+    the pipeline's unit-of-work markers."""
+    metric_inc("budget.ticks", units)
     scope = _ACTIVE.get()
     if scope is not None:
         scope.tick(phase, units)

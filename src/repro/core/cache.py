@@ -40,11 +40,13 @@ cache accounting in ``tests/test_parallel.py`` deterministic across
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable
 
 from repro.errors import ReproError
+from repro.obs import metric_inc, metric_observe
 
 __all__ = ["CacheStats", "ReductionCache"]
 
@@ -138,11 +140,20 @@ class ReductionCache:
         hit/miss totals remain a function of the request multiset
         alone, not of thread scheduling.
         """
+        # Telemetry attribution: the requesting thread's active
+        # telemetry (the batch item currently running) is charged for
+        # this lookup.  Exactly one terminal increment follows — hit or
+        # miss — so ``cache.hits + cache.misses == cache.lookups`` holds
+        # per registry.  ``cache.inflight_waits`` counts blocking on a
+        # sibling's build and is the one scheduling-sensitive counter
+        # (see :data:`repro.obs.metrics.SCHEDULING_SENSITIVE`).
+        metric_inc("cache.lookups")
         while True:
             with self._lock:
                 if key in self._entries:
                     self._entries.move_to_end(key)
                     self._hits += 1
+                    metric_inc("cache.hits")
                     return self._entries[key]
                 pending = self._inflight.get(key)
                 if pending is None:
@@ -154,8 +165,10 @@ class ReductionCache:
             if not owner:
                 # Someone else is building; wait, then re-check (counts
                 # as a hit on success, or retries if the build failed).
+                metric_inc("cache.inflight_waits")
                 pending.event.wait()
                 continue
+            build_started = time.perf_counter()
             try:
                 value = builder()
             except BaseException:
@@ -163,9 +176,13 @@ class ReductionCache:
                     del self._inflight[key]
                 pending.event.set()
                 raise
+            metric_observe(
+                "cache.build_seconds", time.perf_counter() - build_started
+            )
             store = cache_if is None or cache_if(value)
             with self._lock:
                 self._misses += 1
+                metric_inc("cache.misses")
                 if store:
                     self._entries[key] = value
                     self._entries.move_to_end(key)

@@ -18,11 +18,18 @@ self-joins              lineage: exact WMC when small, Karp–Luby
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+from dataclasses import dataclass, field
 from fractions import Fraction
 
 from repro.core.budget import EvaluationBudget, budget_scope
 from repro.core.cache import ReductionCache
+from repro.obs import (
+    EvaluationTelemetry,
+    active_telemetry,
+    span,
+    telemetry_scope,
+)
 from repro.core.exact import exact_probability, exact_uniform_reliability
 from repro.core.monte_carlo import monte_carlo_probability
 from repro.core.pqe_estimate import pqe_estimate
@@ -71,6 +78,13 @@ class PQEAnswer:
     rational: Fraction | None = None
     degradations: tuple[str, ...] = ()
     retries: int = 0
+    #: Telemetry collected while producing this answer (``None`` unless
+    #: the evaluation ran with ``telemetry=True``).  Excluded from
+    #: equality/repr: two identical evaluations stay equal even though
+    #: their telemetry objects are distinct.
+    telemetry: EvaluationTelemetry | None = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def degraded(self) -> bool:
@@ -187,6 +201,7 @@ class PQEEngine:
         seed=_UNSET,
         cache: ReductionCache | None = None,
         budget: EvaluationBudget | None = None,
+        telemetry: bool = False,
     ) -> PQEAnswer:
         """``Pr_H(Q)``, routed per the class table in the module docs.
 
@@ -196,12 +211,26 @@ class PQEEngine:
         every item its own RNG stream over one shared cache.  ``budget``
         bounds the call with cooperative deadline/work checkpoints (see
         :mod:`repro.core.budget`); exceeding it raises
-        :class:`~repro.errors.BudgetExceededError`.
+        :class:`~repro.errors.BudgetExceededError`.  ``telemetry=True``
+        collects spans and metrics for this call (see :mod:`repro.obs`)
+        and attaches them as ``answer.telemetry``; when a collector is
+        already active (e.g. inside a profiled batch item) the call
+        simply contributes to it.
         """
         if method not in _METHODS:
             raise ReproError(
                 f"unknown method {method!r}; choose from {_METHODS}"
             )
+        if telemetry and active_telemetry() is None:
+            collected = EvaluationTelemetry()
+            with telemetry_scope(collected), span(
+                "probability", method=method
+            ):
+                answer = self.probability(
+                    query, pdb, method=method, seed=seed,
+                    cache=cache, budget=budget,
+                )
+            return dataclasses.replace(answer, telemetry=collected)
         if budget is not None:
             with budget_scope(budget):
                 return self.probability(
@@ -212,40 +241,46 @@ class PQEEngine:
         if method == "auto":
             return self._auto_probability(query, pdb, seed, cache)
         if method == "safe-plan":
-            value = safe_plan_probability(query, pdb)
+            with span("route.safe-plan"):
+                value = safe_plan_probability(query, pdb)
             return PQEAnswer(float(value), "safe-plan", True, value)
         if method in ("fpras", "fpras-weighted"):
-            estimate = pqe_estimate(
-                query,
-                pdb,
-                epsilon=self.epsilon,
-                seed=seed,
-                repetitions=self.repetitions,
-                exact_set_cap=self.exact_set_cap,
-                method=method,
-                cache=cache,
-            )
+            with span(f"route.{method}"):
+                estimate = pqe_estimate(
+                    query,
+                    pdb,
+                    epsilon=self.epsilon,
+                    seed=seed,
+                    repetitions=self.repetitions,
+                    exact_set_cap=self.exact_set_cap,
+                    method=method,
+                    cache=cache,
+                )
             return PQEAnswer(estimate.estimate, method, estimate.exact)
         if method == "lineage-exact":
-            value = exact_probability(query, pdb, method="lineage")
+            with span("route.lineage-exact"):
+                value = exact_probability(query, pdb, method="lineage")
             return PQEAnswer(float(value), "lineage-exact", True, value)
         if method == "karp-luby":
-            projected = pdb.project_to_query(query)
-            formula = build_lineage(query, projected.instance)
-            result = karp_luby_probability(
-                formula,
-                projected.probabilities,
-                epsilon=self.epsilon,
-                seed=seed,
-            )
+            with span("route.karp-luby"):
+                projected = pdb.project_to_query(query)
+                formula = build_lineage(query, projected.instance)
+                result = karp_luby_probability(
+                    formula,
+                    projected.probabilities,
+                    epsilon=self.epsilon,
+                    seed=seed,
+                )
             return PQEAnswer(result.estimate, "karp-luby", False)
         if method == "monte-carlo":
-            result = monte_carlo_probability(
-                query, pdb, epsilon=self.epsilon / 4, seed=seed
-            )
+            with span("route.monte-carlo"):
+                result = monte_carlo_probability(
+                    query, pdb, epsilon=self.epsilon / 4, seed=seed
+                )
             return PQEAnswer(result.estimate, "monte-carlo", False)
         # method == "enumerate"
-        value = exact_probability(query, pdb, method="enumerate")
+        with span("route.enumerate"):
+            value = exact_probability(query, pdb, method="enumerate")
         return PQEAnswer(float(value), "enumerate", True, value)
 
     def _auto_probability(
@@ -388,8 +423,19 @@ class PQEEngine:
         seed=_UNSET,
         cache: ReductionCache | None = None,
         budget: EvaluationBudget | None = None,
+        telemetry: bool = False,
     ) -> PQEAnswer:
         """``UR(Q, D)``: number of satisfying subinstances."""
+        if telemetry and active_telemetry() is None:
+            collected = EvaluationTelemetry()
+            with telemetry_scope(collected), span(
+                "uniform_reliability", method=method
+            ):
+                answer = self.uniform_reliability(
+                    query, instance, method=method, seed=seed,
+                    cache=cache, budget=budget,
+                )
+            return dataclasses.replace(answer, telemetry=collected)
         if budget is not None:
             with budget_scope(budget):
                 return self.uniform_reliability(
@@ -416,20 +462,22 @@ class PQEEngine:
                 answer.value * float(scale), answer.method, answer.exact
             )
         if method == "fpras":
-            estimate = ur_estimate(
-                query,
-                instance,
-                epsilon=self.epsilon,
-                seed=seed,
-                repetitions=self.repetitions,
-                exact_set_cap=self.exact_set_cap,
-                cache=cache,
-            )
+            with span("route.fpras", task="reliability"):
+                estimate = ur_estimate(
+                    query,
+                    instance,
+                    epsilon=self.epsilon,
+                    seed=seed,
+                    repetitions=self.repetitions,
+                    exact_set_cap=self.exact_set_cap,
+                    cache=cache,
+                )
             return PQEAnswer(estimate.estimate, "fpras", estimate.exact)
         if method == "enumerate":
-            count = exact_uniform_reliability(
-                query, instance, method="enumerate"
-            )
+            with span("route.enumerate", task="reliability"):
+                count = exact_uniform_reliability(
+                    query, instance, method="enumerate"
+                )
             return PQEAnswer(float(count), "enumerate", True, Fraction(count))
         raise ReproError(
             f"unknown method {method!r} for uniform reliability"
@@ -484,6 +532,7 @@ class PQEEngine:
         max_retries: int = 0,
         on_error: str = "fail",
         policy=None,
+        telemetry: bool = False,
     ):
         """Evaluate many ``(query, database)`` items through one shared
         reduction cache and a worker pool.
@@ -501,6 +550,10 @@ class PQEEngine:
         seeds, and ``on_error`` selects the fault-isolation mode
         (``'fail'``, ``'skip'`` or ``'degrade'``).  See
         :mod:`repro.core.parallel` for the full contract.
+
+        ``telemetry=True`` records spans and metrics per item — attached
+        to each answer/error — and merges them (in item-index order, so
+        deterministically) into ``BatchResult.telemetry``.
         """
         from repro.core.parallel import evaluate_batch
 
@@ -515,4 +568,5 @@ class PQEEngine:
             max_retries=max_retries,
             on_error=on_error,
             policy=policy,
+            telemetry=telemetry,
         )

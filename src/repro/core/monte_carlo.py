@@ -23,6 +23,7 @@ from repro.db.instance import DatabaseInstance
 from repro.db.probabilistic import ProbabilisticDatabase
 from repro.db.semantics import satisfies
 from repro.errors import EstimationError
+from repro.obs import metric_inc, span
 from repro.queries.cq import ConjunctiveQuery
 from repro.testing.faults import fault_point
 
@@ -84,15 +85,18 @@ def monte_carlo_probability(
     ]
 
     positives = 0
-    for _ in range(samples):
-        budget_tick("monte_carlo.sample")
-        world = [
-            fact
-            for fact, probability in fact_probabilities
-            if rng.random() < probability
-        ]
-        if world and satisfies(DatabaseInstance(world), query):
-            positives += 1
+    with span("monte_carlo.sample", samples=samples):
+        for _ in range(samples):
+            budget_tick("monte_carlo.sample")
+            metric_inc("monte_carlo.samples_drawn")
+            world = [
+                fact
+                for fact, probability in fact_probabilities
+                if rng.random() < probability
+            ]
+            if world and satisfies(DatabaseInstance(world), query):
+                positives += 1
+        metric_inc("monte_carlo.positives", positives)
     return MonteCarloResult(
         estimate=positives / samples,
         samples=samples,

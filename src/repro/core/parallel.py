@@ -73,11 +73,17 @@ import hashlib
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.budget import BudgetState, EvaluationBudget, budget_scope
 from repro.core.cache import CacheStats, ReductionCache
+from repro.obs import (
+    EvaluationTelemetry,
+    metric_inc,
+    span,
+    telemetry_scope,
+)
 from repro.core.resilience import (
     DegradationPolicy,
     TRANSIENT_ERRORS,
@@ -162,6 +168,13 @@ class BatchItemError:
     retries: int                 # retry attempts consumed
     budget: BudgetState | None   # budget state at failure, if budgeted
     degradations: tuple[str, ...] = ()   # attempt log (degrade mode)
+    #: Telemetry captured up to the fault (``None`` unless the batch ran
+    #: with ``telemetry=True``).  The spans and counters recorded before
+    #: the failure survive — a faulted item still shows where its time
+    #: went.  Excluded from equality so error records compare by content.
+    telemetry: EvaluationTelemetry | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def describe(self) -> str:
         parts = [f"{self.exception}: {self.message}"]
@@ -213,6 +226,13 @@ class BatchResult:
     cache_stats: CacheStats      # traffic attributable to this batch
     wall_time: float
     max_workers: int
+    #: Per-item telemetry merged in item-index order (``None`` unless the
+    #: batch ran with ``telemetry=True``).  Index-ordered merging makes
+    #: the merged counters and span ids deterministic for a fixed seed,
+    #: whatever the worker count.  Excluded from equality.
+    telemetry: EvaluationTelemetry | None = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def answers(self) -> tuple:
@@ -299,6 +319,7 @@ def _error_record(
     elapsed: float,
     retries: int,
     budget_state: BudgetState | None,
+    telemetry: EvaluationTelemetry | None = None,
 ) -> BatchItemError:
     return BatchItemError(
         exception=type(failure).__name__,
@@ -308,6 +329,7 @@ def _error_record(
         retries=retries,
         budget=budget_state,
         degradations=tuple(getattr(failure, "degradations", ())),
+        telemetry=telemetry,
     )
 
 
@@ -323,6 +345,7 @@ def evaluate_batch(
     max_retries: int = 0,
     on_error: str = "fail",
     policy: DegradationPolicy | None = None,
+    telemetry: bool = False,
 ) -> BatchResult:
     """Evaluate ``items`` with ``engine`` per the module contract.
 
@@ -362,6 +385,14 @@ def evaluate_batch(
         :class:`~repro.core.resilience.DegradationPolicy` for
         ``'degrade'`` mode (and retry backoff); defaults to
         ``DegradationPolicy(max_retries=max_retries)``.
+    telemetry:
+        When true, every item records spans and metrics into its own
+        :class:`~repro.obs.EvaluationTelemetry` (installed on the worker
+        thread, rooted at an ``item`` span), attached to the item's
+        answer — or to its :class:`BatchItemError` on failure, covering
+        the work done up to the fault.  The per-item collections are
+        merged in item-index order into ``BatchResult.telemetry``, so
+        the merged deterministic counters are worker-count-independent.
     """
     batch = _coerce_items(items)
     if on_error not in _ON_ERROR:
@@ -444,6 +475,7 @@ def evaluate_batch(
                 if attempt >= policy.max_retries:
                     raise
                 attempt += 1
+                metric_inc("resilience.retries")
                 delay = policy.backoff(attempt)
                 if delay:
                     time.sleep(delay)
@@ -453,16 +485,24 @@ def evaluate_batch(
         item_started = time.perf_counter()
         retries = 0
         scope = None
+        # Worker threads have their own ContextVar contexts, so the
+        # collector must be installed here, not by the caller.  The
+        # ``item`` root span closes when this block unwinds — including
+        # on a fault — so partial telemetry survives in the error record.
+        item_telemetry = EvaluationTelemetry() if telemetry else None
         with fault_scope(index):
             try:
-                if on_error == "degrade":
-                    answer, retries, scope = run_degrading(
-                        item, item_seed, item_started
-                    )
-                else:
-                    answer, retries, scope = run_retrying(
-                        item, item_seed, item_started
-                    )
+                with telemetry_scope(item_telemetry), span(
+                    "item", index=index, task=item.task, method=item.method
+                ):
+                    if on_error == "degrade":
+                        answer, retries, scope = run_degrading(
+                            item, item_seed, item_started
+                        )
+                    else:
+                        answer, retries, scope = run_retrying(
+                            item, item_seed, item_started
+                        )
             except BaseException as failure:
                 elapsed = time.perf_counter() - item_started
                 causes[index] = failure
@@ -488,10 +528,13 @@ def evaluate_batch(
                     seed=item_seed,
                     elapsed=elapsed,
                     error=_error_record(
-                        failure, elapsed, retries, budget_state
+                        failure, elapsed, retries, budget_state,
+                        telemetry=item_telemetry,
                     ),
                     retries=retries,
                 )
+        if item_telemetry is not None:
+            answer = dataclasses.replace(answer, telemetry=item_telemetry)
         return BatchItemResult(
             index=index,
             answer=answer,
@@ -512,11 +555,26 @@ def evaluate_batch(
             # raising, so no sibling's work is ever discarded.
             results = [future.result() for future in futures]
 
+    batch_telemetry = None
+    if telemetry:
+        # Merge in item-index order: span ids and counter totals then
+        # depend only on the per-item collections, not on scheduling.
+        batch_telemetry = EvaluationTelemetry()
+        for item_result in results:
+            source = (
+                item_result.answer.telemetry
+                if item_result.answer is not None
+                else item_result.error.telemetry
+            )
+            if source is not None:
+                batch_telemetry.merge(source)
+
     result = BatchResult(
         results=tuple(results),
         cache_stats=cache.stats - stats_before,
         wall_time=time.perf_counter() - started,
         max_workers=max_workers,
+        telemetry=batch_telemetry,
     )
 
     if on_error == "fail" and not result.ok:

@@ -44,6 +44,7 @@ from repro.db.fact import Fact
 from repro.db.probabilistic import ProbabilisticDatabase
 from repro.decomposition import HypertreeDecomposition
 from repro.errors import AutomatonError
+from repro.obs import span
 from repro.queries.cq import ConjunctiveQuery
 
 __all__ = ["PQEReduction", "PQEEstimate", "build_pqe_reduction", "pqe_estimate"]
@@ -134,6 +135,19 @@ def _build_pqe_reduction(
     from repro.testing.faults import fault_point
 
     fault_point("reduction.pqe")
+    with span("reduction.pqe", weighted=weighted):
+        return _build_pqe_reduction_body(
+            query, pdb, decomposition, weighted, cache
+        )
+
+
+def _build_pqe_reduction_body(
+    query: ConjunctiveQuery,
+    pdb: ProbabilisticDatabase,
+    decomposition: HypertreeDecomposition | None,
+    weighted: bool,
+    cache,
+) -> PQEReduction:
     projected = pdb.project_to_query(query)
     if cache is not None and decomposition is None:
         # Only the decomposition layer is shared here: the full UR entry

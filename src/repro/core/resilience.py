@@ -36,6 +36,7 @@ import hashlib
 import time
 
 from repro.core.budget import EvaluationBudget, budget_scope
+from repro.obs import metric_inc, span
 from repro.errors import (
     BudgetExceededError,
     EstimationError,
@@ -211,7 +212,10 @@ def evaluate_with_policy(
         while True:
             attempt_seed = derive_retry_seed(seed, retries_used)
             try:
-                with budget_scope(budget, started=started):
+                with budget_scope(budget, started=started), span(
+                    "resilience.attempt",
+                    route=route, rung=rung, retry=attempt,
+                ):
                     if task == "reliability":
                         answer = rung_engine.uniform_reliability(
                             query, database, method=route,
@@ -238,11 +242,15 @@ def evaluate_with_policy(
                 if transient and attempt < policy.max_retries:
                     attempt += 1
                     retries_used += 1
+                    metric_inc("resilience.retries")
                     delay = policy.backoff(attempt)
                     if delay:
                         time.sleep(delay)
                     continue
-                break  # degrade to the next rung
+                # Degrade to the next rung; the counter records the
+                # rung *transition* even when no cheaper rung is left.
+                metric_inc("resilience.degradations")
+                break
             if provenance:
                 answer = dataclasses.replace(
                     answer,

@@ -46,6 +46,7 @@ from repro.db.instance import DatabaseInstance
 from repro.decomposition import HypertreeDecomposition, decompose
 from repro.decomposition.transform import ensure_construction_ready
 from repro.errors import QueryError, SelfJoinError
+from repro.obs import metric_gauge, span
 from repro.queries.atoms import Atom
 from repro.queries.cq import ConjunctiveQuery
 
@@ -208,6 +209,21 @@ def _build_ur_reduction(
     from repro.testing.faults import fault_point
 
     fault_point("reduction.ur")
+    with span("reduction.ur", contract_mode=contract_mode):
+        reduction = _build_ur_reduction_body(
+            query, instance, decomposition, contract_mode
+        )
+    metric_gauge("reduction.nfta_states", len(reduction.nfta.states))
+    metric_gauge("reduction.tree_size", reduction.tree_size)
+    return reduction
+
+
+def _build_ur_reduction_body(
+    query: ConjunctiveQuery,
+    instance: DatabaseInstance,
+    decomposition: HypertreeDecomposition | None,
+    contract_mode: str,
+) -> URReduction:
     if not query.is_self_join_free:
         raise SelfJoinError(
             f"the Proposition 1 construction requires self-join-freeness: "

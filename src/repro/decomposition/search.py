@@ -28,6 +28,7 @@ from repro.decomposition.hypertree import (
     HypertreeNode,
 )
 from repro.errors import DecompositionError, WidthExceededError
+from repro.obs import metric_gauge, metric_inc, span
 from repro.testing.faults import fault_point
 from repro.queries.atoms import Atom, Variable
 from repro.queries.cq import ConjunctiveQuery
@@ -198,22 +199,27 @@ def ghd_by_search(
     variables = sorted(adjacency, key=str)
 
     best: HypertreeDecomposition | None = None
-    if len(variables) <= _EXHAUSTIVE_VARIABLE_LIMIT:
-        for order in permutations(variables):
-            budget_tick("decomposition.search")
-            candidate = _decomposition_from_order(
-                query, adjacency, list(order)
+    with span("decomposition.search", variables=len(variables)):
+        if len(variables) <= _EXHAUSTIVE_VARIABLE_LIMIT:
+            for order in permutations(variables):
+                budget_tick("decomposition.search")
+                metric_inc("decomposition.orders_tried")
+                candidate = _decomposition_from_order(
+                    query, adjacency, list(order)
+                )
+                if candidate is None:
+                    continue
+                if best is None or candidate.width < best.width:
+                    best = candidate
+                if best.width == 1:
+                    break
+        else:
+            metric_inc("decomposition.orders_tried")
+            best = _decomposition_from_order(
+                query, adjacency, _min_fill_order(adjacency)
             )
-            if candidate is None:
-                continue
-            if best is None or candidate.width < best.width:
-                best = candidate
-            if best.width == 1:
-                break
-    else:
-        best = _decomposition_from_order(
-            query, adjacency, _min_fill_order(adjacency)
-        )
+        if best is not None:
+            metric_gauge("decomposition.width", best.width)
 
     if best is None:
         raise DecompositionError(

@@ -16,6 +16,7 @@ from repro.db.instance import DatabaseInstance
 from repro.db.semantics import witness_sets
 from repro.errors import LineageSizeBudgetExceeded
 from repro.lineage.dnf import DNF
+from repro.obs import metric_inc, span
 from repro.queries.cq import ConjunctiveQuery
 from repro.testing.faults import fault_point
 
@@ -46,14 +47,19 @@ def build_lineage(
     fault_point("lineage.build")
     budget = effective_clause_budget(budget)
     clauses: set[frozenset] = set()
-    for witness in witness_sets(query, instance):
-        budget_tick("lineage.build")
-        clauses.add(witness)
-        if budget is not None and len(clauses) > budget:
-            raise LineageSizeBudgetExceeded(budget, len(clauses))
-    formula = DNF(clauses)
-    if minimize:
-        formula = formula.minimized()
+    with span("lineage.build"):
+        for witness in witness_sets(query, instance):
+            budget_tick("lineage.build")
+            metric_inc("lineage.witnesses_enumerated")
+            before = len(clauses)
+            clauses.add(witness)
+            if len(clauses) > before:
+                metric_inc("lineage.clauses_built")
+            if budget is not None and len(clauses) > budget:
+                raise LineageSizeBudgetExceeded(budget, len(clauses))
+        formula = DNF(clauses)
+        if minimize:
+            formula = formula.minimized()
     return formula
 
 
@@ -69,9 +75,14 @@ def lineage_clause_count(
     """
     budget = effective_clause_budget(budget)
     clauses: set[frozenset] = set()
-    for witness in witness_sets(query, instance):
-        budget_tick("lineage.build")
-        clauses.add(witness)
-        if budget is not None and len(clauses) > budget:
-            raise LineageSizeBudgetExceeded(budget, len(clauses))
+    with span("lineage.build", streaming=True):
+        for witness in witness_sets(query, instance):
+            budget_tick("lineage.build")
+            metric_inc("lineage.witnesses_enumerated")
+            before = len(clauses)
+            clauses.add(witness)
+            if len(clauses) > before:
+                metric_inc("lineage.clauses_built")
+            if budget is not None and len(clauses) > budget:
+                raise LineageSizeBudgetExceeded(budget, len(clauses))
     return len(clauses)

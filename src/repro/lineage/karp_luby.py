@@ -32,6 +32,7 @@ from repro.core.budget import budget_tick
 from repro.db.fact import Fact
 from repro.errors import EstimationError
 from repro.lineage.dnf import DNF, clause_probability
+from repro.obs import metric_gauge, metric_inc, span
 from repro.testing.faults import fault_point
 
 __all__ = ["KarpLubyResult", "karp_luby_probability", "required_samples"]
@@ -94,22 +95,26 @@ def karp_luby_probability(
     float_probs = {f: float(probs[f]) for f in relevant}
 
     accepted = 0
-    for _ in range(samples):
-        budget_tick("lineage.karp_luby")
-        pick = rng.random() * total_weight
-        index = _bisect(cumulative, pick)
-        forced = clauses[index]
-        world = set(forced)
-        for fact in relevant:
-            if fact not in forced and rng.random() < float_probs[fact]:
-                world.add(fact)
-        world_frozen = frozenset(world)
-        first = next(
-            i for i, clause in enumerate(clauses)
-            if clause <= world_frozen
-        )
-        if first == index:
-            accepted += 1
+    metric_gauge("karp_luby.clauses", len(clauses))
+    with span("lineage.karp_luby", samples=samples):
+        for _ in range(samples):
+            budget_tick("lineage.karp_luby")
+            metric_inc("karp_luby.samples_drawn")
+            pick = rng.random() * total_weight
+            index = _bisect(cumulative, pick)
+            forced = clauses[index]
+            world = set(forced)
+            for fact in relevant:
+                if fact not in forced and rng.random() < float_probs[fact]:
+                    world.add(fact)
+            world_frozen = frozenset(world)
+            first = next(
+                i for i, clause in enumerate(clauses)
+                if clause <= world_frozen
+            )
+            if first == index:
+                accepted += 1
+        metric_inc("karp_luby.samples_accepted", accepted)
 
     return KarpLubyResult(
         estimate=total_weight * accepted / samples,

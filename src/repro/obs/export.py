@@ -1,0 +1,162 @@
+"""JSONL trace export and offline summarisation.
+
+A trace file is one JSON object per line, in this order:
+
+``{"type": "meta", ...}``
+    One header line: what was run (free-form keys supplied by the
+    caller — item count, workers, seed, wall time, CLI arguments).
+``{"type": "item", "index": i, "ok": ..., "elapsed": ...}``
+    One line per batch item (batch traces only): the evaluator-measured
+    wall seconds the item consumed, its outcome and method.  These are
+    what span-coverage checks compare the span trees against.
+``{"type": "span", "span_id": ..., "parent_id": ..., "name": ...}``
+    One line per finished span (see
+    :class:`repro.obs.spans.SpanRecord`); ``parent_id`` links encode
+    the per-item trees, and item root spans carry an ``index`` tag.
+``{"type": "counter"|"gauge"|"histogram", "name": ..., ...}``
+    The merged metrics registry.
+
+:func:`read_trace` parses a file back into record dicts and
+:func:`summarize_trace` aggregates them into the per-phase breakdown the
+CLI's ``repro trace-summary`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator
+
+from repro.errors import ReproError
+from repro.obs import EvaluationTelemetry
+
+__all__ = [
+    "telemetry_records",
+    "write_trace",
+    "read_trace",
+    "summarize_trace",
+]
+
+
+def telemetry_records(
+    telemetry: EvaluationTelemetry,
+    meta: dict | None = None,
+    items: Iterable[dict] | None = None,
+) -> Iterator[dict]:
+    """Yield the trace records for ``telemetry`` in schema order."""
+    header = {"type": "meta"}
+    if meta:
+        header.update(meta)
+    yield header
+    for item in items or ():
+        record = {"type": "item"}
+        record.update(item)
+        yield record
+    for span in telemetry.spans:
+        record = {"type": "span"}
+        record.update(span.as_dict())
+        yield record
+    metrics = telemetry.metrics
+    for name in sorted(metrics.counters):
+        yield {
+            "type": "counter",
+            "name": name,
+            "value": metrics.counters[name],
+        }
+    for name in sorted(metrics.gauges):
+        yield {"type": "gauge", "name": name, "value": metrics.gauges[name]}
+    for name, stats in sorted(metrics.histograms.items()):
+        record = {"type": "histogram", "name": name}
+        record.update(stats.as_dict())
+        yield record
+
+
+def write_trace(
+    stream: IO[str],
+    telemetry: EvaluationTelemetry,
+    meta: dict | None = None,
+    items: Iterable[dict] | None = None,
+) -> int:
+    """Write the JSONL trace to ``stream``; returns the line count."""
+    lines = 0
+    for record in telemetry_records(telemetry, meta=meta, items=items):
+        json.dump(record, stream, sort_keys=True, default=str)
+        stream.write("\n")
+        lines += 1
+    return lines
+
+
+def read_trace(stream: IO[str]) -> list[dict]:
+    """Parse a JSONL trace back into record dicts."""
+    records: list[dict] = []
+    for line_number, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as failure:
+            raise ReproError(
+                f"trace line {line_number} is not valid JSON: {failure}"
+            )
+        if not isinstance(record, dict) or "type" not in record:
+            raise ReproError(
+                f"trace line {line_number}: expected an object with a "
+                f"'type' field, got {record!r}"
+            )
+        records.append(record)
+    return records
+
+
+def summarize_trace(records: list[dict]) -> dict:
+    """Aggregate trace records into a per-phase breakdown.
+
+    Returns a dict with:
+
+    - ``meta`` — the header record (minus its ``type``);
+    - ``phases`` — per span name: ``spans`` (count), ``total`` wall
+      seconds, ``cpu`` seconds, and ``share`` of the summed root-span
+      wall time;
+    - ``root_total`` — summed duration of root spans (the measured,
+      span-covered wall time);
+    - ``item_total``/``items`` — summed evaluator-measured item wall
+      seconds and item count (batch traces only);
+    - ``coverage`` — ``root_total / item_total`` when items are present
+      (the acceptance gate asserts ≥ 0.95), else ``None``;
+    - ``counters`` — the merged counter map.
+    """
+    meta: dict = {}
+    phases: dict[str, dict] = {}
+    counters: dict[str, int] = {}
+    root_total = 0.0
+    item_total = 0.0
+    item_count = 0
+    for record in records:
+        kind = record.get("type")
+        if kind == "meta":
+            meta = {k: v for k, v in record.items() if k != "type"}
+        elif kind == "item":
+            item_count += 1
+            item_total += float(record.get("elapsed", 0.0))
+        elif kind == "span":
+            name = record["name"]
+            cell = phases.setdefault(
+                name, {"spans": 0, "total": 0.0, "cpu": 0.0}
+            )
+            cell["spans"] += 1
+            cell["total"] += float(record.get("duration", 0.0))
+            cell["cpu"] += float(record.get("cpu", 0.0))
+            if record.get("parent_id") is None:
+                root_total += float(record.get("duration", 0.0))
+        elif kind == "counter":
+            counters[record["name"]] = record["value"]
+    for cell in phases.values():
+        cell["share"] = cell["total"] / root_total if root_total else 0.0
+    return {
+        "meta": meta,
+        "phases": phases,
+        "root_total": root_total,
+        "items": item_count,
+        "item_total": item_total,
+        "coverage": root_total / item_total if item_total else None,
+        "counters": counters,
+    }

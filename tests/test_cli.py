@@ -377,3 +377,112 @@ class TestBatchResilience:
         )
         assert code == 0
         assert "Pr_H(Q) =" in capsys.readouterr().out
+
+
+class TestTelemetryFlags:
+    @pytest.fixture
+    def data_file(self, tmp_path):
+        path = tmp_path / "facts.csv"
+        path.write_text(CSV)
+        return str(path)
+
+    @pytest.fixture
+    def batch_file(self, tmp_path):
+        path = tmp_path / "batch.json"
+        path.write_text(BATCH_JSON)
+        return str(path)
+
+    def test_profile_single_query(self, data_file, capsys):
+        code = main(
+            ["--data", data_file, "--query", "Q :- R1(x,y), R2(y,z)",
+             "--method", "fpras", "--seed", "3", "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "route.fpras" in out
+        assert "counters:" in out
+
+    def test_profile_batch_prints_breakdown(
+        self, data_file, batch_file, capsys
+    ):
+        code = main(
+            ["eval", "--data", data_file, "--batch", batch_file,
+             "--seed", "7", "--workers", "2", "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "item" in out
+        assert "span coverage:" in out
+
+    def test_metrics_out_writes_trace_and_summary_reads_it(
+        self, data_file, batch_file, tmp_path, capsys
+    ):
+        trace_path = str(tmp_path / "trace.jsonl")
+        code = main(
+            ["eval", "--data", data_file, "--batch", batch_file,
+             "--seed", "7", "--workers", "2",
+             "--metrics-out", trace_path]
+        )
+        assert code == 0
+        assert f"trace:   written to {trace_path}" in capsys.readouterr().out
+
+        from repro.obs.export import read_trace, summarize_trace
+
+        with open(trace_path, encoding="utf-8") as stream:
+            records = read_trace(stream)
+        kinds = {record["type"] for record in records}
+        assert {"meta", "item", "span"} <= kinds
+        summary = summarize_trace(records)
+        assert summary["items"] == 3
+        assert summary["coverage"] is not None
+        assert summary["coverage"] > 0.0
+
+        code = main(["trace-summary", trace_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "item" in out
+        assert "span coverage" in out
+
+    def test_trace_summary_json(self, data_file, batch_file, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.jsonl")
+        assert main(
+            ["eval", "--data", data_file, "--batch", batch_file,
+             "--seed", "7", "--metrics-out", trace_path]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace-summary", trace_path, "--json"]) == 0
+        import json as json_module
+
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["items"] == 3
+        assert "phases" in payload and "counters" in payload
+
+    def test_trace_summary_missing_file(self, capsys):
+        assert main(["trace-summary", "/nonexistent/trace.jsonl"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_json_payload_includes_telemetry(
+        self, data_file, batch_file, capsys
+    ):
+        import json as json_module
+
+        code = main(
+            ["eval", "--data", data_file, "--batch", batch_file,
+             "--seed", "7", "--profile", "--json"]
+        )
+        assert code == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert "telemetry" in payload
+        assert payload["telemetry"]["items"] == 3
+        assert payload["telemetry"]["coverage"] > 0.0
+
+    def test_no_profile_no_trace_output(self, data_file, capsys):
+        code = main(
+            ["--data", data_file, "--query", "Q :- R1(x,y), R2(y,z)"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile:" not in out
+        assert "trace:" not in out
