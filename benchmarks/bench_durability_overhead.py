@@ -1,0 +1,145 @@
+"""D1 — durability overhead: journal + disk cache must stay cheap.
+
+The durability layer adds two per-item costs to ``evaluate_batch``:
+an fsync'd write-ahead journal record per settled item
+(:mod:`repro.core.journal`) and a checksummed write-then-rename disk
+record per cached reduction (:mod:`repro.core.diskcache`).  The design
+contract — mirroring the telemetry-overhead guard — is that running the
+64-item answer-ranking batch with the full durable stack costs less
+than 10% extra wall time over the plain in-memory batch.
+
+This bench measures the ranking workload from
+``bench_batch_parallel.py`` five ways:
+
+- plain ``evaluate_batch`` (shared in-memory cache only);
+- with a write-ahead journal;
+- with a cold disk-cache tier (every reduction persisted);
+- with a warm disk-cache tier (fresh process, reductions served from
+  disk instead of rebuilt);
+- with the full durable stack (journal + cold disk cache).
+
+All variants use identical derived per-item seeds, so every run's
+estimates agree bitwise — durability must never change an answer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import tempfile
+from pathlib import Path
+
+from bench_batch_parallel import EPSILON, EXACT_SET_CAP, SEED, ranking_batch
+from repro.bench.harness import ResultTable, timed
+from repro.core.cache import ReductionCache
+from repro.core.diskcache import DiskCache
+from repro.core.estimator import PQEEngine
+
+WORKERS = 4
+REPEATS = 3  # best-of, to keep the guard stable on noisy hosts
+
+_fresh = itertools.count()
+
+
+def _engine() -> PQEEngine:
+    return PQEEngine(epsilon=EPSILON, exact_set_cap=EXACT_SET_CAP)
+
+
+def _run(root: Path, *, journal: bool = False,
+         disk: Path | None = None):
+    """One batch evaluation with the requested durability features."""
+    cache = ReductionCache(
+        disk=DiskCache(disk) if disk is not None else None
+    )
+    wal = root / f"bench-{next(_fresh)}.wal" if journal else None
+    return _engine().evaluate_batch(
+        ranking_batch(), seed=SEED, max_workers=WORKERS,
+        cache=cache, journal=wal,
+    )
+
+
+def _best_of(fn, repeats: int = REPEATS):
+    """(result, best wall seconds) over ``repeats`` runs of ``fn``."""
+    best_result, best_seconds = timed(fn)
+    for _ in range(repeats - 1):
+        result, seconds = timed(fn)
+        if seconds < best_seconds:
+            best_result, best_seconds = result, seconds
+    return best_result, best_seconds
+
+
+def measure(root: Path) -> tuple[ResultTable, dict[str, float]]:
+    _run(root)  # warm imports / first-use costs
+
+    cold_dir = root / "cold"
+    warm_dir = root / "warm"
+    _run(root, disk=warm_dir)  # populate the warm tier
+
+    variants = {
+        "plain (memory cache)": lambda: _run(root),
+        "journal": lambda: _run(root, journal=True),
+        "disk cache (cold)": lambda: _run(
+            root, disk=cold_dir / str(next(_fresh))
+        ),
+        "disk cache (warm)": lambda: _run(
+            root, disk=warm_dir
+        ),
+        "journal + disk (cold)": lambda: _run(
+            root, journal=True,
+            disk=cold_dir / str(next(_fresh)),
+        ),
+    }
+
+    seconds: dict[str, float] = {}
+    values = None
+    for name, fn in variants.items():
+        batch, best = _best_of(fn)
+        seconds[name] = best
+        if values is None:
+            values = batch.values
+        assert batch.values == values, (
+            f"{name}: durability changed an answer"
+        )
+
+    items = len(ranking_batch())
+    baseline = seconds["plain (memory cache)"]
+    table = ResultTable(
+        f"durability overhead, {items}-item answer-ranking batch "
+        f"(epsilon={EPSILON}, workers={WORKERS}, best of {REPEATS})",
+        ["variant", "wall s", "overhead"],
+    )
+    for name, wall in seconds.items():
+        overhead = (
+            "-" if name == "plain (memory cache)"
+            else f"{(wall - baseline) / baseline:+.1%}"
+        )
+        table.add_row([name, wall, overhead])
+    return table, seconds
+
+
+def test_durable_stack_overhead_under_ten_percent(tmp_path):
+    """The guard from ISSUE 4: journal + disk cache below 10%."""
+    _, seconds = measure(tmp_path)
+    baseline = seconds["plain (memory cache)"]
+    durable = seconds["journal + disk (cold)"]
+    assert durable <= baseline * 1.10, (
+        f"durable stack cost {durable:.3f}s vs {baseline:.3f}s plain "
+        f"({(durable - baseline) / baseline:+.1%}, bound +10.0%)"
+    )
+
+
+def test_durability_never_changes_answers(tmp_path):
+    plain = _run(tmp_path)
+    durable = _run(
+        tmp_path, journal=True,
+        disk=tmp_path / "disk",
+    )
+    assert durable.values == plain.values
+    assert [r.seed for r in durable.results] == [
+        r.seed for r in plain.results
+    ]
+
+
+if __name__ == "__main__":
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as root:
+        table, _ = measure(Path(root))
+        table.print()

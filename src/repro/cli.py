@@ -17,6 +17,10 @@ Usage::
     repro eval --data facts.csv --batch batch.json --workers 8 --seed 7
     repro eval --data facts.csv --batch batch.json --profile \
         --metrics-out trace.jsonl
+    repro eval --data facts.csv --batch batch.json --seed 7 \
+        --isolation process --journal batch.wal
+    repro eval --data facts.csv --batch batch.json --seed 7 \
+        --journal batch.wal --resume
     repro trace-summary trace.jsonl
 
 The optional leading ``eval`` subcommand is accepted (and implied) for
@@ -41,12 +45,15 @@ import json
 import sys
 from typing import Iterable, TextIO
 
+from fractions import Fraction
+
 from repro.core.budget import EvaluationBudget
+from repro.core.cache import ReductionCache
 from repro.core.estimator import PQEEngine
 from repro.core.parallel import BatchError, BatchItem
 from repro.db.fact import Fact
 from repro.db.probabilistic import ProbabilisticDatabase
-from repro.errors import ReproError
+from repro.errors import ContextualError, ReproError
 from repro.obs.export import (
     read_trace,
     summarize_trace,
@@ -65,12 +72,19 @@ EXIT_PARTIAL = 3
 EXIT_ALL_FAILED = 4
 
 
-def load_facts_csv(stream: TextIO) -> ProbabilisticDatabase:
+def load_facts_csv(
+    stream: TextIO, source: str | None = None
+) -> ProbabilisticDatabase:
     """Parse the fact CSV format described in the module docstring.
 
     Blank lines and lines starting with ``#`` are skipped.  A header
-    row reading ``relation,probability,...`` is also skipped.
+    row reading ``relation,probability,...`` is also skipped.  A
+    malformed row raises :class:`~repro.errors.ContextualError` naming
+    the ``source`` file and the offending row.
     """
+    if source is None:
+        name = getattr(stream, "name", None)
+        source = name if isinstance(name, str) else "<csv>"
     labels: dict[Fact, str] = {}
     reader = csv.reader(
         line for line in stream
@@ -80,50 +94,79 @@ def load_facts_csv(stream: TextIO) -> ProbabilisticDatabase:
         if row_number == 1 and row[0].strip().lower() == "relation":
             continue
         if len(row) < 3:
-            raise ReproError(
-                f"CSV row {row_number}: need relation,probability,"
-                f"constants..., got {row!r}"
+            raise ContextualError(
+                f"{source}: row {row_number}: need relation,probability,"
+                f"constants..., got {row!r}",
+                phase="io.load",
             )
         relation = row[0].strip()
         probability = row[1].strip()
+        try:
+            Fraction(probability)
+        except (ValueError, ZeroDivisionError) as failure:
+            raise ContextualError(
+                f"{source}: row {row_number}: invalid probability "
+                f"{probability!r} (expected a rational like '1/2')",
+                phase="io.load",
+            ) from failure
         constants = tuple(value.strip() for value in row[2:])
         fact = Fact(relation, constants)
         if fact in labels:
-            raise ReproError(f"CSV row {row_number}: duplicate fact {fact}")
+            raise ContextualError(
+                f"{source}: row {row_number}: duplicate fact {fact}",
+                phase="io.load",
+            )
         labels[fact] = probability
     if not labels:
-        raise ReproError("no facts found in CSV input")
+        raise ContextualError(
+            f"{source}: no facts found in CSV input", phase="io.load"
+        )
     return ProbabilisticDatabase(labels)
 
 
 def load_batch_file(
-    stream: TextIO, pdb: ProbabilisticDatabase
+    stream: TextIO, pdb: ProbabilisticDatabase, source: str | None = None
 ) -> list[BatchItem]:
     """Parse the JSON batch format into :class:`BatchItem` objects.
 
     Entries are query strings (task 'probability', method 'auto') or
     objects with a required ``query`` and optional ``method``/``task``.
     Reliability items run against the CSV's underlying instance.
+    Malformed entries raise :class:`~repro.errors.ContextualError`
+    naming the ``source`` file and the entry index.
     """
+    if source is None:
+        name = getattr(stream, "name", None)
+        source = name if isinstance(name, str) else "<batch>"
     try:
         payload = json.load(stream)
     except json.JSONDecodeError as failure:
-        raise ReproError(f"batch file is not valid JSON: {failure}")
+        raise ContextualError(
+            f"{source}: batch file is not valid JSON: {failure}",
+            phase="io.load",
+        )
     if not isinstance(payload, list) or not payload:
-        raise ReproError("batch file must be a non-empty JSON list")
+        raise ContextualError(
+            f"{source}: batch file must be a non-empty JSON list",
+            phase="io.load",
+        )
     items: list[BatchItem] = []
     for index, entry in enumerate(payload):
         if isinstance(entry, str):
             entry = {"query": entry}
         if not isinstance(entry, dict) or "query" not in entry:
-            raise ReproError(
-                f"batch entry {index}: expected a query string or an "
-                f"object with a 'query' field, got {entry!r}"
+            raise ContextualError(
+                f"{source}: batch entry {index}: expected a query "
+                f"string or an object with a 'query' field, got "
+                f"{entry!r}",
+                phase="io.load",
             )
         unknown = set(entry) - {"query", "method", "task"}
         if unknown:
-            raise ReproError(
-                f"batch entry {index}: unknown fields {sorted(unknown)}"
+            raise ContextualError(
+                f"{source}: batch entry {index}: unknown fields "
+                f"{sorted(unknown)}",
+                phase="io.load",
             )
         query = parse_query(entry["query"])
         task = entry.get("task", "probability")
@@ -284,6 +327,7 @@ def _batch_payload(args, items, batch) -> dict:
             "ok": result.ok,
             "elapsed": result.elapsed,
             "retries": result.retries,
+            "replayed": result.replayed,
         }
         if result.ok:
             answer = result.answer
@@ -323,22 +367,32 @@ def _batch_payload(args, items, batch) -> dict:
 
 def _run_batch(args, pdb: ProbabilisticDatabase) -> int:
     with open(args.batch, encoding="utf-8") as stream:
-        items = load_batch_file(stream, pdb)
+        items = load_batch_file(stream, pdb, source=args.batch)
     engine = PQEEngine(
         epsilon=args.epsilon,
         seed=args.seed,
         repetitions=args.repetitions,
     )
+    cache = None
+    if args.cache_dir:
+        from repro.core.diskcache import DiskCache
+
+        cache = ReductionCache(disk=DiskCache(args.cache_dir))
     profiled = bool(args.profile or args.metrics_out)
     try:
         batch = engine.evaluate_batch(
             items,
             max_workers=args.workers,
             seed=args.seed,
+            cache=cache,
             timeout=args.timeout,
             max_retries=args.max_retries,
             on_error=args.on_error,
             telemetry=profiled,
+            isolation=args.isolation,
+            memory_limit=args.memory_limit,
+            journal=args.journal,
+            resume=args.resume,
         )
     except BatchError as failure:
         # on_error='fail': the exception still carries every completed
@@ -379,6 +433,12 @@ def _run_batch(args, pdb: ProbabilisticDatabase) -> int:
         f"batch:   {len(batch)} items, {batch.max_workers} workers, "
         f"seed {args.seed}"
     )
+    replayed = sum(1 for result in batch.results if result.replayed)
+    if replayed:
+        print(
+            f"resumed: {replayed} of {len(batch)} items replayed from "
+            f"{args.journal}"
+        )
     for item, result in zip(items, batch.results):
         label = "UR" if item.task == "reliability" else "Pr"
         if result.ok:
@@ -412,6 +472,60 @@ def _run_batch(args, pdb: ProbabilisticDatabase) -> int:
     return _batch_exit_code(batch)
 
 
+# Argument validators: malformed numeric flags are *usage* errors and
+# must exit with argparse's code 2 before any evaluation starts, not
+# surface later as an engine exception with exit code 1.
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        )
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}"
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}"
+        )
+    if value <= 0 or value != value:  # rejects 0, negatives and NaN
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text}"
+        )
+    return value
+
+
+def _epsilon(text: str) -> float:
+    value = _positive_float(text)
+    if value >= 1:
+        raise argparse.ArgumentTypeError(
+            f"epsilon must be in (0, 1), got {text}"
+        )
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -438,10 +552,42 @@ def _build_parser() -> argparse.ArgumentParser:
              "through a shared reduction cache",
     )
     parser.add_argument(
-        "--workers", type=int, default=None,
+        "--workers", type=_positive_int, default=None,
         help="worker-pool width for --batch (default: one per item, "
              "capped at the CPU count); results are identical for any "
              "width under a fixed --seed",
+    )
+    parser.add_argument(
+        "--isolation", default="thread", choices=["thread", "process"],
+        help="batch execution backend: 'process' contains worker "
+             "crashes (segfault, OOM kill, SIGKILL) as structured "
+             "error records while the batch continues (see "
+             "docs/durability.md)",
+    )
+    parser.add_argument(
+        "--memory-limit", type=_positive_int, default=None,
+        metavar="BYTES",
+        help="per-worker address-space cap for --isolation process; a "
+             "worker that outgrows it records a MemoryError instead of "
+             "being OOM-killed",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="append an fsync'd completion record per batch item to "
+             "FILE; an interrupted batch can then be resumed with "
+             "--resume (see docs/durability.md)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay the --journal's verified prefix and evaluate only "
+             "the remaining items; the resumed result is bitwise-"
+             "identical to an uninterrupted run",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="durable reduction-cache directory shared across runs and "
+             "processes; corrupt records are quarantined and rebuilt, "
+             "never served",
     )
     parser.add_argument(
         "--method",
@@ -453,23 +599,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="evaluation method (default: auto routing)",
     )
     parser.add_argument(
-        "--epsilon", type=float, default=0.25,
-        help="target relative error for randomized methods",
+        "--epsilon", type=_epsilon, default=0.25,
+        help="target relative error for randomized methods, in (0, 1)",
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="random seed"
     )
     parser.add_argument(
-        "--repetitions", type=int, default=1,
+        "--repetitions", type=_positive_int, default=1,
         help="median-of-k amplification for randomized methods",
     )
     parser.add_argument(
-        "--timeout", type=float, default=None, metavar="SECONDS",
+        "--timeout", type=_positive_float, default=None, metavar="SECONDS",
         help="wall-clock deadline per evaluation (per item for --batch), "
              "enforced at cooperative checkpoints",
     )
     parser.add_argument(
-        "--max-retries", type=int, default=0, metavar="N",
+        "--max-retries", type=_nonnegative_int, default=0, metavar="N",
         help="retries per batch item for transient estimation failures, "
              "each on a deterministically derived seed",
     )
@@ -515,18 +661,38 @@ def main(argv: Iterable[str] | None = None) -> int:
         # ``repro eval …`` — the (only) subcommand, accepted for the
         # batch-serving form; single-query flags work under it too.
         arguments = arguments[1:]
-    args = _build_parser().parse_args(arguments)
+    parser = _build_parser()
+    args = parser.parse_args(arguments)
+    # Flag-combination errors are usage errors too: report via the
+    # parser (exit code 2) before touching any file.
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal FILE")
+    if args.memory_limit is not None and args.isolation != "process":
+        parser.error("--memory-limit requires --isolation process")
+    batch_only = {
+        "--journal": args.journal,
+        "--resume": args.resume,
+        "--cache-dir": args.cache_dir,
+        "--memory-limit": args.memory_limit,
+    }
+    if not args.batch:
+        for flag, value in batch_only.items():
+            if value:
+                parser.error(f"{flag} only applies to --batch runs")
+        if args.isolation != "thread":
+            parser.error("--isolation only applies to --batch runs")
     try:
         with open(args.data, encoding="utf-8") as stream:
-            pdb = load_facts_csv(stream)
+            pdb = load_facts_csv(stream, source=args.data)
         if args.batch:
             return _run_batch(args, pdb)
         if args.query_file:
+            from repro.io import load_query
+
             with open(args.query_file, encoding="utf-8") as stream:
-                query_text = stream.read()
+                query = load_query(stream, source=args.query_file)
         else:
-            query_text = args.query
-        query = parse_query(query_text)
+            query = parse_query(args.query)
 
         engine = PQEEngine(
             epsilon=args.epsilon,

@@ -104,12 +104,24 @@ class ReductionCache:
         Entry budget before least-recently-used eviction; ``None`` means
         unbounded.  Reductions for small instances are a few kilobytes,
         so the default comfortably covers a serving workload's hot set.
+    disk:
+        Optional :class:`~repro.core.diskcache.DiskCache` durable tier.
+        A memory miss consults the disk before running the builder (a
+        disk hit still counts as a memory ``miss`` — the hit/miss
+        counters keep their request-multiset semantics — plus a
+        ``diskcache.hits`` telemetry increment), and every value this
+        cache decides to store is written through, so reductions survive
+        process restarts.  Values rejected by ``cache_if`` (seed-
+        dependent sampled counts) are never written to disk either.
     """
 
-    def __init__(self, maxsize: int | None = 128):
+    def __init__(
+        self, maxsize: int | None = 128, disk: "object | None" = None
+    ):
         if maxsize is not None and maxsize < 1:
             raise ReproError(f"cache maxsize must be >= 1, got {maxsize}")
         self._maxsize = maxsize
+        self._disk = disk
         self._lock = threading.Lock()
         self._entries: OrderedDict[Key, object] = OrderedDict()
         self._inflight: dict[Key, _InFlight] = {}
@@ -168,18 +180,29 @@ class ReductionCache:
                 metric_inc("cache.inflight_waits")
                 pending.event.wait()
                 continue
-            build_started = time.perf_counter()
-            try:
-                value = builder()
-            except BaseException:
-                with self._lock:
-                    del self._inflight[key]
-                pending.event.set()
-                raise
-            metric_observe(
-                "cache.build_seconds", time.perf_counter() - build_started
-            )
+            durable = False
+            if self._disk is not None:
+                # Durable tier: corrupt records quarantine inside
+                # ``load`` and surface here as a plain miss.
+                sentinel = object()
+                value = self._disk.load(key, sentinel)
+                durable = value is not sentinel
+            if not durable:
+                build_started = time.perf_counter()
+                try:
+                    value = builder()
+                except BaseException:
+                    with self._lock:
+                        del self._inflight[key]
+                    pending.event.set()
+                    raise
+                metric_observe(
+                    "cache.build_seconds",
+                    time.perf_counter() - build_started,
+                )
             store = cache_if is None or cache_if(value)
+            if store and self._disk is not None and not durable:
+                self._disk.store(key, value)
             with self._lock:
                 self._misses += 1
                 metric_inc("cache.misses")
@@ -206,6 +229,11 @@ class ReductionCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    @property
+    def disk(self):
+        """The durable tier, or ``None`` (memory-only cache)."""
+        return self._disk
 
     @property
     def stats(self) -> CacheStats:

@@ -1,0 +1,237 @@
+"""Durable on-disk cache tier: checksummed, atomic, quarantine-on-corrupt.
+
+The in-memory :class:`~repro.core.cache.ReductionCache` dies with its
+process, so every service restart rebuilds the Proposition 1 /
+Theorem 1 reductions — the dominant cost that PR 1's shared cache
+exists to amortise.  :class:`DiskCache` is the tier behind it: values
+the memory cache would store (deterministic builds and *exact* count
+results only; sampled counts are never cached at either tier) are
+written through to disk, and a memory miss consults the disk before
+running the builder.
+
+Record layout (one file per key, named by the key's SHA-256)::
+
+    offset  size  field
+    0       5     magic  b"RPDC" + format version byte
+    5       32    SHA-256 of the payload
+    37      8     payload length, big-endian
+    45      n     payload = pickle((key, value))
+
+Integrity contract — the corruption acceptance test in
+``tests/test_chaos.py`` flips single bits and truncates records at
+every boundary:
+
+- **atomic visibility**: records are written to a same-directory
+  temporary file and published with ``os.replace``, so a reader (in
+  this or any other process) sees a complete record or no record;
+- **verify everything on read**: magic, version, declared length,
+  checksum, unpickled key equality.  Any mismatch — a bit flip, a
+  truncation, a record from a newer format version, a key collision —
+  **quarantines** the file (moved into ``quarantine/``, with a
+  :class:`DiskCacheWarning`) and reports a miss.  Corruption is never
+  an exception and never a wrong value: the caller simply rebuilds.
+- **cross-process locking**: writers serialise on a ``.lock`` file via
+  ``fcntl.flock`` where available (no-op elsewhere), so two processes
+  populating one cache directory do not interleave quarantine moves.
+
+Counters (active telemetry only): ``diskcache.hits`` / ``.misses`` /
+``.writes`` / ``.quarantines`` / ``.unpicklable``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import pickle
+import tempfile
+import warnings
+from pathlib import Path
+
+try:  # Linux/macOS; the lock degrades to a no-op elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+from repro.errors import DiskCacheError
+from repro.obs import metric_inc
+
+__all__ = ["DISK_FORMAT_VERSION", "DiskCache", "DiskCacheWarning"]
+
+DISK_FORMAT_VERSION = 1
+_MAGIC = b"RPDC"
+_HEADER = len(_MAGIC) + 1 + 32 + 8
+
+
+class DiskCacheWarning(UserWarning):
+    """A corrupt or incompatible cache record was quarantined."""
+
+
+def _key_digest(key) -> str:
+    return hashlib.sha256(repr(key).encode()).hexdigest()
+
+
+class DiskCache:
+    """A directory of checksummed, atomically-written cache records.
+
+    Parameters
+    ----------
+    path:
+        Cache directory; created (with its ``quarantine/`` subdirectory)
+        on first use.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._quarantine = self.path / "quarantine"
+        try:
+            self._quarantine.mkdir(parents=True, exist_ok=True)
+        except OSError as failure:
+            raise DiskCacheError(
+                f"cannot create disk cache directory {self.path}: "
+                f"{failure}",
+                phase="diskcache.init",
+            ) from failure
+        self._lockfile = self.path / ".lock"
+
+    # -- locking --------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _locked(self):
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        with open(self._lockfile, "a+b") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    # -- paths ----------------------------------------------------------
+
+    def record_path(self, key) -> Path:
+        return self.path / f"{_key_digest(key)}.rpdc"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.path.glob("*.rpdc"))
+
+    # -- write ----------------------------------------------------------
+
+    def store(self, key, value) -> bool:
+        """Write ``(key, value)`` durably; False when unpicklable.
+
+        The record is staged in a same-directory temporary file, fsync'd
+        and published with an atomic ``os.replace`` — a crash mid-write
+        leaves either the previous record or a stray ``.tmp`` file,
+        never a torn visible record.
+        """
+        try:
+            payload = pickle.dumps((key, value), pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            # Cacheable-in-memory values are not all serialisable;
+            # callers lose durability for this key, nothing else.
+            metric_inc("diskcache.unpicklable")
+            return False
+        record = (
+            _MAGIC
+            + bytes([DISK_FORMAT_VERSION])
+            + hashlib.sha256(payload).digest()
+            + len(payload).to_bytes(8, "big")
+            + payload
+        )
+        target = self.record_path(key)
+        with self._locked():
+            handle, staging = tempfile.mkstemp(
+                dir=self.path, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(handle, "wb") as stream:
+                    stream.write(record)
+                    stream.flush()
+                    os.fsync(stream.fileno())
+                os.replace(staging, target)
+            except OSError:
+                with contextlib.suppress(OSError):
+                    os.unlink(staging)
+                return False
+        metric_inc("diskcache.writes")
+        return True
+
+    # -- read -----------------------------------------------------------
+
+    def load(self, key, default=None):
+        """Return the stored value for ``key``, or ``default``.
+
+        Every verification failure quarantines the record and returns
+        ``default`` — the durable tier never raises on corrupt data.
+        """
+        target = self.record_path(key)
+        try:
+            with open(target, "rb") as stream:
+                blob = stream.read()
+        except FileNotFoundError:
+            metric_inc("diskcache.misses")
+            return default
+        except OSError:
+            metric_inc("diskcache.misses")
+            return default
+        reason = None
+        value = default
+        if len(blob) < _HEADER or blob[:4] != _MAGIC:
+            reason = "not a cache record"
+        elif blob[4] != DISK_FORMAT_VERSION:
+            reason = f"format version {blob[4]} != {DISK_FORMAT_VERSION}"
+        else:
+            checksum = blob[5:37]
+            length = int.from_bytes(blob[37:45], "big")
+            payload = blob[45:]
+            if len(payload) != length:
+                reason = "truncated payload"
+            elif hashlib.sha256(payload).digest() != checksum:
+                reason = "checksum mismatch"
+            else:
+                try:
+                    stored_key, value = pickle.loads(payload)
+                except Exception:
+                    reason = "unreadable payload"
+                else:
+                    if stored_key != key:
+                        reason = "key mismatch"
+                        value = default
+        if reason is not None:
+            self._quarantine_record(target, reason)
+            metric_inc("diskcache.misses")
+            return default
+        metric_inc("diskcache.hits")
+        return value
+
+    def _quarantine_record(self, target: Path, reason: str) -> None:
+        destination = self._quarantine / target.name
+        with self._locked():
+            with contextlib.suppress(OSError):
+                os.replace(target, destination)
+        metric_inc("diskcache.quarantines")
+        warnings.warn(
+            f"disk cache {self.path}: quarantined {target.name} "
+            f"({reason}); the value will be rebuilt",
+            DiskCacheWarning,
+            stacklevel=3,
+        )
+
+    def quarantined(self) -> list[Path]:
+        """Records moved aside by integrity failures (for inspection)."""
+        return sorted(self._quarantine.glob("*.rpdc"))
+
+    def clear(self) -> None:
+        """Drop every record (quarantine included)."""
+        with self._locked():
+            for record in self.path.glob("*.rpdc"):
+                with contextlib.suppress(OSError):
+                    record.unlink()
+            for record in self._quarantine.glob("*.rpdc"):
+                with contextlib.suppress(OSError):
+                    record.unlink()
+
+    def __repr__(self) -> str:
+        return f"DiskCache(path={str(self.path)!r}, entries={len(self)})"

@@ -533,6 +533,10 @@ class PQEEngine:
         on_error: str = "fail",
         policy=None,
         telemetry: bool = False,
+        isolation: str = "thread",
+        memory_limit: int | None = None,
+        journal=None,
+        resume: bool = False,
     ):
         """Evaluate many ``(query, database)`` items through one shared
         reduction cache and a worker pool.
@@ -554,6 +558,13 @@ class PQEEngine:
         ``telemetry=True`` records spans and metrics per item — attached
         to each answer/error — and merges them (in item-index order, so
         deterministically) into ``BatchResult.telemetry``.
+
+        ``isolation='process'`` runs items in supervised subprocess
+        workers (optionally capped at ``memory_limit`` bytes each) so
+        hard crashes become structured error records; ``journal=FILE``
+        appends fsync'd completion records that :meth:`resume_batch`
+        can replay.  See the durability contract in
+        :mod:`repro.core.parallel` and ``docs/durability.md``.
         """
         from repro.core.parallel import evaluate_batch
 
@@ -569,4 +580,26 @@ class PQEEngine:
             on_error=on_error,
             policy=policy,
             telemetry=telemetry,
+            isolation=isolation,
+            memory_limit=memory_limit,
+            journal=journal,
+            resume=resume,
+        )
+
+    def resume_batch(self, items, *, journal, **options):
+        """Resume an interrupted batch from its write-ahead journal.
+
+        Replays the journal's verified prefix — completed items are
+        restored bitwise and marked ``replayed=True`` — and evaluates
+        only the missing or previously failed remainder, appending the
+        new completions to the same journal.  ``items`` and the keyword
+        options must describe the same batch as the original run (the
+        journal's header fingerprint is checked; a mismatch raises
+        :class:`~repro.errors.JournalError` rather than replaying
+        answers across batch definitions).  The result's answers, seeds
+        and merged replay-stable deterministic counters are identical
+        to an uninterrupted run's.
+        """
+        return self.evaluate_batch(
+            items, journal=journal, resume=True, **options
         )

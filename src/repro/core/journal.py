@@ -1,0 +1,336 @@
+"""Append-only batch journals: crash-safe completion records + resume.
+
+A batch killed at item *k* — worker segfault, OOM kill, operator
+``SIGKILL``, host restart — used to discard every completed sibling.
+:class:`BatchJournal` is the write-ahead log that prevents that: the
+batch evaluator appends one fsync'd JSONL record per settled item, and
+:meth:`PQEEngine.resume_batch <repro.core.estimator.PQEEngine.resume_batch>`
+(CLI ``repro eval --batch … --journal FILE --resume``) replays the
+journal's valid prefix and computes only the remainder.
+
+Record format (one JSON object per line)::
+
+    {"type": "header", "version": 1, "fingerprint": "<sha256>",
+     "seed": 7, "items": 16, "checksum": "<sha256>"}
+    {"type": "item", "index": 3, "ok": true, "seed": 1234,
+     "elapsed": 0.0021, "retries": 0,
+     "answer": {"value": 0.5, "method": "fpras", "exact": false,
+                "rational": null, "degradations": []},
+     "counters": {"karp_luby.samples": 96, ...} | null,
+     "checksum": "<sha256>"}
+    {"type": "item", "index": 5, "ok": false, ...,
+     "error": {"exception": "EstimationError", "message": "...",
+               "phase": "counting.nfta", "retries": 1}, ...}
+
+Every record carries a ``checksum``: the SHA-256 hex digest of its own
+canonical JSON serialisation (sorted keys, compact separators) with the
+``checksum`` field removed.  :func:`load_journal` accepts the longest
+prefix of structurally valid, checksum-verified records and
+**quarantines the tail** — a torn final line from a crash mid-``write``,
+a bit-flipped byte, or trailing garbage produces a
+:class:`JournalWarning` naming the file and line, never an exception
+and never a wrong probability (quarantined items are simply
+recomputed).
+
+Exactness across the round trip: probabilities are stored as JSON
+floats (Python's ``repr``-based float serialisation is shortest-round-
+trip exact) plus the exact ``Fraction`` as a ``"num/den"`` string when
+present, so a replayed :class:`~repro.core.estimator.PQEAnswer` is
+bitwise-identical to the recorded one.  ``counters`` holds the item's
+*replay-stable* deterministic counters (see
+:data:`repro.obs.metrics.REPLAY_SENSITIVE_PREFIXES`), so a resumed
+batch's merged deterministic telemetry matches an uninterrupted run's.
+
+Fingerprints bind a journal to one logical batch: SHA-256 over the
+batch seed, the engine's routing-relevant configuration, and every
+item's ``(task, method, query token, database token)``.  Resuming
+against a journal whose fingerprint differs raises
+:class:`~repro.errors.JournalError` — replaying answers computed for
+different items or a different ε would be silent corruption.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import threading
+import warnings
+from fractions import Fraction
+from pathlib import Path
+
+from repro.errors import JournalError
+from repro.obs import metric_inc
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "BatchJournal",
+    "JournalWarning",
+    "batch_fingerprint",
+    "load_journal",
+]
+
+JOURNAL_VERSION = 1
+
+
+class JournalWarning(UserWarning):
+    """A journal's tail was quarantined (torn, truncated, corrupt)."""
+
+
+def _checksummed(record: dict) -> dict:
+    """Return ``record`` with its ``checksum`` field filled in."""
+    body = {k: v for k, v in record.items() if k != "checksum"}
+    digest = hashlib.sha256(
+        json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+    body["checksum"] = digest
+    return body
+
+
+def _verify(record: dict) -> bool:
+    if not isinstance(record, dict) or "checksum" not in record:
+        return False
+    return _checksummed(record)["checksum"] == record["checksum"]
+
+
+def batch_fingerprint(items, seed, engine) -> str:
+    """The digest binding a journal to one (items, seed, engine) batch.
+
+    Covers everything that changes answers: per-item task/method and
+    the canonical ``cache_token`` digests of query and database, the
+    batch seed, and the engine knobs that steer routing and sampling.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"repro-journal:{JOURNAL_VERSION}:{seed}:"
+        f"{engine.epsilon!r}:{engine.repetitions}:"
+        f"{engine.lineage_budget}:{engine.exact_set_cap}".encode()
+    )
+    for item in items:
+        digest.update(
+            f"|{item.task}:{item.method}:{item.query.cache_token}:"
+            f"{item.database.cache_token}".encode()
+        )
+    return digest.hexdigest()
+
+
+def _answer_payload(answer) -> dict:
+    rational = answer.rational
+    return {
+        "value": answer.value,
+        "method": answer.method,
+        "exact": answer.exact,
+        "rational": str(rational) if rational is not None else None,
+        "degradations": list(answer.degradations),
+        "retries": answer.retries,
+    }
+
+
+def _restore_answer(payload: dict):
+    from repro.core.estimator import PQEAnswer
+
+    rational = payload.get("rational")
+    return PQEAnswer(
+        value=payload["value"],
+        method=payload["method"],
+        exact=payload["exact"],
+        rational=Fraction(rational) if rational is not None else None,
+        degradations=tuple(payload.get("degradations", ())),
+        retries=payload.get("retries", 0),
+    )
+
+
+def _error_payload(error) -> dict:
+    return {
+        "exception": error.exception,
+        "message": error.message,
+        "phase": error.phase,
+        "elapsed": error.elapsed,
+        "retries": error.retries,
+        "degradations": list(error.degradations),
+    }
+
+
+class BatchJournal:
+    """One batch's write-ahead journal, open for appending.
+
+    Appends are serialised under a lock (worker threads record their
+    own completions) and each record is flushed and ``fsync``'d before
+    the append returns — after a crash the journal holds every item
+    whose completion the evaluator observed, missing at most the one
+    in-flight line (which the loader then quarantines).
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._stream: io.TextIOWrapper | None = None
+
+    # -- writing --------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        line = json.dumps(
+            _checksummed(record), sort_keys=True, separators=(",", ":")
+        )
+        with self._lock:
+            if self._stream is None:
+                self._stream = open(self.path, "a", encoding="utf-8")
+            self._stream.write(line + "\n")
+            self._stream.flush()
+            os.fsync(self._stream.fileno())
+        metric_inc("journal.appends")
+
+    def write_header(self, fingerprint: str, seed, items: int) -> None:
+        self._append(
+            {
+                "type": "header",
+                "version": JOURNAL_VERSION,
+                "fingerprint": fingerprint,
+                "seed": seed,
+                "items": items,
+            }
+        )
+
+    def record_item(self, result, counters: dict | None = None) -> None:
+        """Append one settled :class:`BatchItemResult` (success or
+        structured error)."""
+        record = {
+            "type": "item",
+            "index": result.index,
+            "ok": result.ok,
+            "seed": result.seed,
+            "elapsed": result.elapsed,
+            "retries": result.retries,
+            "counters": counters,
+        }
+        if result.ok:
+            record["answer"] = _answer_payload(result.answer)
+        else:
+            record["error"] = _error_payload(result.error)
+        self._append(record)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._stream is not None:
+                self._stream.close()
+                self._stream = None
+
+    def __enter__(self) -> "BatchJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class LoadedJournal:
+    """The verified prefix of a journal file.
+
+    ``header`` is the header record (``None`` for an empty/absent
+    file); ``items`` maps item index to its **latest** verified item
+    record (a resumed run re-records items it recomputes, and the newer
+    record wins); ``quarantined`` counts discarded lines.
+    """
+
+    def __init__(self, header, items, quarantined):
+        self.header = header
+        self.items = items
+        self.quarantined = quarantined
+
+    def completed(self) -> dict[int, dict]:
+        """Index → record for items that completed successfully.  Only
+        these are replayed: error records (a crashed worker, an
+        exhausted budget) are recomputed on resume — that is the point
+        of resuming."""
+        return {
+            index: record
+            for index, record in self.items.items()
+            if record["ok"]
+        }
+
+    def restore_result(self, index: int):
+        """Rebuild the :class:`BatchItemResult` for a completed item."""
+        from repro.core.parallel import BatchItemResult
+
+        record = self.items[index]
+        return BatchItemResult(
+            index=index,
+            answer=_restore_answer(record["answer"]),
+            seed=record["seed"],
+            elapsed=record["elapsed"],
+            retries=record["retries"],
+            replayed=True,
+        )
+
+    def counters(self, index: int) -> dict | None:
+        return self.items[index].get("counters")
+
+
+def load_journal(path: str | Path) -> LoadedJournal:
+    """Read a journal, keeping the longest valid prefix.
+
+    A structurally invalid line — unparseable JSON, a failed checksum,
+    an unknown record type, a missing field — quarantines that line
+    **and everything after it** (a torn tail means later bytes cannot
+    be trusted), with a :class:`JournalWarning` naming the file and
+    line number.  Missing files load as empty journals.
+    """
+    path = Path(path)
+    header = None
+    items: dict[int, dict] = {}
+    quarantined = 0
+    if not path.exists():
+        return LoadedJournal(header, items, quarantined)
+    with open(path, encoding="utf-8") as stream:
+        lines = stream.read().splitlines()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            record = None
+        ok = (
+            record is not None
+            and _verify(record)
+            and record.get("type") in ("header", "item")
+        )
+        if ok and record["type"] == "item":
+            ok = isinstance(record.get("index"), int) and (
+                "answer" in record
+                if record.get("ok")
+                else "error" in record
+            )
+        if ok and record["type"] == "header":
+            ok = record.get("version") == JOURNAL_VERSION
+        if not ok:
+            quarantined = len(lines) - number + 1
+            warnings.warn(
+                f"journal {path}: quarantined line {number} and the "
+                f"{quarantined - 1} line(s) after it (torn or corrupt "
+                f"tail); the affected items will be recomputed",
+                JournalWarning,
+                stacklevel=2,
+            )
+            metric_inc("journal.quarantines")
+            break
+        if record["type"] == "header":
+            if header is None:
+                header = record
+        else:
+            items[record["index"]] = record
+    return LoadedJournal(header, items, quarantined)
+
+
+def check_fingerprint(loaded: LoadedJournal, fingerprint: str, path) -> None:
+    """Refuse to replay a journal recorded for a different batch."""
+    if loaded.header is None:
+        return
+    recorded = loaded.header.get("fingerprint")
+    if recorded != fingerprint:
+        raise JournalError(
+            f"journal {path} was recorded for a different batch "
+            f"(fingerprint {recorded!r:.20} != {fingerprint!r:.20}); "
+            f"refusing to replay answers across batch definitions",
+            phase="journal.resume",
+        )

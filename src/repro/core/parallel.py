@@ -64,6 +64,35 @@ Fault isolation contract
 across its retries and degradation rungs — so a stalled item cannot
 overrun it by more than the checkpoint granularity.  ``max_retries``
 bounds deterministic retry of transient estimation failures.
+
+Durability contract
+-------------------
+Two orthogonal extensions harden a batch against failures the thread
+pool cannot contain:
+
+``isolation='process'``
+    Items run in subprocess workers supervised by
+    :mod:`repro.core.procpool`: a worker that dies without reporting —
+    segfault, OOM kill, ``SIGKILL``, hard watchdog timeout — becomes a
+    structured :class:`BatchItemError` carrying
+    :class:`~repro.errors.WorkerCrashError`, and the batch continues
+    under the same ``on_error`` semantics.  Answers and seeds are
+    bitwise-identical to the thread backend (same
+    :func:`derive_item_seed` streams, same routing); only cache
+    *traffic* differs, because each worker process owns a private
+    reduction cache (share a durable
+    :class:`~repro.core.diskcache.DiskCache` tier to win the reuse
+    back).
+
+``journal=FILE`` (+ ``resume=True``)
+    Every settled item is appended to an fsync'd
+    :class:`~repro.core.journal.BatchJournal` before the batch moves
+    on.  A rerun with ``resume=True`` replays the journal's verified
+    prefix — completed answers are restored bitwise, error records are
+    recomputed — and evaluates only the remainder, producing a
+    :class:`BatchResult` whose answers, seeds and merged replay-stable
+    deterministic counters are identical to an uninterrupted run
+    (asserted at workers 1 and 4 in ``tests/test_chaos.py``).
 """
 
 from __future__ import annotations
@@ -101,12 +130,14 @@ __all__ = [
     "BatchItemError",
     "BatchItemResult",
     "BatchResult",
+    "ItemRunner",
     "derive_item_seed",
     "evaluate_batch",
 ]
 
 _TASKS = ("probability", "reliability")
 _ON_ERROR = ("fail", "skip", "degrade")
+_ISOLATION = ("thread", "process")
 
 
 def derive_item_seed(seed: int | None, index: int) -> int | None:
@@ -197,6 +228,10 @@ class BatchItemResult:
     elapsed: float               # worker wall seconds for this item
     error: BatchItemError | None = None
     retries: int = 0
+    #: True when this result was restored from a batch journal rather
+    #: than computed in this run.  Excluded from equality: a replayed
+    #: answer is the recorded answer.
+    replayed: bool = field(default=False, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -333,6 +368,184 @@ def _error_record(
     )
 
 
+class ItemRunner:
+    """Runs single batch items per the module contract.
+
+    The one piece both execution backends share: the thread backend
+    calls :meth:`run` from pool threads, the process backend
+    (:mod:`repro.core.procpool`) forks workers that call it in their own
+    process.  Everything an item needs — engine, coerced batch, derived
+    seeds, budget, retry/degradation policy, shared cache, telemetry
+    flag — is captured at construction, so ``run(index)`` is
+    self-contained and scheduling-independent.
+    """
+
+    def __init__(
+        self,
+        engine,
+        batch: Sequence[BatchItem],
+        *,
+        seed: int | None,
+        cache: ReductionCache,
+        item_budget: EvaluationBudget | None,
+        policy: DegradationPolicy,
+        on_error: str,
+        telemetry: bool,
+    ):
+        self.engine = engine
+        self.batch = tuple(batch)
+        self.seed = seed
+        self.cache = cache
+        self.item_budget = item_budget
+        self.policy = policy
+        self.on_error = on_error
+        self.telemetry = telemetry
+        #: index → terminal exception, for ``BatchError.__cause__``.
+        self.causes: dict[int, BaseException] = {}
+
+    # -- engine dispatch ------------------------------------------------
+
+    def _call_engine(self, item: BatchItem, call_seed: int | None):
+        if item.task == "probability":
+            return self.engine.probability(
+                item.query,
+                item.database,
+                method=item.method,
+                seed=call_seed,
+                cache=self.cache,
+            )
+        database = item.database
+        if isinstance(database, ProbabilisticDatabase):
+            database = database.instance
+        return self.engine.uniform_reliability(
+            item.query,
+            database,
+            method=item.method,
+            seed=call_seed,
+            cache=self.cache,
+        )
+
+    def _run_degrading(self, item: BatchItem, item_seed: int | None):
+        database = item.database
+        if item.task == "reliability" and isinstance(
+            database, ProbabilisticDatabase
+        ):
+            database = database.instance
+        answer = evaluate_with_policy(
+            self.engine,
+            item.query,
+            database,
+            task=item.task,
+            method=item.method,
+            seed=item_seed,
+            cache=self.cache,
+            budget=self.item_budget,
+            policy=self.policy,
+        )
+        return answer, answer.retries, None
+
+    def _run_retrying(
+        self, item: BatchItem, item_seed: int | None, item_started: float
+    ):
+        attempt = 0
+        while True:
+            try:
+                with budget_scope(
+                    self.item_budget, started=item_started
+                ) as scope:
+                    answer = self._call_engine(
+                        item, derive_retry_seed(item_seed, attempt)
+                    )
+                return answer, attempt, scope
+            except TRANSIENT_ERRORS:
+                # BudgetExceededError is not an EstimationError, so
+                # budget exhaustion never consumes retries.
+                if attempt >= self.policy.max_retries:
+                    raise
+                attempt += 1
+                metric_inc("resilience.retries")
+                delay = self.policy.backoff(attempt)
+                if delay:
+                    time.sleep(delay)
+
+    # -- the per-item entry point ---------------------------------------
+
+    def run(self, index: int) -> BatchItemResult:
+        item = self.batch[index]
+        item_seed = derive_item_seed(self.seed, index)
+        item_started = time.perf_counter()
+        retries = 0
+        scope = None
+        # Worker threads have their own ContextVar contexts, so the
+        # collector must be installed here, not by the caller.  The
+        # ``item`` root span closes when this block unwinds — including
+        # on a fault — so partial telemetry survives in the error record.
+        item_telemetry = EvaluationTelemetry() if self.telemetry else None
+        with fault_scope(index):
+            try:
+                with telemetry_scope(item_telemetry), span(
+                    "item", index=index, task=item.task, method=item.method
+                ):
+                    if self.on_error == "degrade":
+                        answer, retries, scope = self._run_degrading(
+                            item, item_seed
+                        )
+                    else:
+                        answer, retries, scope = self._run_retrying(
+                            item, item_seed, item_started
+                        )
+            except BaseException as failure:
+                elapsed = time.perf_counter() - item_started
+                self.causes[index] = failure
+                retries = getattr(failure, "retries", retries)
+                if scope is not None:
+                    budget_state = scope.snapshot()
+                elif self.item_budget is not None:
+                    budget_state = BudgetState(
+                        deadline=self.item_budget.deadline,
+                        max_work_units=self.item_budget.max_work_units,
+                        lineage_clause_cap=(
+                            self.item_budget.lineage_clause_cap
+                        ),
+                        elapsed=elapsed,
+                        work_units=getattr(failure, "used", 0)
+                        if isinstance(failure, BudgetExceededError)
+                        and failure.kind == "work_units"
+                        else 0,
+                    )
+                else:
+                    budget_state = None
+                return BatchItemResult(
+                    index=index,
+                    answer=None,
+                    seed=item_seed,
+                    elapsed=elapsed,
+                    error=_error_record(
+                        failure, elapsed, retries, budget_state,
+                        telemetry=item_telemetry,
+                    ),
+                    retries=retries,
+                )
+        if item_telemetry is not None:
+            answer = dataclasses.replace(answer, telemetry=item_telemetry)
+        return BatchItemResult(
+            index=index,
+            answer=answer,
+            seed=item_seed,
+            elapsed=time.perf_counter() - item_started,
+            retries=retries,
+        )
+
+
+def _result_telemetry(result: BatchItemResult):
+    """The telemetry riding on a settled item, wherever it landed."""
+    if result.answer is not None:
+        return result.answer.telemetry
+    if result.error is not None:
+        return result.error.telemetry
+    return None
+
+
 def evaluate_batch(
     engine,
     items: Iterable,
@@ -346,6 +559,10 @@ def evaluate_batch(
     on_error: str = "fail",
     policy: DegradationPolicy | None = None,
     telemetry: bool = False,
+    isolation: str = "thread",
+    memory_limit: int | None = None,
+    journal=None,
+    resume: bool = False,
 ) -> BatchResult:
     """Evaluate ``items`` with ``engine`` per the module contract.
 
@@ -393,11 +610,37 @@ def evaluate_batch(
         the work done up to the fault.  The per-item collections are
         merged in item-index order into ``BatchResult.telemetry``, so
         the merged deterministic counters are worker-count-independent.
+    isolation:
+        ``'thread'`` (default) or ``'process'`` — see the module
+        docstring's durability contract.  Process isolation survives
+        worker segfaults, OOM kills and ``SIGKILL`` at the cost of
+        per-process caches and fork/IPC overhead.
+    memory_limit:
+        Per-worker address-space cap in bytes (``isolation='process'``
+        only): a worker that outgrows it gets ``MemoryError`` — a
+        structured, recoverable error record — instead of taking the
+        host down.
+    journal:
+        Path (or open :class:`~repro.core.journal.BatchJournal`) to
+        append fsync'd per-item completion records to; see the module
+        docstring's durability contract.
+    resume:
+        Replay the journal's verified prefix before evaluating; only
+        meaningful with ``journal``.  Completed items are restored
+        bitwise (marked ``replayed=True``), previously failed or
+        missing items are (re)computed.
     """
+    from repro.core import journal as journal_mod
+
     batch = _coerce_items(items)
     if on_error not in _ON_ERROR:
         raise ReproError(
             f"unknown on_error mode {on_error!r}; choose from {_ON_ERROR}"
+        )
+    if isolation not in _ISOLATION:
+        raise ReproError(
+            f"unknown isolation mode {isolation!r}; "
+            f"choose from {_ISOLATION}"
         )
     if max_retries < 0:
         raise ReproError(f"max_retries must be >= 0, got {max_retries}")
@@ -405,6 +648,13 @@ def evaluate_batch(
         max_workers = max(1, min(len(batch), os.cpu_count() or 1))
     if max_workers < 1:
         raise ReproError(f"max_workers must be >= 1, got {max_workers}")
+    if memory_limit is not None and isolation != "process":
+        raise ReproError(
+            "memory_limit requires isolation='process' (thread workers "
+            "share the caller's address space)"
+        )
+    if resume and journal is None:
+        raise ReproError("resume=True requires a journal")
     if cache is None:
         cache = ReductionCache()
     if policy is None:
@@ -413,147 +663,104 @@ def evaluate_batch(
 
     stats_before = cache.stats
     started = time.perf_counter()
-    causes: dict[int, BaseException] = {}
 
-    def call_engine(item: BatchItem, call_seed: int | None):
-        if item.task == "probability":
-            return engine.probability(
-                item.query,
-                item.database,
-                method=item.method,
-                seed=call_seed,
-                cache=cache,
+    # -- journal replay -------------------------------------------------
+    replayed: dict[int, BatchItemResult] = {}
+    journal_log = None
+    if journal is not None:
+        fingerprint = journal_mod.batch_fingerprint(batch, seed, engine)
+        owns_journal = not isinstance(journal, journal_mod.BatchJournal)
+        journal_log = (
+            journal_mod.BatchJournal(journal) if owns_journal else journal
+        )
+        loaded = journal_mod.load_journal(journal_log.path)
+        if resume:
+            journal_mod.check_fingerprint(
+                loaded, fingerprint, journal_log.path
             )
-        database = item.database
-        if isinstance(database, ProbabilisticDatabase):
-            database = database.instance
-        return engine.uniform_reliability(
-            item.query,
-            database,
-            method=item.method,
-            seed=call_seed,
-            cache=cache,
-        )
-
-    def run_degrading(
-        item: BatchItem, item_seed: int | None, item_started: float
-    ):
-        database = item.database
-        if item.task == "reliability" and isinstance(
-            database, ProbabilisticDatabase
-        ):
-            database = database.instance
-        answer = evaluate_with_policy(
-            engine,
-            item.query,
-            database,
-            task=item.task,
-            method=item.method,
-            seed=item_seed,
-            cache=cache,
-            budget=item_budget,
-            policy=policy,
-        )
-        return answer, answer.retries, None
-
-    def run_retrying(
-        item: BatchItem, item_seed: int | None, item_started: float
-    ):
-        attempt = 0
-        while True:
-            try:
-                with budget_scope(
-                    item_budget, started=item_started
-                ) as scope:
-                    answer = call_engine(
-                        item, derive_retry_seed(item_seed, attempt)
+            for index in loaded.completed():
+                if index >= len(batch):
+                    continue
+                restored = loaded.restore_result(index)
+                if telemetry:
+                    # Rebuild counter-only telemetry so the merged
+                    # replay-stable counters survive the resume.
+                    item_telemetry = EvaluationTelemetry()
+                    for name, value in (
+                        loaded.counters(index) or {}
+                    ).items():
+                        item_telemetry.metrics.inc(name, value)
+                    restored = dataclasses.replace(
+                        restored,
+                        answer=dataclasses.replace(
+                            restored.answer, telemetry=item_telemetry
+                        ),
                     )
-                return answer, attempt, scope
-            except TRANSIENT_ERRORS as failure:
-                # BudgetExceededError is not an EstimationError, so
-                # budget exhaustion never consumes retries.
-                if attempt >= policy.max_retries:
-                    raise
-                attempt += 1
-                metric_inc("resilience.retries")
-                delay = policy.backoff(attempt)
-                if delay:
-                    time.sleep(delay)
+                replayed[index] = restored
+                metric_inc("journal.replays")
+        if loaded.header is None:
+            journal_log.write_header(fingerprint, seed, len(batch))
 
-    def run_item(index: int, item: BatchItem) -> BatchItemResult:
-        item_seed = derive_item_seed(seed, index)
-        item_started = time.perf_counter()
-        retries = 0
-        scope = None
-        # Worker threads have their own ContextVar contexts, so the
-        # collector must be installed here, not by the caller.  The
-        # ``item`` root span closes when this block unwinds — including
-        # on a fault — so partial telemetry survives in the error record.
-        item_telemetry = EvaluationTelemetry() if telemetry else None
-        with fault_scope(index):
-            try:
-                with telemetry_scope(item_telemetry), span(
-                    "item", index=index, task=item.task, method=item.method
-                ):
-                    if on_error == "degrade":
-                        answer, retries, scope = run_degrading(
-                            item, item_seed, item_started
-                        )
-                    else:
-                        answer, retries, scope = run_retrying(
-                            item, item_seed, item_started
-                        )
-            except BaseException as failure:
-                elapsed = time.perf_counter() - item_started
-                causes[index] = failure
-                retries = getattr(failure, "retries", retries)
-                if scope is not None:
-                    budget_state = scope.snapshot()
-                elif item_budget is not None:
-                    budget_state = BudgetState(
-                        deadline=item_budget.deadline,
-                        max_work_units=item_budget.max_work_units,
-                        lineage_clause_cap=item_budget.lineage_clause_cap,
-                        elapsed=elapsed,
-                        work_units=getattr(failure, "used", 0)
-                        if isinstance(failure, BudgetExceededError)
-                        and failure.kind == "work_units"
-                        else 0,
-                    )
-                else:
-                    budget_state = None
-                return BatchItemResult(
-                    index=index,
-                    answer=None,
-                    seed=item_seed,
-                    elapsed=elapsed,
-                    error=_error_record(
-                        failure, elapsed, retries, budget_state,
-                        telemetry=item_telemetry,
-                    ),
-                    retries=retries,
-                )
-        if item_telemetry is not None:
-            answer = dataclasses.replace(answer, telemetry=item_telemetry)
-        return BatchItemResult(
-            index=index,
-            answer=answer,
-            seed=item_seed,
-            elapsed=time.perf_counter() - item_started,
-            retries=retries,
+    runner = ItemRunner(
+        engine,
+        batch,
+        seed=seed,
+        cache=cache,
+        item_budget=item_budget,
+        policy=policy,
+        on_error=on_error,
+        telemetry=telemetry,
+    )
+
+    def record(result: BatchItemResult) -> BatchItemResult:
+        """Journal one settled item (from whichever thread settled it)."""
+        if journal_log is not None:
+            item_telemetry = _result_telemetry(result)
+            counters = (
+                item_telemetry.metrics.replay_stable_counters()
+                if item_telemetry is not None
+                else None
+            )
+            journal_log.record_item(result, counters)
+        return result
+
+    pending = [i for i in range(len(batch)) if i not in replayed]
+
+    # -- execution backends ---------------------------------------------
+    if isolation == "process" and pending:
+        from repro.core.procpool import run_process_batch
+
+        computed, stats_delta = run_process_batch(
+            runner,
+            pending,
+            max_workers=max_workers,
+            memory_limit=memory_limit,
+            timeout=timeout,
+            on_settled=record,
         )
-
-    if max_workers == 1 or len(batch) <= 1:
-        results = [run_item(i, item) for i, item in enumerate(batch)]
+    elif max_workers == 1 or len(pending) <= 1:
+        computed = {i: record(runner.run(i)) for i in pending}
+        stats_delta = None
     else:
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            futures = [
-                pool.submit(run_item, i, item)
-                for i, item in enumerate(batch)
-            ]
+            futures = {
+                i: pool.submit(runner.run, i) for i in pending
+            }
             # Every future settles — workers record failures instead of
             # raising, so no sibling's work is ever discarded.
-            results = [future.result() for future in futures]
+            computed = {
+                i: record(future.result())
+                for i, future in futures.items()
+            }
+            stats_delta = None
+
+    if journal_log is not None and journal is not journal_log:
+        journal_log.close()
+
+    results = [
+        replayed[i] if i in replayed else computed[i]
+        for i in range(len(batch))
+    ]
 
     batch_telemetry = None
     if telemetry:
@@ -561,17 +768,17 @@ def evaluate_batch(
         # depend only on the per-item collections, not on scheduling.
         batch_telemetry = EvaluationTelemetry()
         for item_result in results:
-            source = (
-                item_result.answer.telemetry
-                if item_result.answer is not None
-                else item_result.error.telemetry
-            )
+            source = _result_telemetry(item_result)
             if source is not None:
                 batch_telemetry.merge(source)
 
     result = BatchResult(
         results=tuple(results),
-        cache_stats=cache.stats - stats_before,
+        cache_stats=(
+            stats_delta
+            if stats_delta is not None
+            else cache.stats - stats_before
+        ),
         wall_time=time.perf_counter() - started,
         max_workers=max_workers,
         telemetry=batch_telemetry,
@@ -585,6 +792,6 @@ def evaluate_batch(
             f"failed: {first.error.message}",
             result,
             first.index,
-        ) from causes.get(first.index)
+        ) from runner.causes.get(first.index)
 
     return result

@@ -127,6 +127,56 @@ class BudgetExceededError(ContextualError):
         )
 
 
+class WorkerCrashError(ContextualError):
+    """A process-isolated batch worker died without reporting a result.
+
+    Raised (as a structured record, never across the pool boundary) by
+    the :mod:`repro.core.procpool` supervisor when a subprocess worker
+    is killed out from under it — a segfault in native code, the kernel
+    OOM killer, an operator ``SIGKILL``, or a hard watchdog timeout.
+    ``exitcode`` is the ``multiprocessing`` exit code (negative values
+    are ``-signal``); ``item_index`` is the batch item the worker was
+    evaluating when it died.  Deliberately *not* an
+    :class:`EstimationError`: a crash is not a transient sampling
+    failure, so the in-worker retry loop never retries it (resuming the
+    batch from its journal is the recovery path).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        exitcode: int | None = None,
+        item_index: int | None = None,
+        phase: str | None = None,
+        elapsed: float | None = None,
+    ):
+        self.exitcode = exitcode
+        self.item_index = item_index
+        super().__init__(message, phase=phase, elapsed=elapsed)
+
+
+class JournalError(ContextualError):
+    """A batch journal cannot be used for the requested operation.
+
+    Raised for *caller* errors — resuming against a journal whose header
+    fingerprint does not match the batch being resumed, or pointing
+    ``--resume`` at a file that is not a journal at all.  Corruption of
+    individual records is **not** an error: torn or bit-flipped journal
+    lines are quarantined with a warning and the valid prefix is kept
+    (see :mod:`repro.core.journal`).
+    """
+
+
+class DiskCacheError(ContextualError):
+    """The durable cache directory cannot be created or locked.
+
+    Corrupt *entries* never raise — they are quarantined and recomputed
+    (see :mod:`repro.core.diskcache`); this error covers unusable
+    configuration only (e.g. the cache path exists and is a file).
+    """
+
+
 class LineageError(ReproError):
     """Lineage construction failed or exceeded a configured size budget."""
 

@@ -44,6 +44,7 @@ from contextvars import ContextVar
 from repro.obs.metrics import (
     HistogramStats,
     MetricsRegistry,
+    REPLAY_SENSITIVE_PREFIXES,
     SCHEDULING_SENSITIVE,
 )
 from repro.obs.spans import SpanRecord, Tracer
@@ -52,6 +53,7 @@ __all__ = [
     "EvaluationTelemetry",
     "HistogramStats",
     "MetricsRegistry",
+    "REPLAY_SENSITIVE_PREFIXES",
     "SCHEDULING_SENSITIVE",
     "SpanRecord",
     "Tracer",

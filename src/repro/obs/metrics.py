@@ -27,7 +27,12 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
-__all__ = ["HistogramStats", "MetricsRegistry", "SCHEDULING_SENSITIVE"]
+__all__ = [
+    "HistogramStats",
+    "MetricsRegistry",
+    "REPLAY_SENSITIVE_PREFIXES",
+    "SCHEDULING_SENSITIVE",
+]
 
 #: Counter names whose *merged* batch totals legitimately depend on
 #: thread scheduling.  ``cache.inflight_waits`` counts lookups that
@@ -35,6 +40,33 @@ __all__ = ["HistogramStats", "MetricsRegistry", "SCHEDULING_SENSITIVE"]
 #: no lookup ever waits, so the total varies with pool width by design.
 #: Determinism tests exclude exactly these names.
 SCHEDULING_SENSITIVE = frozenset({"cache.inflight_waits"})
+
+#: Counter-name prefixes whose per-item totals depend on which *other*
+#: items ran in the same process: cache traffic (a key is a miss only
+#: for the first item to want it), work performed *inside shared cache
+#: builders* and therefore attributed to whichever item missed
+#: (decomposition search, exact CountNFTA table fills), the durable
+#: tiers, and worker lifecycle events.  A resumed batch replays
+#: completed items from the journal without re-running them — and a
+#: process-isolated batch partitions the cache per worker — so these
+#: counters cannot survive a resume or a backend change bitwise; the
+#: journal stores (and the resume-identity contract covers) only the
+#: *replay-stable* remainder: the evaluation-semantic counters that are
+#: a function of the item and its seed alone.
+REPLAY_SENSITIVE_PREFIXES = (
+    "cache.",
+    "count_nfta.",
+    "decomposition.",
+    "diskcache.",
+    "journal.",
+    "procpool.",
+)
+
+
+def _replay_stable(name: str) -> bool:
+    return name not in SCHEDULING_SENSITIVE and not name.startswith(
+        REPLAY_SENSITIVE_PREFIXES
+    )
 
 
 @dataclass(frozen=True)
@@ -144,6 +176,41 @@ class MetricsRegistry:
             for name, value in self.counters.items()
             if name not in SCHEDULING_SENSITIVE
         }
+
+    def replay_stable_counters(self) -> dict[str, int]:
+        """The counters preserved across a journal replay: per-item
+        evaluation semantics only, minus :data:`SCHEDULING_SENSITIVE`
+        and the :data:`REPLAY_SENSITIVE_PREFIXES` families."""
+        return {
+            name: value
+            for name, value in self.counters.items()
+            if _replay_stable(name)
+        }
+
+    # -- transport ------------------------------------------------------
+
+    def state(self) -> tuple:
+        """A picklable snapshot (the registry itself holds a lock and
+        cannot cross a process boundary); invert with
+        :meth:`from_state`.  Used by the process-isolation backend to
+        ship per-item telemetry back from subprocess workers."""
+        with self._lock:
+            return (
+                dict(self._counters),
+                dict(self._gauges),
+                {name: list(cell) for name, cell in self._histograms.items()},
+            )
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`state` snapshot."""
+        counters, gauges, histograms = state
+        registry = cls()
+        registry._counters.update(counters)
+        registry._gauges.update(gauges)
+        for name, cell in histograms.items():
+            registry._histograms[name] = list(cell)
+        return registry
 
     # -- merging --------------------------------------------------------
 

@@ -158,6 +158,24 @@ class Tracer:
                 sorted(self._records, key=lambda r: r.span_id)
             )
 
+    @classmethod
+    def from_records(cls, records) -> "Tracer":
+        """Rebuild a tracer from finished spans, **preserving ids**.
+
+        The transport path for process-isolated batch workers: a
+        subprocess ships its item tracer's records back as plain data,
+        and the supervisor rebuilds an equivalent tracer — ids intact,
+        so the result is indistinguishable from the thread backend's.
+        (Contrast :meth:`absorb`, which re-bases ids to merge two live
+        tracers.)
+        """
+        tracer = cls()
+        tracer._records.extend(records)
+        tracer._next_id = (
+            max((r.span_id for r in records), default=0) + 1
+        )
+        return tracer
+
     def absorb(self, records: tuple[SpanRecord, ...]) -> None:
         """Merge another tracer's finished spans into this one.
 

@@ -29,9 +29,12 @@ within the checkpoint granularity.
 from __future__ import annotations
 
 import contextlib
+import os
+import signal
 import threading
 import time
 from contextvars import ContextVar
+from pathlib import Path
 from dataclasses import dataclass
 from typing import Hashable
 
@@ -44,7 +47,9 @@ __all__ = [
     "FaultPlan",
     "fault_point",
     "fault_scope",
+    "flip_bit",
     "inject_faults",
+    "truncate_tail",
 ]
 
 #: Every named injection site, one per phase of the pipeline.  The
@@ -91,6 +96,18 @@ class FaultSpec:
         Instead of raising, spin cooperatively for this many seconds —
         checkpointing any active evaluation budget — to simulate a
         wedged phase for deadline tests.
+    crash:
+        Instead of raising, **kill the current process** at the site:
+        ``'exit'`` calls ``os._exit(exit_code)`` (a native abort — no
+        ``finally`` blocks, no unwinding, exactly what a segfault looks
+        like from outside), ``'sigkill'`` delivers ``SIGKILL`` to the
+        current process.  Only meaningful inside a sacrificial process —
+        a subprocess worker of the :mod:`~repro.core.procpool` backend,
+        or a child process a chaos test spawned to die — since in the
+        thread backend the "current process" is the caller itself.
+    exit_code:
+        Process exit status for ``crash='exit'`` (default 134, the
+        classic ``SIGABRT`` status).
     """
 
     site: str
@@ -99,6 +116,8 @@ class FaultSpec:
     after: int = 0
     times: int | None = None
     stall: float = 0.0
+    crash: str | None = None
+    exit_code: int = 134
 
     def __post_init__(self):
         if self.site not in FAULT_SITES:
@@ -112,6 +131,11 @@ class FaultSpec:
             raise ReproError(f"times must be >= 1, got {self.times}")
         if self.stall < 0:
             raise ReproError(f"stall must be >= 0, got {self.stall}")
+        if self.crash not in (None, "exit", "sigkill"):
+            raise ReproError(
+                f"crash must be None, 'exit' or 'sigkill', "
+                f"got {self.crash!r}"
+            )
 
 
 class FaultPlan:
@@ -167,6 +191,11 @@ def fault_point(site: str) -> None:
     spec = plan.match(site, _SCOPE.get())
     if spec is None:
         return
+    if spec.crash is not None:
+        if spec.crash == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+            time.sleep(60)  # pragma: no cover - awaiting the signal
+        os._exit(spec.exit_code)
     if spec.stall > 0:
         _stall(spec.stall, site)
         return
@@ -218,3 +247,37 @@ def inject_faults(*specs: FaultSpec):
     finally:
         with _PLAN_LOCK:
             _PLAN = None
+
+
+# ---------------------------------------------------------------------------
+# durable-state corruption helpers (chaos tests for journal/disk cache)
+
+
+def flip_bit(path: str | Path, offset: int = -1, bit: int = 0) -> None:
+    """Flip one bit of the file at ``path`` in place.
+
+    ``offset`` indexes the byte to damage (negative counts from the
+    end, Python-style); models silent media corruption of a disk-cache
+    record or a journal line.  The durable layers must *quarantine* the
+    damaged record — never raise, never serve it.
+    """
+    path = Path(path)
+    blob = bytearray(path.read_bytes())
+    if not blob:
+        raise ReproError(f"cannot flip a bit in empty file {path}")
+    blob[offset] ^= 1 << bit
+    path.write_bytes(bytes(blob))
+
+
+def truncate_tail(path: str | Path, drop_bytes: int) -> None:
+    """Drop the final ``drop_bytes`` bytes of the file at ``path``.
+
+    Models a torn write: a crash (or ``SIGKILL``) between ``write`` and
+    ``fsync`` leaves a prefix of the final record on disk.  Journal
+    loading must keep the valid prefix and quarantine the torn tail.
+    """
+    if drop_bytes < 0:
+        raise ReproError(f"drop_bytes must be >= 0, got {drop_bytes}")
+    path = Path(path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: max(0, len(blob) - drop_bytes)])

@@ -486,3 +486,239 @@ class TestTelemetryFlags:
         out = capsys.readouterr().out
         assert "profile:" not in out
         assert "trace:" not in out
+
+
+class TestArgumentValidation:
+    """Malformed flags are usage errors: argparse exit code 2, with a
+    message naming the flag, before any file is opened."""
+
+    @pytest.fixture
+    def data_file(self, tmp_path):
+        path = tmp_path / "facts.csv"
+        path.write_text(CSV)
+        return str(path)
+
+    @pytest.fixture
+    def batch_file(self, tmp_path):
+        path = tmp_path / "batch.json"
+        path.write_text(BATCH_JSON)
+        return str(path)
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--workers", "0"],
+            ["--workers", "-2"],
+            ["--workers", "two"],
+            ["--timeout", "-1"],
+            ["--timeout", "0"],
+            ["--timeout", "nan"],
+            ["--epsilon", "0"],
+            ["--epsilon", "-0.1"],
+            ["--epsilon", "1.5"],
+            ["--repetitions", "0"],
+            ["--max-retries", "-1"],
+            ["--memory-limit", "0", "--isolation", "process"],
+        ],
+    )
+    def test_rejected_with_exit_code_2(
+        self, data_file, batch_file, flags, capsys
+    ):
+        with pytest.raises(SystemExit) as exited:
+            main(
+                ["--data", data_file, "--batch", batch_file] + flags
+            )
+        assert exited.value.code == 2
+        err = capsys.readouterr().err
+        assert flags[0] in err
+
+    def test_messages_name_the_offending_value(self, data_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["--data", data_file, "--query", "R(x)",
+                  "--workers", "0"])
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_resume_requires_journal(self, data_file, batch_file, capsys):
+        with pytest.raises(SystemExit) as exited:
+            main(["--data", data_file, "--batch", batch_file, "--resume"])
+        assert exited.value.code == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_memory_limit_requires_process_isolation(
+        self, data_file, batch_file, capsys
+    ):
+        with pytest.raises(SystemExit) as exited:
+            main(["--data", data_file, "--batch", batch_file,
+                  "--memory-limit", "1000000"])
+        assert exited.value.code == 2
+        assert "--isolation" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--journal", "j.wal"],
+            ["--cache-dir", "cache"],
+            ["--isolation", "process"],
+        ],
+    )
+    def test_batch_only_flags_rejected_for_single_query(
+        self, data_file, flags, capsys
+    ):
+        with pytest.raises(SystemExit) as exited:
+            main(["--data", data_file, "--query", "R(x)"] + flags)
+        assert exited.value.code == 2
+        assert "--batch" in capsys.readouterr().err
+
+    def test_valid_flags_still_accepted(self, data_file, capsys):
+        code = main(
+            ["--data", data_file, "--query", "Q :- R1(x,y), R2(y,z)",
+             "--epsilon", "0.3", "--timeout", "30", "--seed", "1"]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+
+class TestDurabilityFlags:
+    @pytest.fixture
+    def data_file(self, tmp_path):
+        path = tmp_path / "facts.csv"
+        path.write_text(CSV)
+        return str(path)
+
+    @pytest.fixture
+    def batch_file(self, tmp_path):
+        path = tmp_path / "batch.json"
+        path.write_text(BATCH_JSON)
+        return str(path)
+
+    def test_journal_then_resume_round_trip(
+        self, data_file, batch_file, tmp_path, capsys
+    ):
+        journal = str(tmp_path / "batch.wal")
+        assert main(
+            ["--data", data_file, "--batch", batch_file,
+             "--seed", "7", "--journal", journal]
+        ) == 0
+        first = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("[")
+        ]
+        assert main(
+            ["--data", data_file, "--batch", batch_file,
+             "--seed", "7", "--journal", journal, "--resume"]
+        ) == 0
+        out = capsys.readouterr().out
+        resumed = [
+            line for line in out.splitlines() if line.startswith("[")
+        ]
+        assert resumed == first
+        assert "resumed: 3 of 3 items replayed" in out
+
+    def test_resume_against_wrong_seed_is_an_error(
+        self, data_file, batch_file, tmp_path, capsys
+    ):
+        journal = str(tmp_path / "batch.wal")
+        assert main(
+            ["--data", data_file, "--batch", batch_file,
+             "--seed", "7", "--journal", journal]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["--data", data_file, "--batch", batch_file,
+             "--seed", "8", "--journal", journal, "--resume"]
+        )
+        assert code == 1
+        assert "different batch" in capsys.readouterr().err
+
+    def test_json_payload_marks_replayed_items(
+        self, data_file, batch_file, tmp_path, capsys
+    ):
+        import json as json_module
+
+        journal = str(tmp_path / "batch.wal")
+        assert main(
+            ["--data", data_file, "--batch", batch_file,
+             "--seed", "7", "--journal", journal]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["--data", data_file, "--batch", batch_file,
+             "--seed", "7", "--journal", journal, "--resume", "--json"]
+        ) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert all(r["replayed"] for r in payload["results"])
+
+    def test_cache_dir_persists_across_runs(
+        self, data_file, batch_file, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        for _ in range(2):
+            assert main(
+                ["--data", data_file, "--batch", batch_file,
+                 "--seed", "7", "--cache-dir", cache_dir]
+            ) == 0
+            capsys.readouterr()
+        from repro.core.diskcache import DiskCache
+
+        assert len(DiskCache(cache_dir)) > 0
+
+    def test_process_isolation_end_to_end(
+        self, data_file, batch_file, capsys
+    ):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork")
+        assert main(
+            ["--data", data_file, "--batch", batch_file,
+             "--seed", "7", "--workers", "2", "--isolation", "process"]
+        ) == 0
+        isolated = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("[")
+        ]
+        assert main(
+            ["--data", data_file, "--batch", batch_file,
+             "--seed", "7", "--workers", "2"]
+        ) == 0
+        threaded = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("[")
+        ]
+        assert isolated == threaded
+
+
+class TestLoadErrorProvenance:
+    """Broken input files are named, with the offending record."""
+
+    def test_csv_error_names_file_and_row(self, tmp_path, capsys):
+        path = tmp_path / "broken.csv"
+        path.write_text("R1,1/2,a,b\nR2,not-a-probability,b,c\n")
+        code = main(["--data", str(path), "--query", "Q :- R1(x,y)"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "broken.csv" in err
+        assert "row 2" in err
+        assert "not-a-probability" in err
+
+    def test_batch_error_names_file_and_entry(self, tmp_path, capsys):
+        data = tmp_path / "facts.csv"
+        data.write_text(CSV)
+        batch = tmp_path / "broken-batch.json"
+        batch.write_text('["Q :- R1(x,y)", {"method": "auto"}]')
+        code = main(["--data", str(data), "--batch", str(batch)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "broken-batch.json" in err
+        assert "entry 1" in err
+
+    def test_query_file_error_names_file(self, tmp_path, capsys):
+        data = tmp_path / "facts.csv"
+        data.write_text(CSV)
+        query = tmp_path / "broken-query.txt"
+        query.write_text("Q :- R1((((")
+        code = main(
+            ["--data", str(data), "--query-file", str(query)]
+        )
+        assert code == 1
+        assert "broken-query.txt" in capsys.readouterr().err

@@ -1,0 +1,217 @@
+"""Tests for the durable disk cache tier (repro.core.diskcache).
+
+The integrity contract under test: every record is checksummed and
+written atomically; any verification failure — bit flip, truncation,
+wrong magic, foreign format version, key mismatch — quarantines the
+record with a :class:`DiskCacheWarning` and reports a miss.  Corruption
+is never an exception and never a wrong value.
+"""
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.core.cache import ReductionCache
+from repro.core.diskcache import (
+    DISK_FORMAT_VERSION,
+    DiskCache,
+    DiskCacheWarning,
+)
+from repro.errors import DiskCacheError
+from repro.testing.faults import flip_bit, truncate_tail
+
+
+@pytest.fixture
+def cache(tmp_path) -> DiskCache:
+    return DiskCache(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, cache):
+        assert cache.store(("pqe", "token"), {"answer": 42})
+        assert cache.load(("pqe", "token")) == {"answer": 42}
+
+    def test_missing_key_returns_default(self, cache):
+        sentinel = object()
+        assert cache.load(("absent",), sentinel) is sentinel
+
+    def test_persists_across_instances(self, cache):
+        cache.store("key", [1, 2, 3])
+        reopened = DiskCache(cache.path)
+        assert reopened.load("key") == [1, 2, 3]
+
+    def test_overwrite_wins(self, cache):
+        cache.store("key", "old")
+        cache.store("key", "new")
+        assert cache.load("key") == "new"
+
+    def test_len_counts_records(self, cache):
+        assert len(cache) == 0
+        cache.store("a", 1)
+        cache.store("b", 2)
+        assert len(cache) == 2
+
+    def test_clear_drops_everything(self, cache):
+        cache.store("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.load("a") is None
+
+    def test_unpicklable_value_is_refused_not_fatal(self, cache):
+        assert cache.store("bad", lambda: None) is False
+        assert cache.load("bad") is None
+        assert len(cache) == 0
+
+
+class TestCorruptionQuarantine:
+    def _assert_quarantined(self, cache, key, match):
+        with pytest.warns(DiskCacheWarning, match=match):
+            assert cache.load(key, "default") == "default"
+        assert not cache.record_path(key).exists()
+        assert len(cache.quarantined()) == 1
+
+    @pytest.mark.parametrize("offset", [-1, 0, 4, 6, 40, 60])
+    def test_bit_flip_anywhere_never_raises(self, cache, offset):
+        cache.store("key", {"value": list(range(50))})
+        record = cache.record_path("key")
+        if offset >= record.stat().st_size:
+            pytest.skip("record shorter than offset")
+        flip_bit(record, offset=offset, bit=3)
+        with pytest.warns(DiskCacheWarning):
+            assert cache.load("key", "default") == "default"
+
+    def test_bit_flip_in_payload_is_checksum_mismatch(self, cache):
+        cache.store("key", "value")
+        flip_bit(cache.record_path("key"), offset=-1, bit=0)
+        self._assert_quarantined(cache, "key", "quarantined")
+
+    def test_truncated_record(self, cache):
+        cache.store("key", "value")
+        truncate_tail(cache.record_path("key"), drop_bytes=3)
+        self._assert_quarantined(cache, "key", "truncated")
+
+    def test_not_a_cache_record(self, cache):
+        cache.record_path("key").write_bytes(b"garbage")
+        self._assert_quarantined(cache, "key", "not a cache record")
+
+    def test_future_format_version(self, cache):
+        cache.store("key", "value")
+        record = cache.record_path("key")
+        blob = bytearray(record.read_bytes())
+        blob[4] = DISK_FORMAT_VERSION + 1
+        record.write_bytes(bytes(blob))
+        self._assert_quarantined(cache, "key", "format version")
+
+    def test_key_mismatch(self, cache):
+        # A structurally valid record sitting at the wrong path (e.g.
+        # an operator copied cache files around) must not be served.
+        cache.store("actual", "value")
+        cache.record_path("actual").rename(cache.record_path("other"))
+        self._assert_quarantined(cache, "other", "key mismatch")
+
+    def test_unreadable_payload(self, cache):
+        # Valid framing around a payload that is not a pickle at all.
+        import hashlib
+
+        payload = b"not a pickle"
+        record = (
+            b"RPDC"
+            + bytes([DISK_FORMAT_VERSION])
+            + hashlib.sha256(payload).digest()
+            + len(payload).to_bytes(8, "big")
+            + payload
+        )
+        cache.record_path("key").write_bytes(record)
+        self._assert_quarantined(cache, "key", "unreadable")
+
+    def test_quarantine_preserves_evidence(self, cache):
+        cache.store("key", "value")
+        flip_bit(cache.record_path("key"), offset=-1)
+        with pytest.warns(DiskCacheWarning):
+            cache.load("key")
+        [evidence] = cache.quarantined()
+        assert evidence.read_bytes()  # moved aside intact, not deleted
+
+    def test_intact_sibling_survives_quarantine(self, cache):
+        cache.store("good", "kept")
+        cache.store("bad", "doomed")
+        flip_bit(cache.record_path("bad"), offset=-1)
+        with pytest.warns(DiskCacheWarning):
+            cache.load("bad")
+        assert cache.load("good") == "kept"
+
+
+class TestConfigErrors:
+    def test_path_is_a_file(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        with pytest.raises(DiskCacheError):
+            DiskCache(blocker)
+
+
+class TestMemoryCacheIntegration:
+    def test_disk_hit_skips_builder(self, tmp_path):
+        disk = DiskCache(tmp_path / "cache")
+        builds = []
+
+        def builder():
+            builds.append(1)
+            return "built"
+
+        first = ReductionCache(disk=disk)
+        assert first.get_or_build("key", builder) == "built"
+        # A fresh memory cache over the same directory: the build is
+        # served durably, the builder never runs again.
+        second = ReductionCache(disk=disk)
+        assert second.get_or_build("key", builder) == "built"
+        assert len(builds) == 1
+
+    def test_disk_hit_still_counts_as_memory_miss(self, tmp_path):
+        # Cache stats stay a function of the request multiset: where
+        # the value came from (builder vs disk) is invisible to them.
+        disk = DiskCache(tmp_path / "cache")
+        ReductionCache(disk=disk).get_or_build("key", lambda: "v")
+        warmed = ReductionCache(disk=disk)
+        warmed.get_or_build("key", lambda: "v")
+        warmed.get_or_build("key", lambda: "v")
+        assert warmed.stats.misses == 1
+        assert warmed.stats.hits == 1
+
+    def test_cache_if_false_is_not_persisted(self, tmp_path):
+        # Seed-dependent sampled counts stay private to the run at both
+        # tiers.
+        disk = DiskCache(tmp_path / "cache")
+        cache = ReductionCache(disk=disk)
+        cache.get_or_build("key", lambda: "v", cache_if=lambda _: False)
+        assert len(disk) == 0
+
+    def test_corrupt_disk_record_falls_back_to_builder(self, tmp_path):
+        disk = DiskCache(tmp_path / "cache")
+        ReductionCache(disk=disk).get_or_build("key", lambda: "good")
+        flip_bit(disk.record_path("key"), offset=-1)
+        with pytest.warns(DiskCacheWarning):
+            value = ReductionCache(disk=disk).get_or_build(
+                "key", lambda: "rebuilt"
+            )
+        assert value == "rebuilt"
+
+    def test_no_disk_tier_by_default(self):
+        assert ReductionCache().disk is None
+
+
+class TestCrossProcessSafety:
+    def test_atomic_publish_leaves_no_torn_record(self, cache):
+        # A reader that races the writer sees the old record or the new
+        # one; the staging .tmp never matches the record glob.
+        cache.store("key", "v1")
+        strays = [p for p in cache.path.iterdir() if p.suffix == ".tmp"]
+        assert strays == []
+
+    def test_two_handles_one_directory(self, tmp_path):
+        a = DiskCache(tmp_path / "cache")
+        b = DiskCache(tmp_path / "cache")
+        a.store("key", "from-a")
+        assert b.load("key") == "from-a"
+        b.store("key", "from-b")
+        assert a.load("key") == "from-b"

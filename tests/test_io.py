@@ -6,7 +6,7 @@ import pytest
 
 from repro.db.fact import Fact
 from repro.db.probabilistic import ProbabilisticDatabase
-from repro.errors import ReproError
+from repro.errors import ContextualError, ReproError
 from repro.io import (
     dump_pdb_csv,
     dump_pdb_json,
@@ -111,3 +111,110 @@ class TestQueryRoundTrip:
         dump_query(query, buffer)
         buffer.seek(0)
         assert load_query(buffer) == query
+
+
+class TestBrokenFixtures:
+    """Hardened load paths: every failure is a ContextualError naming
+    the source file and the offending record."""
+
+    def _write(self, tmp_path, name, text):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_truncated_json_names_file_and_position(self, tmp_path):
+        path = self._write(
+            tmp_path, "torn.json",
+            '{"facts": [{"relation": "R", "constants": ["a"], "prob',
+        )
+        with pytest.raises(ContextualError) as failure:
+            load_pdb(path)
+        message = str(failure.value)
+        assert "torn.json" in message
+        assert "line" in message  # decoder position, not just "invalid"
+
+    def test_wrong_schema_names_file(self, tmp_path):
+        path = self._write(tmp_path, "wrong.json", '{"rows": []}')
+        with pytest.raises(ContextualError, match="wrong.json"):
+            load_pdb(path)
+
+    def test_malformed_entry_names_record(self, tmp_path):
+        path = self._write(
+            tmp_path, "bad-entry.json",
+            '{"facts": ['
+            '{"relation": "R", "constants": ["a"], "probability": "1/2"},'
+            '{"relation": "S"}]}',
+        )
+        with pytest.raises(ContextualError) as failure:
+            load_pdb(path)
+        message = str(failure.value)
+        assert "bad-entry.json" in message
+        assert "facts[1]" in message
+        assert "missing" in message
+
+    def test_string_constants_rejected_not_exploded(self, tmp_path):
+        # A bare string would silently become one fact per character.
+        path = self._write(
+            tmp_path, "string-constants.json",
+            '{"facts": [{"relation": "R", "constants": "ab", '
+            '"probability": "1/2"}]}',
+        )
+        with pytest.raises(ContextualError, match=r"facts\[0\]"):
+            load_pdb(path)
+
+    def test_invalid_probability_names_record(self, tmp_path):
+        path = self._write(
+            tmp_path, "bad-prob.json",
+            '{"facts": [{"relation": "R", "constants": ["a"], '
+            '"probability": "one half"}]}',
+        )
+        with pytest.raises(ContextualError) as failure:
+            load_pdb(path)
+        message = str(failure.value)
+        assert "facts[0]" in message
+        assert "one half" in message
+
+    def test_duplicate_fact_names_record(self, tmp_path):
+        path = self._write(
+            tmp_path, "dup.json",
+            '{"facts": ['
+            '{"relation": "R", "constants": ["a"], "probability": "1/2"},'
+            '{"relation": "R", "constants": ["a"], "probability": "1/3"}'
+            "]}",
+        )
+        with pytest.raises(ContextualError, match=r"facts\[1\]"):
+            load_pdb(path)
+
+    def test_csv_short_row_names_file_and_row(self, tmp_path):
+        path = self._write(
+            tmp_path, "short.csv", "R,1/2,a\nS,2/3\n"
+        )
+        with pytest.raises(ContextualError) as failure:
+            load_pdb(path)
+        message = str(failure.value)
+        assert "short.csv" in message
+        assert "row 2" in message
+
+    def test_csv_bad_probability_names_row(self, tmp_path):
+        path = self._write(
+            tmp_path, "bad.csv", "R,1/2,a\nS,2/zero,b\n"
+        )
+        with pytest.raises(ContextualError) as failure:
+            load_pdb(path)
+        assert "row 2" in str(failure.value)
+
+    def test_empty_query_file_named(self, tmp_path):
+        path = self._write(tmp_path, "empty-query.txt", "   \n")
+        with pytest.raises(ContextualError, match="empty-query.txt"):
+            with open(path, encoding="utf-8") as stream:
+                load_query(stream)
+
+    def test_anonymous_stream_gets_placeholder(self):
+        with pytest.raises(ContextualError, match="<stream>"):
+            load_pdb_json(io.StringIO("not json"))
+
+    def test_errors_carry_the_io_phase(self, tmp_path):
+        path = self._write(tmp_path, "wrong.json", "[]")
+        with pytest.raises(ContextualError) as failure:
+            load_pdb(path)
+        assert failure.value.phase == "io.load"

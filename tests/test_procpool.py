@@ -1,0 +1,261 @@
+"""Tests for process-isolated batch execution (repro.core.procpool).
+
+Two contracts: (1) results are bitwise-identical to the thread backend
+— same answers, same derived seeds, same replay-stable counters — and
+(2) a worker that dies without reporting (``os._exit``, ``SIGKILL``,
+watchdog kill) becomes a structured :class:`WorkerCrashError` record
+for exactly the item it was evaluating, while the batch continues.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.core.cache import ReductionCache
+from repro.core.estimator import PQEEngine
+from repro.core.parallel import (
+    BatchError,
+    BatchItem,
+    BatchItemResult,
+    derive_item_seed,
+)
+from repro.core.procpool import run_process_batch
+from repro.db.fact import Fact
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.errors import ReproError, WorkerCrashError
+from repro.testing.faults import FaultSpec, inject_faults
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process isolation requires the fork start method",
+)
+
+
+def _pdb(shift: int = 0) -> ProbabilisticDatabase:
+    labels = {}
+    for i in range(3):
+        labels[Fact("R", (f"a{i + shift}", f"b{i}"))] = "1/2"
+        labels[Fact("S", (f"b{i}", f"c{i}"))] = "2/3"
+    return ProbabilisticDatabase(labels)
+
+
+@pytest.fixture
+def items(rs_query):
+    return [
+        BatchItem(rs_query, _pdb(shift), method="fpras")
+        for shift in range(6)
+    ]
+
+
+@pytest.fixture
+def engine():
+    return PQEEngine(seed=5)
+
+
+class TestBackendIdentity:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_bitwise_identical_to_thread_backend(
+        self, engine, items, workers
+    ):
+        threaded = engine.evaluate_batch(items, seed=5, max_workers=workers)
+        isolated = engine.evaluate_batch(
+            items, seed=5, max_workers=workers, isolation="process"
+        )
+        assert isolated.values == threaded.values
+        assert isolated.methods == threaded.methods
+        assert [r.seed for r in isolated.results] == [
+            r.seed for r in threaded.results
+        ]
+
+    def test_replay_stable_counters_match_thread_backend(
+        self, engine, items
+    ):
+        threaded = engine.evaluate_batch(
+            items, seed=5, max_workers=2, telemetry=True
+        )
+        isolated = engine.evaluate_batch(
+            items, seed=5, max_workers=2, isolation="process",
+            telemetry=True,
+        )
+        assert (
+            isolated.telemetry.metrics.replay_stable_counters()
+            == threaded.telemetry.metrics.replay_stable_counters()
+        )
+
+    def test_spans_cross_the_process_boundary(self, engine, items):
+        isolated = engine.evaluate_batch(
+            items[:2], seed=5, isolation="process", telemetry=True
+        )
+        names = {r.name for r in isolated.telemetry.tracer.records}
+        assert "item" in names
+
+    def test_unknown_isolation_rejected(self, engine, items):
+        with pytest.raises(ReproError, match="isolation"):
+            engine.evaluate_batch(items, seed=5, isolation="fiber")
+
+    def test_memory_limit_requires_process_isolation(self, engine, items):
+        with pytest.raises(ReproError, match="memory_limit"):
+            engine.evaluate_batch(items, seed=5, memory_limit=1 << 30)
+
+
+@pytest.mark.faults
+class TestCrashContainment:
+    def test_exit_crash_becomes_structured_record(self, engine, items):
+        with inject_faults(
+            FaultSpec("counting.nfta", scope=0, crash="exit")
+        ):
+            batch = engine.evaluate_batch(
+                items, seed=5, max_workers=2, isolation="process",
+                on_error="skip",
+            )
+        crashed = batch.results[0]
+        assert not crashed.ok
+        assert crashed.error.exception == "WorkerCrashError"
+        assert "exit code 134" in crashed.error.message
+        assert crashed.seed == derive_item_seed(5, 0)
+        assert all(r.ok for r in batch.results[1:])
+
+    def test_sigkill_crash_is_contained(self, engine, items):
+        with inject_faults(
+            FaultSpec("counting.nfta", scope=0, crash="sigkill")
+        ):
+            batch = engine.evaluate_batch(
+                items, seed=5, max_workers=2, isolation="process",
+                on_error="skip",
+            )
+        crashed = batch.results[0]
+        assert not crashed.ok
+        assert "exit code -9" in crashed.error.message
+        assert len(batch.succeeded) == len(items) - 1
+
+    def test_crash_under_on_error_fail_keeps_sibling_answers(
+        self, engine, items
+    ):
+        with inject_faults(
+            FaultSpec("counting.nfta", scope=0, crash="exit")
+        ):
+            with pytest.raises(BatchError) as failure:
+                engine.evaluate_batch(
+                    items, seed=5, max_workers=2, isolation="process"
+                )
+        assert isinstance(failure.value.__cause__, WorkerCrashError)
+        assert failure.value.index == 0
+        assert len(failure.value.result.succeeded) == len(items) - 1
+
+    def test_crash_is_never_retried(self, engine, items):
+        # WorkerCrashError is not an EstimationError: retry budgets must
+        # not be spent re-running an item that kills its worker.
+        with inject_faults(
+            FaultSpec("counting.nfta", scope=0, crash="exit")
+        ):
+            batch = engine.evaluate_batch(
+                items, seed=5, max_workers=2, isolation="process",
+                on_error="skip", max_retries=2,
+            )
+        assert not batch.results[0].ok
+        assert batch.results[0].retries == 0
+
+    def test_surviving_siblings_match_crash_free_run(self, engine, items):
+        clean = engine.evaluate_batch(items, seed=5, max_workers=2)
+        with inject_faults(
+            FaultSpec("counting.nfta", scope=0, crash="exit")
+        ):
+            crashed = engine.evaluate_batch(
+                items, seed=5, max_workers=2, isolation="process",
+                on_error="skip",
+            )
+        for index in range(1, len(items)):
+            assert (
+                crashed.results[index].answer.value
+                == clean.results[index].answer.value
+            )
+
+
+class _WedgedRunner:
+    """A runner whose item blocks uncooperatively — watchdog bait."""
+
+    def __init__(self):
+        self.seed = 5
+        self.cache = ReductionCache()
+        self.causes = {}
+
+    def run(self, index: int) -> BatchItemResult:
+        time.sleep(30)  # no budget checkpoints fire in here
+        return BatchItemResult(
+            index=index, answer=None, seed=None, elapsed=30.0
+        )
+
+
+class _HungryRunner:
+    """A runner whose item allocates far beyond any sane cap."""
+
+    def __init__(self):
+        self.seed = 5
+        self.cache = ReductionCache()
+        self.causes = {}
+
+    def run(self, index: int) -> BatchItemResult:
+        from repro.core.parallel import _error_record
+
+        started = time.perf_counter()
+        try:
+            hog = bytearray(32 << 30)  # 32 GiB: must hit RLIMIT_AS
+            return BatchItemResult(
+                index=index, answer=len(hog), seed=None, elapsed=0.0
+            )
+        except MemoryError as failure:
+            elapsed = time.perf_counter() - started
+            return BatchItemResult(
+                index=index,
+                answer=None,
+                seed=None,
+                elapsed=elapsed,
+                error=_error_record(failure, elapsed, 0, None),
+            )
+
+
+@pytest.mark.faults
+class TestSupervisor:
+    def test_watchdog_kills_wedged_worker(self):
+        runner = _WedgedRunner()
+        started = time.perf_counter()
+        computed, _ = run_process_batch(
+            runner, [0], max_workers=1, timeout=0.2
+        )
+        elapsed = time.perf_counter() - started
+        assert elapsed < 10  # killed by the watchdog, not the sleep
+        assert not computed[0].ok
+        assert "watchdog timeout" in computed[0].error.message
+
+    def test_memory_cap_degrades_to_memory_error(self):
+        # The cap turns an OOM kill (host-fatal) into a recoverable
+        # in-worker MemoryError record.
+        computed, _ = run_process_batch(
+            _HungryRunner(), [0], max_workers=1, memory_limit=4 << 30
+        )
+        assert not computed[0].ok
+        assert computed[0].error.exception == "MemoryError"
+
+    def test_on_settled_sees_every_item_once(self, engine, items):
+        from repro.core.parallel import ItemRunner
+        from repro.core.resilience import DegradationPolicy
+
+        seen = []
+        runner = ItemRunner(
+            engine, [item.validated(i) for i, item in enumerate(items)],
+            seed=5, cache=ReductionCache(), item_budget=None,
+            policy=DegradationPolicy(), on_error="skip", telemetry=False,
+        )
+
+        def settle(result):
+            seen.append(result.index)
+            return result
+
+        computed, stats = run_process_batch(
+            runner, list(range(len(items))), max_workers=2,
+            on_settled=settle,
+        )
+        assert sorted(seen) == list(range(len(items)))
+        assert sorted(computed) == list(range(len(items)))
+        assert stats.misses >= 1  # per-worker traffic was accumulated
