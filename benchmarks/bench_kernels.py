@@ -1,0 +1,171 @@
+"""K1 — counting-kernel speedup: optimized vs reference backend.
+
+The optimized backend (:mod:`repro.core.kernels` over
+:mod:`repro.automata.optimize`) must earn its keep: this bench times
+the exact CountNFTA DP through the Theorem 1 weighted reduction on the
+Table-1-style workloads, reference vs optimized, *cold* (kernel caches
+cleared before every optimized pass, so plan compilation and layer
+fills are paid, not amortised away).
+
+Two of the measurements double as CI perf-regression gates (run by the
+``benchmarks`` job next to the telemetry/durability overhead guards):
+
+- ``test_optimized_speedup_on_largest_workload``: ≥3× on the largest
+  workload (the 3-path chain over a 3-constant domain, 5 facts per
+  relation — the biggest automaton this file builds);
+- ``test_preprocessing_amortized_below_5_percent``: compiling the
+  :class:`~repro.automata.optimize.DenseNFTA` costs <5% of a single
+  cold optimized DP pass, so preprocessing can never dominate even a
+  one-shot evaluation.
+
+Both backends return bitwise-identical counts — asserted here too, on
+the real workloads (the differential suite covers the corpus).
+"""
+
+from __future__ import annotations
+
+from repro.automata.optimize import optimize_nfta
+from repro.bench.harness import ResultTable, timed
+from repro.core.kernels import clear_kernel_caches
+from repro.core.pqe_estimate import build_pqe_reduction
+from repro.automata.nfta_counting import count_nfta_exact
+from repro.queries.builders import path_query, star_query
+from repro.queries.parser import parse_query
+from repro.workloads.instances import (
+    random_instance_for_query,
+    random_probabilities,
+)
+
+SEED = 2023
+REPEATS = 3  # best-of, to keep the gates stable on noisy hosts
+
+#: (label, query, domain_size, facts_per_relation) — ordered smallest
+#: to largest; the last row is the gate workload.
+WORKLOADS = [
+    ("2path d2f3", path_query(2), 2, 3),
+    ("star3 d2f3", star_query(3), 2, 3),
+    ("3path d2f4", path_query(3), 2, 4),
+    ("3path d3f5", parse_query("Q :- R(x, y), S(y, z), T(z, w)"), 3, 5),
+]
+
+
+def _weighted_reduction(query, domain_size, facts, seed=SEED):
+    instance = random_instance_for_query(
+        query, domain_size=domain_size, facts_per_relation=facts,
+        seed=seed,
+    )
+    pdb = random_probabilities(instance, seed=seed, max_denominator=4)
+    return build_pqe_reduction(query, pdb, weighted=True)
+
+
+def _best_of(fn, repeats=REPEATS, check=True):
+    value, best = timed(fn)
+    for _ in range(repeats - 1):
+        again, elapsed = timed(fn)
+        if check:
+            assert again == value
+        best = min(best, elapsed)
+    return value, best
+
+
+def _measure(reduction):
+    """(reference seconds, optimized cold seconds, count) best-of."""
+
+    def reference():
+        return count_nfta_exact(
+            reduction.nfta, reduction.tree_size,
+            weight_of=reduction.weight_of, backend="reference",
+        )
+
+    def optimized_cold():
+        clear_kernel_caches()
+        return count_nfta_exact(
+            reduction.nfta, reduction.tree_size,
+            weight_of=reduction.weight_of, backend="optimized",
+        )
+
+    ref_value, ref_time = _best_of(reference)
+    opt_value, opt_time = _best_of(optimized_cold)
+    assert ref_value == opt_value, "backends disagree — differential bug"
+    return ref_time, opt_time, ref_value
+
+
+def run_kernels() -> ResultTable:
+    table = ResultTable(
+        "K1: counting-kernel speedup (cold optimized vs reference)",
+        [
+            "workload", "states", "transitions", "tree size",
+            "ref (s)", "opt (s)", "speedup",
+        ],
+    )
+    for label, query, domain_size, facts in WORKLOADS:
+        reduction = _weighted_reduction(query, domain_size, facts)
+        ref_time, opt_time, _count = _measure(reduction)
+        table.add_row([
+            label,
+            len(reduction.nfta.states),
+            reduction.nfta.num_transitions,
+            reduction.tree_size,
+            ref_time,
+            opt_time,
+            ref_time / opt_time if opt_time else float("inf"),
+        ])
+    return table
+
+
+# ---------------------------------------------------------------------
+# CI gates
+# ---------------------------------------------------------------------
+
+
+def test_optimized_speedup_on_largest_workload():
+    """ISSUE 5 gate: ≥3× on the largest Table-1-style workload."""
+    label, query, domain_size, facts = WORKLOADS[-1]
+    reduction = _weighted_reduction(query, domain_size, facts)
+    ref_time, opt_time, _count = _measure(reduction)
+    assert opt_time * 3 <= ref_time, (
+        f"optimized backend only {ref_time / opt_time:.2f}x faster than "
+        f"reference on {label} (ref {ref_time:.3f}s, opt {opt_time:.3f}s); "
+        "the >=3x gate failed"
+    )
+
+
+def test_preprocessing_amortized_below_5_percent():
+    """Compiling the dense automaton is <5% of one cold DP pass."""
+    _label, query, domain_size, facts = WORKLOADS[-1]
+    reduction = _weighted_reduction(query, domain_size, facts)
+
+    # DenseNFTA has identity equality; compare nothing, just time it.
+    _dense, prep_time = _best_of(
+        lambda: optimize_nfta(reduction.nfta), check=False
+    )
+
+    def optimized_cold():
+        clear_kernel_caches()
+        return count_nfta_exact(
+            reduction.nfta, reduction.tree_size,
+            weight_of=reduction.weight_of, backend="optimized",
+        )
+
+    _value, dp_time = _best_of(optimized_cold)
+    assert prep_time <= 0.05 * dp_time, (
+        f"preprocessing {prep_time:.4f}s is "
+        f"{100 * prep_time / dp_time:.1f}% of a cold optimized DP pass "
+        f"({dp_time:.3f}s); the <5% amortisation gate failed"
+    )
+
+
+def test_speedup_never_regresses_on_smaller_workloads():
+    """The optimized backend must never be *slower* cold, even on the
+    small workloads where there is little to win."""
+    for label, query, domain_size, facts in WORKLOADS[:-1]:
+        reduction = _weighted_reduction(query, domain_size, facts)
+        ref_time, opt_time, _count = _measure(reduction)
+        assert opt_time <= ref_time * 1.2, (
+            f"optimized cold pass slower than reference on {label}: "
+            f"opt {opt_time:.4f}s vs ref {ref_time:.4f}s"
+        )
+
+
+if __name__ == "__main__":
+    print(run_kernels().render())

@@ -23,6 +23,11 @@ from repro.automata.nfta_counting import (
     count_nfta_exact,
     sample_accepted_trees,
 )
+from repro.automata.optimize import (
+    DenseNFTA,
+    OptimizationReport,
+    optimize_nfta,
+)
 from repro.automata.symbols import BIT_ONE, BIT_ZERO, Literal
 from repro.automata.trees import LabeledTree, leaf, path_tree
 
@@ -42,6 +47,9 @@ __all__ = [
     "count_nfta_exact",
     "sample_accepted_strings",
     "sample_accepted_trees",
+    "DenseNFTA",
+    "OptimizationReport",
+    "optimize_nfta",
     "Literal",
     "BIT_ZERO",
     "BIT_ONE",

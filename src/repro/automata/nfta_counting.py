@@ -12,6 +12,18 @@ by an NFTA.  This module provides:
   :mod:`repro.automata.nfa_counting` lifted from string concatenation to
   tree composition.  The decomposition underlying the estimator is
 
+Every entry point takes a ``backend`` knob (default ``"optimized"``;
+see :mod:`repro.core.kernels` and ``docs/performance.md``).  The
+optimized backend runs the exact DP over dense pruned bitmask indexes
+with process-wide memoized layers, shares seed-independent sampling
+plans across repetitions and batch items, and batches the per-sample
+budget/metric ticks — while producing bitwise-identical counts,
+estimates and sampled trees: exact DP terms are summed in exact
+arithmetic (order-free; float weights fall back to the reference DP),
+and the sampling loops consume the RNG streams in exactly the
+reference order.  The differential suite
+(``tests/test_kernel_differential.py``) enforces this equivalence.
+
       A(q, s) = ⨄_{(σ, k, s̄)}  ⋃_{τ = (q, σ, (q1..qk)) ∈ Δ}
                     σ⟨ A(q1, s̄1) × … × A(qk, s̄k) ⟩
 
@@ -53,7 +65,7 @@ Symbol = Hashable
 # Exact counting via bottom-up determinization
 # ----------------------------------------------------------------------
 
-def count_nfta_exact(nfta: NFTA, size: int, weight_of=None):
+def count_nfta_exact(nfta: NFTA, size: int, weight_of=None, backend=None):
     """``|L_n(T)|`` exactly — or its *weighted* generalisation.
 
     Bottom-up subset construction: every tree evaluates deterministically
@@ -68,7 +80,16 @@ def count_nfta_exact(nfta: NFTA, size: int, weight_of=None):
     automaton; see :func:`repro.core.pqe_estimate.pqe_estimate` with
     ``method='exact-weighted'``).  Weights may be ints, Fractions, or
     floats; the result type follows the weights (int when unweighted).
+
+    ``backend='optimized'`` (the default) runs the layer DP of
+    :mod:`repro.core.kernels` over the pruned dense automaton, with
+    layers memoized under the automaton fingerprint; exact arithmetic
+    makes the result bitwise-equal to the reference.  Float weights
+    (whose summation order matters) automatically use the reference DP.
     """
+    from repro.core import kernels
+
+    backend = kernels.resolve_backend(backend)
     if nfta.has_lambda:
         raise AutomatonError("count_nfta_exact requires a λ-free NFTA")
     if size < 1:
@@ -76,6 +97,26 @@ def count_nfta_exact(nfta: NFTA, size: int, weight_of=None):
     fault_point("counting.nfta")
     weigh = weight_of if weight_of is not None else (lambda _symbol: 1)
 
+    if backend == "optimized":
+        with span("counting.nfta_exact", size=size, backend=backend):
+            budget_checkpoint("counting.nfta")
+            result = kernels.dense_exact_count(
+                nfta, size, weigh,
+                checkpoint=lambda: budget_checkpoint("counting.nfta"),
+            )
+            if result is not kernels.FLOAT_WEIGHTS:
+                # Keep the per-call ``dp_cells`` total equal to the
+                # reference's one-increment-per-size, whether or not
+                # the layers came from the shared table.
+                metric_inc("count_nfta.dp_cells", size)
+                return result
+            return _count_nfta_exact_reference(nfta, size, weigh)
+    with span("counting.nfta_exact", size=size, backend=backend):
+        return _count_nfta_exact_reference(nfta, size, weigh)
+
+
+def _count_nfta_exact_reference(nfta: NFTA, size: int, weigh):
+    """The seed implementation, verbatim: frozenset-keyed subset DP."""
     groups: dict[tuple[Symbol, int], list[tuple[State, tuple[State, ...]]]] = {}
     for source, symbol, children in nfta.transitions:
         groups.setdefault((symbol, len(children)), []).append(
@@ -88,35 +129,34 @@ def count_nfta_exact(nfta: NFTA, size: int, weight_of=None):
         dict() for _ in range(size + 1)
     ]
 
-    with span("counting.nfta_exact", size=size):
-        for s in range(1, size + 1):
-            budget_checkpoint("counting.nfta")
-            metric_inc("count_nfta.dp_cells")
-            cell = table[s]
-            for (symbol, arity), rules in groups.items():
-                weight = weigh(symbol)
-                if not weight:
-                    continue
-                if arity == 0:
-                    if s == 1:
-                        subset = frozenset(source for source, _ in rules)
-                        cell[subset] = cell.get(subset, 0) + weight
-                    continue
-                if s < arity + 1:
-                    continue
-                for combo, count in _subset_combinations(table, arity, s - 1):
-                    evaluated = frozenset(
-                        source
-                        for source, children in rules
-                        if all(
-                            child in subset
-                            for child, subset in zip(children, combo)
-                        )
+    for s in range(1, size + 1):
+        budget_checkpoint("counting.nfta")
+        metric_inc("count_nfta.dp_cells")
+        cell = table[s]
+        for (symbol, arity), rules in groups.items():
+            weight = weigh(symbol)
+            if not weight:
+                continue
+            if arity == 0:
+                if s == 1:
+                    subset = frozenset(source for source, _ in rules)
+                    cell[subset] = cell.get(subset, 0) + weight
+                continue
+            if s < arity + 1:
+                continue
+            for combo, count in _subset_combinations(table, arity, s - 1):
+                evaluated = frozenset(
+                    source
+                    for source, children in rules
+                    if all(
+                        child in subset
+                        for child, subset in zip(children, combo)
                     )
-                    if evaluated:
-                        cell[evaluated] = (
-                            cell.get(evaluated, 0) + weight * count
-                        )
+                )
+                if evaluated:
+                    cell[evaluated] = (
+                        cell.get(evaluated, 0) + weight * count
+                    )
 
     return sum(
         count
@@ -286,38 +326,37 @@ class _SumNode:
 _ZERO = _ExactNode(())
 
 
-class _DerivabilityCache:
-    """Bottom-up derivable-state sets, memoized across sampled trees.
+class _DerivabilityIndex:
+    """Child-indexed rule tables for bottom-up membership checks.
 
-    Pools share subtree structure heavily, so caching by object identity
-    (with a keep-alive list to pin ids) makes repeated membership checks
-    cheap.
+    Immutable after construction and a pure function of the automaton,
+    so the optimized backend shares one instance across every counter
+    run over the same automaton (via :class:`_CounterPlan`).  Symbols
+    like the gadget bits 0/1 occur in *every* comparator, so scanning
+    all same-symbol rules per node is quadratic; iterating the (small)
+    derivable sets of the children against these indexes is
+    near-constant instead.
     """
 
+    __slots__ = ("leaf_sources", "unary_index", "binary_index", "generic")
+
     def __init__(self, nfta: NFTA):
-        self._nfta = nfta
-        self._memo: dict[int, frozenset[State]] = {}
-        self._keep_alive: list[LabeledTree] = []
-        # Child-indexed rule tables.  Symbols like the gadget bits 0/1
-        # occur in *every* comparator, so scanning all same-symbol rules
-        # per node is quadratic; iterating the (small) derivable sets of
-        # the children against these indexes is near-constant instead.
-        self._leaf_sources: dict[Symbol, frozenset[State]] = {}
-        self._unary_index: dict[Symbol, dict[State, tuple[State, ...]]] = {}
-        self._binary_index: dict[
+        self.leaf_sources: dict[Symbol, frozenset[State]] = {}
+        self.unary_index: dict[Symbol, dict[State, tuple[State, ...]]] = {}
+        self.binary_index: dict[
             Symbol, dict[tuple[State, State], tuple[State, ...]]
         ] = {}
-        self._generic: dict[tuple[Symbol, int], tuple] = {}
+        self.generic: dict[tuple[Symbol, int], tuple] = {}
         for (symbol, arity), rules in nfta.by_symbol_arity.items():
             if arity == 0:
-                self._leaf_sources[symbol] = frozenset(
+                self.leaf_sources[symbol] = frozenset(
                     source for source, _children in rules
                 )
             elif arity == 1:
                 table: dict[State, list[State]] = {}
                 for source, children in rules:
                     table.setdefault(children[0], []).append(source)
-                self._unary_index[symbol] = {
+                self.unary_index[symbol] = {
                     child: tuple(sources)
                     for child, sources in table.items()
                 }
@@ -327,12 +366,27 @@ class _DerivabilityCache:
                     pair_table.setdefault(
                         (children[0], children[1]), []
                     ).append(source)
-                self._binary_index[symbol] = {
+                self.binary_index[symbol] = {
                     pair: tuple(sources)
                     for pair, sources in pair_table.items()
                 }
             else:
-                self._generic[(symbol, arity)] = rules
+                self.generic[(symbol, arity)] = rules
+
+
+class _DerivabilityCache:
+    """Bottom-up derivable-state sets, memoized across sampled trees.
+
+    Pools share subtree structure heavily, so caching by object identity
+    (with a keep-alive list to pin ids) makes repeated membership checks
+    cheap.  The memo is per run (tree ids are run-local); the rule
+    ``index`` may be shared.
+    """
+
+    def __init__(self, nfta: NFTA, index: _DerivabilityIndex | None = None):
+        self._index = index if index is not None else _DerivabilityIndex(nfta)
+        self._memo: dict[int, frozenset[State]] = {}
+        self._keep_alive: list[LabeledTree] = []
 
     def states(self, tree: LabeledTree) -> frozenset[State]:
         cached = self._memo.get(id(tree))
@@ -340,9 +394,9 @@ class _DerivabilityCache:
             return cached
         arity = len(tree.children)
         if arity == 0:
-            result = self._leaf_sources.get(tree.label, frozenset())
+            result = self._index.leaf_sources.get(tree.label, frozenset())
         elif arity == 1:
-            table = self._unary_index.get(tree.label)
+            table = self._index.unary_index.get(tree.label)
             states: set[State] = set()
             if table:
                 for child_state in self.states(tree.children[0]):
@@ -351,7 +405,7 @@ class _DerivabilityCache:
                         states.update(sources)
             result = frozenset(states)
         elif arity == 2:
-            table2 = self._binary_index.get(tree.label)
+            table2 = self._index.binary_index.get(tree.label)
             states = set()
             if table2:
                 left = self.states(tree.children[0])
@@ -365,7 +419,7 @@ class _DerivabilityCache:
         else:
             child_sets = [self.states(child) for child in tree.children]
             states = set()
-            for source, children in self._generic.get(
+            for source, children in self._index.generic.get(
                 (tree.label, arity), ()
             ):
                 if all(
@@ -379,6 +433,52 @@ class _DerivabilityCache:
         return result
 
 
+class _CounterPlan:
+    """Seed-independent preprocessing shared across counter runs.
+
+    Everything here is a pure function of (automaton, size): the size
+    masks, the sorted needed (state, size) pairs, the split tables and
+    the derivability rule index.  Sharing it across ``count_nfta``
+    repetitions and batch items (keyed by the automaton fingerprint in
+    :func:`repro.core.kernels.shared_plan`) changes no RNG call: the
+    sampling loops below consume their streams exactly as the
+    reference does.  The splits memo is filled lazily; entries are
+    deterministic functions of their key, so concurrent writers are
+    redundant, never wrong.
+    """
+
+    __slots__ = ("size_masks", "sorted_pairs", "splits_memo", "derivability")
+
+    def __init__(self, nfta: NFTA, size: int):
+        self.size_masks = nfta.possible_sizes(size)
+        self.splits_memo: dict = {}
+        self.sorted_pairs = _sorted_needed_pairs(
+            nfta, size, self.size_masks, self.splits_memo
+        )
+        self.derivability = _DerivabilityIndex(nfta)
+
+
+def _sorted_needed_pairs(
+    nfta: NFTA, size: int, size_masks, splits_memo
+) -> tuple[tuple[State, int], ...]:
+    """The (state, size) pairs the DP needs, in evaluation order."""
+    needed: set[tuple[State, int]] = set()
+    stack = [(nfta.initial, size)]
+    while stack:
+        pair = stack.pop()
+        if pair in needed:
+            continue
+        needed.add(pair)
+        state, s = pair
+        for _source, _symbol, children in nfta.by_source.get(state, ()):
+            for split in _splits_from_masks(
+                size_masks, splits_memo, children, s - 1
+            ):
+                for child, child_size in zip(children, split):
+                    stack.append((child, child_size))
+    return tuple(sorted(needed, key=lambda p: (p[1], str(p[0]))))
+
+
 class _TreeCounter:
     def __init__(
         self,
@@ -389,6 +489,7 @@ class _TreeCounter:
         exact_set_cap: int,
         rng: random.Random,
         weight_of=None,
+        plan: _CounterPlan | None = None,
     ):
         if nfta.has_lambda:
             raise AutomatonError("count_nfta requires a λ-free NFTA")
@@ -399,8 +500,19 @@ class _TreeCounter:
         self._rng = rng
         self._weight_of = weight_of
         self._values: dict[tuple[State, int], object] = {}
-        self._size_masks = nfta.possible_sizes(size)
-        self._derivability = _DerivabilityCache(nfta)
+        self._optimized = plan is not None
+        if plan is not None:
+            self._size_masks = plan.size_masks
+            self._splits_memo = plan.splits_memo
+            self._sorted_pairs = plan.sorted_pairs
+            self._derivability = _DerivabilityCache(
+                nfta, index=plan.derivability
+            )
+        else:
+            self._size_masks = nfta.possible_sizes(size)
+            self._splits_memo = {}
+            self._sorted_pairs = None
+            self._derivability = _DerivabilityCache(nfta)
         self.samples_used = 0
 
     def _symbol_weight(self, symbol: Symbol) -> float:
@@ -438,29 +550,16 @@ class _TreeCounter:
         )
         if not self._mask_has(self._nfta.initial, self._size):
             return _ZERO
-        needed = self._collect_needed_pairs()
-        for pair in sorted(needed, key=lambda p: (p[1], str(p[0]))):
+        pairs = self._sorted_pairs
+        if pairs is None:
+            pairs = _sorted_needed_pairs(
+                self._nfta, self._size, self._size_masks, self._splits_memo
+            )
+        for pair in pairs:
             budget_checkpoint("counting.nfta")
             metric_inc("count_nfta.dp_cells")
             self._values[pair] = self._compute(pair)
         return self._values[(self._nfta.initial, self._size)]
-
-    def _collect_needed_pairs(self) -> set[tuple[State, int]]:
-        needed: set[tuple[State, int]] = set()
-        stack = [(self._nfta.initial, self._size)]
-        while stack:
-            pair = stack.pop()
-            if pair in needed:
-                continue
-            needed.add(pair)
-            state, s = pair
-            for _source, _symbol, children in self._nfta.by_source.get(
-                state, ()
-            ):
-                for split in self._splits(children, s - 1):
-                    for child, child_size in zip(children, split):
-                        stack.append((child, child_size))
-        return needed
 
     def _mask_has(self, state: State, s: int) -> bool:
         if s < 0:
@@ -469,38 +568,11 @@ class _TreeCounter:
 
     def _splits(
         self, children: tuple[State, ...], total: int
-    ) -> Iterator[tuple[int, ...]]:
+    ) -> tuple[tuple[int, ...], ...]:
         """Size compositions of ``total`` consistent with child size masks."""
-        if total < 0:
-            return
-        if not children:
-            if total == 0:
-                yield ()
-            return
-        masks = [self._size_masks.get(c, 0) for c in children]
-        suffix = [0] * (len(children) + 1)
-        suffix[len(children)] = 1  # {0}
-        for i in range(len(children) - 1, -1, -1):
-            suffix[i] = _sumset(masks[i], suffix[i + 1], total)
-
-        def rec(index: int, remaining: int) -> Iterator[tuple[int, ...]]:
-            if index == len(children):
-                if remaining == 0:
-                    yield ()
-                return
-            if remaining < 0 or not (suffix[index] >> remaining) & 1:
-                return
-            mask = masks[index]
-            s = 1
-            while (1 << s) <= mask and s <= remaining:
-                if (mask >> s) & 1 and (
-                    (suffix[index + 1] >> (remaining - s)) & 1
-                ):
-                    for rest in rec(index + 1, remaining - s):
-                        yield (s,) + rest
-                s += 1
-
-        yield from rec(0, total)
+        return _splits_from_masks(
+            self._size_masks, self._splits_memo, children, total
+        )
 
     # -- per-(state, size) computation ------------------------------------
 
@@ -583,22 +655,37 @@ class _TreeCounter:
         accepted = 0
         budget = self._samples
         max_attempts = budget * (1 + len(components))
-        while attempts < budget or (
-            accepted == 0 and attempts < max_attempts
-        ):
-            attempts += 1
-            self.samples_used += 1
-            budget_tick("counting.nfta")
-            metric_inc("count_nfta.samples_drawn")
-            pick = self._rng.random() * total_weight
-            index = _bisect(cumulative, pick)
-            tree = product_nodes[index].draw(self._rng)
-            owner = self._first_containing(components, tree)
-            if owner == index:
-                accepted += 1
-                accepted_trees.append(tree)
-            if attempts >= budget and accepted > 0:
-                break
+        if self._optimized:
+            from repro.core.kernels import TickBatcher
+
+            batcher = TickBatcher("counting.nfta", "count_nfta.samples_drawn")
+            tick = batcher.tick
+        else:
+            batcher = None
+
+            def tick() -> None:
+                budget_tick("counting.nfta")
+                metric_inc("count_nfta.samples_drawn")
+
+        try:
+            while attempts < budget or (
+                accepted == 0 and attempts < max_attempts
+            ):
+                attempts += 1
+                self.samples_used += 1
+                tick()
+                pick = self._rng.random() * total_weight
+                index = _bisect(cumulative, pick)
+                tree = product_nodes[index].draw(self._rng)
+                owner = self._first_containing(components, tree)
+                if owner == index:
+                    accepted += 1
+                    accepted_trees.append(tree)
+                if attempts >= budget and accepted > 0:
+                    break
+        finally:
+            if batcher is not None:
+                batcher.flush()
         if accepted == 0:
             raise EstimationError(
                 "tree union estimation rejected every sample"
@@ -690,6 +777,58 @@ def _exact_product_trees(
         yield LabeledTree(symbol, children)
 
 
+def _splits_from_masks(
+    size_masks, memo: dict, children: tuple[State, ...], total: int
+) -> tuple[tuple[int, ...], ...]:
+    """Memoized size compositions of ``total`` over the child masks.
+
+    Materialises the reference generator in its original yield order;
+    the memo (per counter run, or shared via a :class:`_CounterPlan`)
+    is keyed by the (children, total) pair, both value-hashable.
+    """
+    key = (children, total)
+    cached = memo.get(key)
+    if cached is None:
+        cached = tuple(_iter_splits(size_masks, children, total))
+        memo[key] = cached
+    return cached
+
+
+def _iter_splits(
+    size_masks, children: tuple[State, ...], total: int
+) -> Iterator[tuple[int, ...]]:
+    if total < 0:
+        return
+    if not children:
+        if total == 0:
+            yield ()
+        return
+    masks = [size_masks.get(c, 0) for c in children]
+    suffix = [0] * (len(children) + 1)
+    suffix[len(children)] = 1  # {0}
+    for i in range(len(children) - 1, -1, -1):
+        suffix[i] = _sumset(masks[i], suffix[i + 1], total)
+
+    def rec(index: int, remaining: int) -> Iterator[tuple[int, ...]]:
+        if index == len(children):
+            if remaining == 0:
+                yield ()
+            return
+        if remaining < 0 or not (suffix[index] >> remaining) & 1:
+            return
+        mask = masks[index]
+        s = 1
+        while (1 << s) <= mask and s <= remaining:
+            if (mask >> s) & 1 and (
+                (suffix[index + 1] >> (remaining - s)) & 1
+            ):
+                for rest in rec(index + 1, remaining - s):
+                    yield (s,) + rest
+            s += 1
+
+    yield from rec(0, total)
+
+
 def _sumset(mask_a: int, mask_b: int, limit: int) -> int:
     """Bitmask of { a + b : bit a of mask_a, bit b of mask_b }, ≤ limit."""
     out = 0
@@ -725,6 +864,7 @@ def count_nfta(
     repetitions: int = 1,
     weight_of=None,
     executor=None,
+    backend=None,
 ) -> CountResult:
     """Estimate ``|L_n(T)|`` — the paper's CountNFTA black box.
 
@@ -740,12 +880,26 @@ def count_nfta(
     repetition draws from its own RNG stream whose seed is derived up
     front from ``seed``, so the result is bitwise-identical to the
     sequential run regardless of how the executor schedules the tasks.
+
+    ``backend='optimized'`` (the default) shares the seed-independent
+    counter plan across repetitions and batch items and batches the
+    per-sample accounting; every estimate, accepted flag and sampled
+    tree is bitwise-identical to ``backend='reference'``.
     """
+    from repro.core import kernels
+
+    backend = kernels.resolve_backend(backend)
     if not 0 < epsilon < 1:
         raise EstimationError(f"epsilon must be in (0, 1), got {epsilon}")
     if repetitions < 1:
         raise EstimationError("repetitions must be >= 1")
     fault_point("counting.nfta")
+    plan = None
+    if backend == "optimized" and not nfta.has_lambda:
+        plan = kernels.shared_plan(
+            ("plan", nfta.fingerprint, size),
+            lambda: _CounterPlan(nfta, size),
+        )
     rng = random.Random(seed)
     repetition_seeds = [rng.randrange(2**63) for _ in range(repetitions)]
 
@@ -754,6 +908,7 @@ def count_nfta(
             nfta, size, epsilon, samples, exact_set_cap,
             random.Random(repetition_seed),
             weight_of=weight_of,
+            plan=plan,
         ).run()
 
     # Per-cell/per-sample counters inside _TreeCounter are attributed to
@@ -785,24 +940,48 @@ def sample_accepted_trees(
     seed: int | None = None,
     exact_set_cap: int = 4096,
     weight_of=None,
+    backend=None,
 ) -> list[LabeledTree]:
     """Draw ``k`` approximately-uniform members of ``L_n(T)``.
 
     With ``weight_of``, draws are approximately weight-proportional
-    instead of uniform.
+    instead of uniform.  The ``backend`` knob matches
+    :func:`count_nfta`: for a fixed seed both backends return the same
+    trees in the same order.
     """
+    from repro.core import kernels
+
+    backend = kernels.resolve_backend(backend)
+    plan = None
+    if backend == "optimized" and not nfta.has_lambda:
+        plan = kernels.shared_plan(
+            ("plan", nfta.fingerprint, size),
+            lambda: _CounterPlan(nfta, size),
+        )
     rng = random.Random(seed)
     counter = _TreeCounter(
         nfta, size, epsilon, None, exact_set_cap, rng,
         weight_of=weight_of,
+        plan=plan,
     )
     top = counter.top_node()
     if top.count <= 0:
         raise EstimationError("language is (estimated) empty; cannot sample")
     drawn: list[LabeledTree] = []
     with span("sampling.trees", k=k):
-        for _ in range(k):
-            budget_tick("sampling.trees")
-            metric_inc("sampling.trees_drawn")
-            drawn.append(top.draw(rng))
+        if plan is not None:
+            batcher = kernels.TickBatcher(
+                "sampling.trees", "sampling.trees_drawn"
+            )
+            try:
+                for _ in range(k):
+                    batcher.tick()
+                    drawn.append(top.draw(rng))
+            finally:
+                batcher.flush()
+        else:
+            for _ in range(k):
+                budget_tick("sampling.trees")
+                metric_inc("sampling.trees_drawn")
+                drawn.append(top.draw(rng))
     return drawn

@@ -372,6 +372,7 @@ def _run_batch(args, pdb: ProbabilisticDatabase) -> int:
         epsilon=args.epsilon,
         seed=args.seed,
         repetitions=args.repetitions,
+        kernel_backend=args.kernel_backend,
     )
     cache = None
     if args.cache_dir:
@@ -610,6 +611,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="median-of-k amplification for randomized methods",
     )
     parser.add_argument(
+        "--kernel-backend", default="optimized",
+        choices=["optimized", "reference"],
+        help="counting-kernel implementation (bitwise-identical "
+             "results; 'reference' is the direct transcription of the "
+             "paper's pseudocode, for triage — see docs/performance.md)",
+    )
+    parser.add_argument(
         "--timeout", type=_positive_float, default=None, metavar="SECONDS",
         help="wall-clock deadline per evaluation (per item for --batch), "
              "enforced at cooperative checkpoints",
@@ -698,6 +706,7 @@ def main(argv: Iterable[str] | None = None) -> int:
             epsilon=args.epsilon,
             seed=args.seed,
             repetitions=args.repetitions,
+            kernel_backend=args.kernel_backend,
         )
         if args.explain:
             print(f"plan:    {engine.explain(query, pdb).describe()}")

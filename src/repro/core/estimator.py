@@ -170,6 +170,13 @@ class PQEEngine:
         exact (seed-independent) count results.  Randomized counting is
         unaffected — sampled counts are never cached.  Per-call
         ``cache`` arguments override it.
+    kernel_backend:
+        Counting-kernel implementation used by the FPRAS and Karp–Luby
+        routes: ``'optimized'`` (default; dense-interned layer DP and
+        batched sampling, see :mod:`repro.core.kernels`) or
+        ``'reference'`` (the direct transcription of the paper's
+        pseudocode).  Both produce bitwise-identical answers for any
+        seed — the knob exists for differential testing and triage.
     """
 
     def __init__(
@@ -180,7 +187,10 @@ class PQEEngine:
         repetitions: int = 1,
         cache: ReductionCache | None = None,
         exact_set_cap: int = 4096,
+        kernel_backend: str = "optimized",
     ):
+        from repro.core.kernels import resolve_backend
+
         if not 0 < epsilon < 1:
             raise ReproError(f"epsilon must be in (0, 1), got {epsilon}")
         self.epsilon = epsilon
@@ -189,6 +199,7 @@ class PQEEngine:
         self.repetitions = repetitions
         self.cache = cache
         self.exact_set_cap = exact_set_cap
+        self.kernel_backend = resolve_backend(kernel_backend)
 
     # ------------------------------------------------------------------
 
@@ -255,6 +266,7 @@ class PQEEngine:
                     exact_set_cap=self.exact_set_cap,
                     method=method,
                     cache=cache,
+                    backend=self.kernel_backend,
                 )
             return PQEAnswer(estimate.estimate, method, estimate.exact)
         if method == "lineage-exact":
@@ -270,6 +282,7 @@ class PQEEngine:
                     projected.probabilities,
                     epsilon=self.epsilon,
                     seed=seed,
+                    backend=self.kernel_backend,
                 )
             return PQEAnswer(result.estimate, "karp-luby", False)
         if method == "monte-carlo":
@@ -471,6 +484,7 @@ class PQEEngine:
                     repetitions=self.repetitions,
                     exact_set_cap=self.exact_set_cap,
                     cache=cache,
+                    backend=self.kernel_backend,
                 )
             return PQEAnswer(estimate.estimate, "fpras", estimate.exact)
         if method == "enumerate":

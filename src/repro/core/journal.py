@@ -105,7 +105,8 @@ def batch_fingerprint(items, seed, engine) -> str:
     digest.update(
         f"repro-journal:{JOURNAL_VERSION}:{seed}:"
         f"{engine.epsilon!r}:{engine.repetitions}:"
-        f"{engine.lineage_budget}:{engine.exact_set_cap}".encode()
+        f"{engine.lineage_budget}:{engine.exact_set_cap}:"
+        f"{engine.kernel_backend}".encode()
     )
     for item in items:
         digest.update(

@@ -256,6 +256,7 @@ def pqe_estimate(
     method: str = "fpras",
     cache=None,
     executor=None,
+    backend=None,
 ) -> PQEEstimate:
     """Theorem 1's PQEEstimate: (1 ± ε)-approximation of ``Pr_H(Q)``.
 
@@ -285,14 +286,24 @@ def pqe_estimate(
         Optional :class:`concurrent.futures.Executor` over which
         median-of-``repetitions`` runs are fanned out (see
         :func:`repro.automata.nfta_counting.count_nfta`).
+    backend:
+        Counting-kernel backend, ``'optimized'`` (default) or
+        ``'reference'`` — see :mod:`repro.core.kernels`.  Both are
+        bitwise-identical for any seed; the knob exists for
+        differential testing and triage.
     """
+    from repro.core.kernels import resolve_backend
+
+    backend = resolve_backend(backend)
     weighted = method in ("fpras-weighted", "exact-weighted")
     reduction = build_pqe_reduction(
         query, pdb, decomposition=decomposition, weighted=weighted,
         cache=cache,
     )
     if method == "exact-automaton":
-        exact_count = count_nfta_exact(reduction.nfta, reduction.tree_size)
+        exact_count = count_nfta_exact(
+            reduction.nfta, reduction.tree_size, backend=backend
+        )
         count_result = CountResult(
             estimate=float(exact_count), exact=True, samples_used=0
         )
@@ -301,6 +312,7 @@ def pqe_estimate(
             reduction.nfta,
             reduction.tree_size,
             weight_of=reduction.weight_of,
+            backend=backend,
         )
         count_result = CountResult(
             estimate=float(measure), exact=True, samples_used=0
@@ -317,6 +329,7 @@ def pqe_estimate(
                 repetitions=repetitions,
                 weight_of=reduction.weight_of if weighted else None,
                 executor=executor,
+                backend=backend,
             )
 
         if cache is not None and decomposition is None:
@@ -325,10 +338,13 @@ def pqe_estimate(
             # automaton, tree size, weights, and the cap — not on the
             # seed), so exact counts are shareable across batch items;
             # sampled counts are seed-dependent and stay private.
+            # The backend is part of the key even though both backends
+            # are bitwise-identical: it keeps differential runs from
+            # serving one backend's result to the other.
             count_result = cache.get_or_build(
                 (
                     "count", "pqe", query.cache_token, pdb.cache_token,
-                    method, exact_set_cap,
+                    method, exact_set_cap, backend,
                 ),
                 run_count,
                 cache_if=lambda result: result.exact,

@@ -59,6 +59,7 @@ def ur_estimate(
     method: str = "fpras",
     cache=None,
     executor=None,
+    backend=None,
 ) -> UREstimate:
     """Theorem 3's UREstimate: a (1 ± ε)-approximation of UR(Q, D).
 
@@ -81,12 +82,21 @@ def ur_estimate(
     executor:
         Optional :class:`concurrent.futures.Executor` over which
         median-of-``repetitions`` runs are fanned out.
+    backend:
+        Counting-kernel backend, ``'optimized'`` (default) or
+        ``'reference'`` — see :mod:`repro.core.kernels`.  Bitwise-
+        identical results either way.
     """
+    from repro.core.kernels import resolve_backend
+
+    backend = resolve_backend(backend)
     reduction = build_ur_reduction(
         query, instance, decomposition=decomposition, cache=cache
     )
     if method == "exact-automaton":
-        exact_count = count_nfta_exact(reduction.nfta, reduction.tree_size)
+        exact_count = count_nfta_exact(
+            reduction.nfta, reduction.tree_size, backend=backend
+        )
         count_result = CountResult(
             estimate=float(exact_count), exact=True, samples_used=0
         )
@@ -101,15 +111,17 @@ def ur_estimate(
                 exact_set_cap=exact_set_cap,
                 repetitions=repetitions,
                 executor=executor,
+                backend=backend,
             )
 
         if cache is not None and decomposition is None:
             # Exact (seed-independent) counts are shareable; sampled
-            # ones stay private.  See pqe_estimate for the rationale.
+            # ones stay private.  See pqe_estimate for the rationale
+            # (including why the backend is in the key).
             count_result = cache.get_or_build(
                 (
                     "count", "ur", query.cache_token,
-                    instance.cache_token, exact_set_cap,
+                    instance.cache_token, exact_set_cap, backend,
                 ),
                 run_count,
                 cache_if=lambda result: result.exact,

@@ -62,12 +62,24 @@ def karp_luby_probability(
     delta: float = 0.1,
     seed: int | None = None,
     samples: int | None = None,
+    backend=None,
 ) -> KarpLubyResult:
     """Estimate ``Pr[φ]`` for a monotone DNF under independent facts.
 
     Each sample charges one work unit against any active
     :class:`~repro.core.budget.EvaluationBudget`.
+
+    ``backend='optimized'`` (the default; see
+    :mod:`repro.core.kernels`) interns the relevant facts to bit
+    positions so worlds are int masks, precomputes each clause's
+    free-fact list, and batches the per-sample budget/metric ticks.
+    The RNG is consulted for exactly the same facts in exactly the
+    reference order, so the estimate is bitwise-identical to
+    ``backend='reference'`` for any seed.
     """
+    from repro.core.kernels import resolve_backend
+
+    backend = resolve_backend(backend)
     fault_point("lineage.karp_luby")
     if formula.is_false():
         return KarpLubyResult(estimate=0.0, samples=0, accepted=0)
@@ -97,23 +109,29 @@ def karp_luby_probability(
     accepted = 0
     metric_gauge("karp_luby.clauses", len(clauses))
     with span("lineage.karp_luby", samples=samples):
-        for _ in range(samples):
-            budget_tick("lineage.karp_luby")
-            metric_inc("karp_luby.samples_drawn")
-            pick = rng.random() * total_weight
-            index = _bisect(cumulative, pick)
-            forced = clauses[index]
-            world = set(forced)
-            for fact in relevant:
-                if fact not in forced and rng.random() < float_probs[fact]:
-                    world.add(fact)
-            world_frozen = frozenset(world)
-            first = next(
-                i for i, clause in enumerate(clauses)
-                if clause <= world_frozen
+        if backend == "optimized":
+            accepted = _sample_optimized(
+                rng, samples, clauses, cumulative, total_weight,
+                relevant, float_probs,
             )
-            if first == index:
-                accepted += 1
+        else:
+            for _ in range(samples):
+                budget_tick("lineage.karp_luby")
+                metric_inc("karp_luby.samples_drawn")
+                pick = rng.random() * total_weight
+                index = _bisect(cumulative, pick)
+                forced = clauses[index]
+                world = set(forced)
+                for fact in relevant:
+                    if fact not in forced and rng.random() < float_probs[fact]:
+                        world.add(fact)
+                world_frozen = frozenset(world)
+                first = next(
+                    i for i, clause in enumerate(clauses)
+                    if clause <= world_frozen
+                )
+                if first == index:
+                    accepted += 1
         metric_inc("karp_luby.samples_accepted", accepted)
 
     return KarpLubyResult(
@@ -121,6 +139,57 @@ def karp_luby_probability(
         samples=samples,
         accepted=accepted,
     )
+
+
+def _sample_optimized(
+    rng, samples, clauses, cumulative, total_weight, relevant, float_probs
+) -> int:
+    """The bitmask sampling loop of the optimized kernel backend.
+
+    Worlds are int masks over the ``relevant`` fact order; each clause
+    precomputes its mask and its free (non-forced) facts *in the same
+    relevant order the reference iterates*, so the two backends draw
+    identical RNG sequences — ``world ⊨ C_i`` becomes one AND compare.
+    """
+    from repro.core.kernels import TickBatcher
+
+    bit_of = {fact: 1 << i for i, fact in enumerate(relevant)}
+    clause_masks = []
+    free_lists = []
+    for clause in clauses:
+        mask = 0
+        for fact in clause:
+            mask |= bit_of[fact]
+        clause_masks.append(mask)
+        free_lists.append(
+            tuple(
+                (bit_of[fact], float_probs[fact])
+                for fact in relevant
+                if fact not in clause
+            )
+        )
+
+    accepted = 0
+    random_ = rng.random
+    batcher = TickBatcher("lineage.karp_luby", "karp_luby.samples_drawn")
+    try:
+        for _ in range(samples):
+            batcher.tick()
+            pick = random_() * total_weight
+            index = _bisect(cumulative, pick)
+            world = clause_masks[index]
+            for bit, probability in free_lists[index]:
+                if random_() < probability:
+                    world |= bit
+            first = next(
+                i for i, mask in enumerate(clause_masks)
+                if mask & world == mask
+            )
+            if first == index:
+                accepted += 1
+    finally:
+        batcher.flush()
+    return accepted
 
 
 def _bisect(cumulative: list[float], pick: float) -> int:

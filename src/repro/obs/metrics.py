@@ -8,8 +8,9 @@ by dotted names from the catalogue in ``docs/observability.md``:
   layer: for a fixed seed they are bitwise-identical run to run, and —
   because cache accounting depends only on the request multiset (see
   :mod:`repro.core.cache`) — the *merged* batch counters are identical
-  at any worker count too, with the single documented exception of
-  :data:`SCHEDULING_SENSITIVE`.
+  at any worker count too, with the documented exceptions of
+  :data:`SCHEDULING_SENSITIVE` and the history-dependent
+  :data:`SCHEDULING_SENSITIVE_PREFIXES` families.
 - **gauges** — last-written values (automaton sizes, tree sizes).
 - **histograms** — summarised distributions (count/total/min/max) of
   timing-like observations; these are *not* deterministic and tests
@@ -32,6 +33,7 @@ __all__ = [
     "MetricsRegistry",
     "REPLAY_SENSITIVE_PREFIXES",
     "SCHEDULING_SENSITIVE",
+    "SCHEDULING_SENSITIVE_PREFIXES",
 ]
 
 #: Counter names whose *merged* batch totals legitimately depend on
@@ -40,6 +42,17 @@ __all__ = [
 #: no lookup ever waits, so the total varies with pool width by design.
 #: Determinism tests exclude exactly these names.
 SCHEDULING_SENSITIVE = frozenset({"cache.inflight_waits"})
+
+#: Counter-name *prefixes* outside the bitwise contract.  The
+#: ``kernels.`` family instruments the optimized counting backend's
+#: process-global stores (:mod:`repro.core.kernels`): whether a plan or
+#: DP layer is a hit or a freshly built miss — and therefore which
+#: evaluation the preprocessing/layer-fill work is attributed to —
+#: depends on everything that ran earlier in the process, not on the
+#: item and its seed.  The *answers* those kernels produce remain
+#: bitwise-identical to the reference backend; only this bookkeeping is
+#: history-dependent.
+SCHEDULING_SENSITIVE_PREFIXES = ("kernels.",)
 
 #: Counter-name prefixes whose per-item totals depend on which *other*
 #: items ran in the same process: cache traffic (a key is a miss only
@@ -59,12 +72,19 @@ REPLAY_SENSITIVE_PREFIXES = (
     "decomposition.",
     "diskcache.",
     "journal.",
+    "kernels.",
     "procpool.",
 )
 
 
-def _replay_stable(name: str) -> bool:
+def _deterministic(name: str) -> bool:
     return name not in SCHEDULING_SENSITIVE and not name.startswith(
+        SCHEDULING_SENSITIVE_PREFIXES
+    )
+
+
+def _replay_stable(name: str) -> bool:
+    return _deterministic(name) and not name.startswith(
         REPLAY_SENSITIVE_PREFIXES
     )
 
@@ -169,12 +189,13 @@ class MetricsRegistry:
             }
 
     def deterministic_counters(self) -> dict[str, int]:
-        """Counters minus the scheduling-sensitive names — the part of
-        the registry covered by the bitwise-reproducibility contract."""
+        """Counters minus the scheduling-sensitive names and prefixes —
+        the part of the registry covered by the bitwise-reproducibility
+        contract."""
         return {
             name: value
             for name, value in self.counters.items()
-            if name not in SCHEDULING_SENSITIVE
+            if _deterministic(name)
         }
 
     def replay_stable_counters(self) -> dict[str, int]:

@@ -57,9 +57,13 @@ def random_instance_for_query(
 
     if ensure_satisfiable:
         # Canonical witness: map every variable to a random constant
-        # (consistently) and add the induced facts.
+        # (consistently) and add the induced facts.  Sorted iteration
+        # keeps the draws — and therefore the instance — independent of
+        # the hash seed: the same (query, seed) must produce the same
+        # facts in every process.
         assignment = {
-            var: rng.choice(constants) for var in query.variables
+            var: rng.choice(constants)
+            for var in sorted(query.variables, key=str)
         }
         for atom in query.atoms:
             facts.add(

@@ -1,4 +1,4 @@
-"""Shared fixtures for the repro test suite."""
+"""Shared fixtures and options for the repro test suite."""
 
 from __future__ import annotations
 
@@ -6,6 +6,22 @@ import pytest
 
 from repro.db import DatabaseInstance, Fact, ProbabilisticDatabase
 from repro.queries import parse_query, path_query
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ from the current implementation "
+             "instead of comparing against it (review the diff!)",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should refresh the golden corpus on disk."""
+    return request.config.getoption("--update-golden")
 
 
 @pytest.fixture

@@ -1,0 +1,70 @@
+"""Lint: no unseeded randomness anywhere in ``src/repro/``.
+
+Every estimate this repository produces carries a bitwise-
+reproducibility promise: same inputs + same seed = same bits, at any
+worker count, on any machine.  A single call to the *module-level*
+``random.random()`` (the shared, unseeded global RNG) or to
+``random.Random()`` with no argument (seeded from the OS) anywhere in a
+hot path silently voids that promise — and such a call is invisible to
+the differential and determinism suites unless it happens to land in a
+compared code path.
+
+So this test greps the entire source tree: randomness must always flow
+from an explicit ``random.Random(seed)`` (or an injected RNG object).
+Test code is free to use whatever it likes; only ``src/repro/`` is
+constrained.
+
+If a genuinely nondeterministic default is ever wanted, spell it
+``random.Random(None)`` — explicit, greppable, and excluded from this
+lint by construction.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+SRC = pathlib.Path(__file__).parent.parent / "src" / "repro"
+
+#: Module-level RNG calls: random.random(), random.randint(…),
+#: random.choice(…), random.sample(…), random.shuffle(…) — any direct
+#: use of the global RNG.  ``random.Random``/``random.SystemRandom``
+#: constructors are handled by _BARE_CONSTRUCTOR below.
+_GLOBAL_RNG = re.compile(
+    r"\brandom\.(random|randint|randrange|choice|choices|sample|"
+    r"shuffle|uniform|betavariate|gauss|expovariate)\s*\("
+)
+
+#: ``random.Random()`` with an empty argument list: OS-seeded.
+_BARE_CONSTRUCTOR = re.compile(r"\brandom\.Random\(\s*\)")
+
+
+def _violations() -> list[str]:
+    found = []
+    for path in sorted(SRC.rglob("*.py")):
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            stripped = line.split("#", 1)[0]
+            if _GLOBAL_RNG.search(stripped) or _BARE_CONSTRUCTOR.search(
+                stripped
+            ):
+                found.append(
+                    f"{path.relative_to(SRC.parent.parent)}:{number}: "
+                    f"{line.strip()}"
+                )
+    return found
+
+
+def test_source_tree_exists():
+    assert SRC.is_dir(), f"expected source tree at {SRC}"
+    assert any(SRC.rglob("*.py"))
+
+
+def test_no_bare_random_in_src():
+    violations = _violations()
+    assert not violations, (
+        "unseeded RNG use in src/repro/ breaks the bitwise-"
+        "reproducibility contract; thread an explicit "
+        "random.Random(seed) instead:\n" + "\n".join(violations)
+    )

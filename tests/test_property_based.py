@@ -1,6 +1,7 @@
-"""Property-based (hypothesis) tests for the parser and the sampler.
+"""Property-based (hypothesis) tests for the parser, the sampler, and
+the kernel-optimization layer.
 
-Two invariant families the example-based suites cannot exhaustively
+Three invariant families the example-based suites cannot exhaustively
 cover:
 
 - **Parser round-trip**: ``parse_query(str(q)) == q`` for arbitrary
@@ -11,6 +12,11 @@ cover:
   subinstance that (a) only contains facts of the input database,
   (b) satisfies the query, and (c) never trips the duplicate-fact
   invariant that guards the reduction.
+- **Automaton optimization**: over random NFTAs seeded with dead
+  states, unreachable states, and duplicate transitions,
+  :func:`repro.automata.optimize.optimize_nfta` must preserve
+  ``|L_k(T)|`` for every k ≤ 6, and the dense layer DP must equal the
+  reference DP bit for bit (see also ``test_kernel_differential``).
 """
 
 import random
@@ -18,6 +24,9 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.automata.nfta import NFTA
+from repro.automata.nfta_counting import count_nfta_exact
+from repro.automata.optimize import optimize_nfta
 from repro.core.sampling import (
     sample_posterior_worlds,
     sample_satisfying_subinstances,
@@ -166,3 +175,86 @@ def test_sampling_is_deterministic_under_a_seed(seed):
     first = sample_satisfying_subinstances(query, instance, k=5, seed=seed)
     second = sample_satisfying_subinstances(query, instance, k=5, seed=seed)
     assert first == second
+
+
+# ---------------------------------------------------------------------
+# Automaton optimization invariants
+# ---------------------------------------------------------------------
+
+def _messy_random_nfta(rng: random.Random) -> NFTA:
+    """A random NFTA deliberately salted with the structures the
+    optimizer must handle: duplicate transitions, dead (unproductive)
+    states, and unreachable states."""
+    num_states = rng.randint(2, 5)
+    names = [f"s{i}" for i in range(num_states)]
+    transitions = []
+    for source in names:
+        for symbol in "ab":
+            if rng.random() < 0.55:
+                transitions.append((source, symbol, ()))
+            for arity in (1, 2, 3):
+                for _ in range(rng.randint(0, 2 if arity < 3 else 1)):
+                    children = tuple(
+                        rng.choice(names) for _ in range(arity)
+                    )
+                    transitions.append((source, symbol, children))
+    # Duplicate a few existing transitions verbatim.
+    for _ in range(rng.randint(0, 3)):
+        if transitions:
+            transitions.append(rng.choice(transitions))
+    # A dead state: consumes itself, never derives a finite tree.
+    transitions.append(("dead", "a", ("dead",)))
+    if rng.random() < 0.5:
+        transitions.append((names[0], "a", ("dead",)))
+    # An unreachable state with a perfectly fine derivation of its own.
+    transitions.append(("island", "b", ()))
+    transitions.append(("island", "a", ("island",)))
+    return NFTA(transitions, initial=names[0])
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_pruning_preserves_language_counts(seed):
+    rng = random.Random(seed)
+    nfta = _messy_random_nfta(rng)
+    pruned = optimize_nfta(nfta).as_nfta()
+    for k in range(1, 7):
+        assert count_nfta_exact(
+            pruned, k, backend="reference"
+        ) == count_nfta_exact(nfta, k, backend="reference")
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_dense_dp_equals_reference_dp(seed):
+    rng = random.Random(seed)
+    nfta = _messy_random_nfta(rng)
+    weights = {"a": rng.randint(0, 4), "b": rng.randint(1, 5)}
+    for k in range(1, 7):
+        assert count_nfta_exact(
+            nfta, k, backend="optimized"
+        ) == count_nfta_exact(nfta, k, backend="reference")
+        assert count_nfta_exact(
+            nfta, k, weight_of=weights.get, backend="optimized"
+        ) == count_nfta_exact(
+            nfta, k, weight_of=weights.get, backend="reference"
+        )
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_optimization_report_is_consistent(seed):
+    rng = random.Random(seed)
+    nfta = _messy_random_nfta(rng)
+    dense = optimize_nfta(nfta)
+    report = dense.report
+    assert report.states_after == dense.num_states <= report.states_before
+    assert report.transitions_after == len(dense.transitions)
+    assert report.states_pruned >= 1      # 'dead' and 'island' exist
+    assert report.transitions_pruned >= 2
+    assert report.transitions_deduped >= 0
+    # The initial state survives (or the automaton is empty) and is
+    # always interned as bit 0.
+    if dense.num_states:
+        assert dense.states[0] == nfta.initial
+        assert dense.initial_bit == 1
