@@ -56,6 +56,11 @@ from repro.queries import (
     path_query,
     star_query,
 )
+from repro.queries.lifted import (
+    LiftedClassification,
+    classify_query,
+    lifted_probability,
+)
 from repro.queries.safe_plan import safe_plan_probability
 
 __version__ = "1.0.0"
@@ -86,6 +91,10 @@ __all__ = [
     "exact_probability",
     "exact_uniform_reliability",
     "safe_plan_probability",
+    # lifted fast path
+    "LiftedClassification",
+    "classify_query",
+    "lifted_probability",
     # sampling
     "sample_satisfying_subinstances",
     "sample_posterior_worlds",

@@ -594,10 +594,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--method",
         default="auto",
         choices=[
-            "auto", "safe-plan", "fpras", "fpras-weighted",
+            "auto", "lifted", "safe-plan", "fpras", "fpras-weighted",
             "lineage-exact", "karp-luby", "monte-carlo", "enumerate",
         ],
-        help="evaluation method (default: auto routing)",
+        help="evaluation method (default: auto routing, which takes "
+             "the exact lifted fast path whenever the query is safe)",
     )
     parser.add_argument(
         "--epsilon", type=_epsilon, default=0.25,

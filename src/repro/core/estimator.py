@@ -7,11 +7,13 @@ pair to the cheapest applicable method, mirroring Table 1:
 ======================  ============================================
 query                   route (method='auto')
 ======================  ============================================
-safe (hierarchical) +   exact safe plan — polynomial, exact
-self-join-free
+safe (lifted plan       lifted inference — polynomial, exact, no
+exists: hierarchical    sampling (see :mod:`repro.queries.lifted`);
+SJF, or shatterable     the top rung of the ladder
+self-join)
 unsafe + SJF +          the paper's FPRAS (Theorem 1); exact lineage
 bounded width           instead when the lineage is tiny
-self-joins              lineage: exact WMC when small, Karp–Luby
+self-joins (unlifted)   lineage: exact WMC when small, Karp–Luby
                         otherwise (the FPRAS requires SJF)
 ======================  ============================================
 """
@@ -41,6 +43,11 @@ from repro.lineage.build import build_lineage
 from repro.lineage.exact_wmc import dnf_probability
 from repro.lineage.karp_luby import karp_luby_probability
 from repro.queries.cq import ConjunctiveQuery
+from repro.queries.lifted import (
+    classify_query,
+    evaluate_lifted_plan,
+    lifted_probability,
+)
 from repro.queries.properties import is_hierarchical
 from repro.queries.safe_plan import safe_plan_probability
 
@@ -52,6 +59,7 @@ _UNSET = object()
 
 _METHODS = (
     "auto",
+    "lifted",
     "safe-plan",
     "fpras",
     "fpras-weighted",
@@ -91,6 +99,12 @@ class PQEAnswer:
         """True when this answer came from a fallback route or retry."""
         return bool(self.degradations)
 
+    @property
+    def route(self) -> str:
+        """The evaluation route that produced this answer (alias of
+        ``method``; ``"lifted"`` marks the exact lifted fast path)."""
+        return self.method
+
     def __float__(self) -> float:
         return self.value
 
@@ -113,11 +127,23 @@ class PQEPlan:
     nfta_states: int | None         # Theorem 1 automaton (SJF only)
     nfta_transitions: int | None
     tree_size: int | None
+    #: The lifted router's verdict: 'safe' (an exact polynomial lifted
+    #: plan exists), 'unsafe' (#P-hard by the dichotomy) or 'unknown'
+    #: (the lifted rule set does not apply).  See
+    #: :func:`repro.queries.lifted.classify_query`.
+    safety: str | None = None
     fallbacks: tuple[str, ...] = ()  # degradation ladder under failure
+
+    @property
+    def route(self) -> str:
+        """Alias of ``method`` — what ``'auto'`` would run."""
+        return self.method
 
     def describe(self) -> str:
         """A human-readable one-paragraph summary."""
         parts = [f"route: {self.method}"]
+        if self.safety is not None:
+            parts.append(f"safety: {self.safety}")
         parts.append(
             "self-join-free" if self.self_join_free else "has self-joins"
         )
@@ -251,6 +277,13 @@ class PQEEngine:
         cache = self.cache if cache is None else cache
         if method == "auto":
             return self._auto_probability(query, pdb, seed, cache)
+        if method == "lifted":
+            # Exact lifted inference; raises UnsafeQueryError /
+            # UnknownSafetyError when no safe plan exists, which the
+            # resilience ladder degrades through to the FPRAS rungs.
+            with span("route.lifted"):
+                value = lifted_probability(query, pdb)
+            return PQEAnswer(float(value), "lifted", True, value)
         if method == "safe-plan":
             with span("route.safe-plan"):
                 value = safe_plan_probability(query, pdb)
@@ -303,9 +336,13 @@ class PQEEngine:
         seed,
         cache: ReductionCache | None,
     ) -> PQEAnswer:
-        if query.is_self_join_free and is_hierarchical(query):
-            value = safe_plan_probability(query, pdb)
-            return PQEAnswer(float(value), "safe-plan", True, value)
+        classification = classify_query(query)
+        if classification.safe:
+            with span("route.lifted"):
+                value = evaluate_lifted_plan(
+                    classification.plan, pdb, query.relation_names
+                )
+            return PQEAnswer(float(value), "lifted", True, value)
         if query.is_self_join_free:
             small = self._try_small_lineage(query, pdb)
             if small is not None:
@@ -374,8 +411,9 @@ class PQEEngine:
         except LineageSizeBudgetExceeded:
             clauses = None
 
-        if sjf and hierarchical:
-            method = "safe-plan"
+        classification = classify_query(query)
+        if classification.safe:
+            method = "lifted"
         elif sjf:
             method = "lineage-exact" if clauses is not None else "fpras"
         else:
@@ -385,6 +423,7 @@ class PQEEngine:
 
         return PQEPlan(
             fallbacks=degradation_ladder(query),
+            safety=classification.status,
             method=method,
             self_join_free=sjf,
             hierarchical=hierarchical,
@@ -456,7 +495,7 @@ class PQEEngine:
                 )
         seed = self.seed if seed is _UNSET else seed
         cache = self.cache if cache is None else cache
-        if method in ("auto", "safe-plan", "lineage-exact"):
+        if method in ("auto", "lifted", "safe-plan", "lineage-exact"):
             pdb = ProbabilisticDatabase.uniform(instance)
             answer = self.probability(
                 query,

@@ -5,7 +5,8 @@ this module supplies the policy for what to do when that method fails
 or blows its :class:`~repro.core.budget.EvaluationBudget`.  Routes
 degrade along the ladder
 
-    exact WMC  →  FPRAS (Karp–Luby for self-joins)  →  Monte-Carlo
+    lifted (safe queries only)  →  exact WMC  →  FPRAS (Karp–Luby for
+    self-joins)  →  Monte-Carlo
 
 with the approximation target ε *widened* at each step: later rungs
 are coarser but strictly cheaper, so an item that cannot finish its
@@ -42,6 +43,8 @@ from repro.errors import (
     EstimationError,
     LineageError,
     ReproError,
+    UnknownSafetyError,
+    UnsafeQueryError,
     WidthExceededError,
 )
 
@@ -65,6 +68,8 @@ DEGRADABLE_ERRORS = (
     BudgetExceededError,
     WidthExceededError,
     LineageError,
+    UnsafeQueryError,
+    UnknownSafetyError,
 )
 
 
@@ -135,7 +140,11 @@ def degradation_ladder(query, task: str = "probability",
                        method: str = "auto") -> tuple[str, ...]:
     """The fallback routes for ``query``, most-preferred first.
 
-    For ``method='auto'`` the ladder starts with the engine's normal
+    Queries the lifted router certifies *safe* start at the ``lifted``
+    rung — exact, polynomial, zero-ε — which subsumes ``auto`` for them
+    (auto routes safe queries to the same plan), so ``auto`` is dropped
+    from their ladder rather than re-running lifted on failure.  For
+    everything else ``method='auto'`` starts with the engine's normal
     auto routing (which already prefers exact answers), then repeats
     the randomized leg with widened ε, then lands on plain Monte-Carlo
     — the only route whose per-sample cost is independent of the
@@ -149,6 +158,12 @@ def degradation_ladder(query, task: str = "probability",
     randomized = "fpras" if query.is_self_join_free else "karp-luby"
     tail = (randomized, "monte-carlo")
     if method == "auto":
+        # Lazy import: the estimator imports this module's siblings and
+        # queries.lifted at module scope; keep resilience import-light.
+        from repro.queries.lifted import classify_query
+
+        if classify_query(query).safe:
+            return ("lifted",) + tail
         return ("auto",) + tail
     if method in tail:
         return tail[tail.index(method):]

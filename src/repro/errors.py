@@ -68,6 +68,29 @@ class SelfJoinError(QueryError):
     repeated relation symbols."""
 
 
+class UnsafeQueryError(QueryError):
+    """The lifted router *proved* a query unsafe (#P-hard exactly).
+
+    Raised by :func:`repro.queries.lifted.lifted_probability` when the
+    Dalvi–Suciu dichotomy witnesses hardness (a self-join-free CQ that
+    is not hierarchical).  Degradable: the resilience ladder falls
+    through to the FPRAS / intensional routes on it.
+    """
+
+
+class UnknownSafetyError(QueryError):
+    """The lifted router could not build a safe plan, but hardness is
+    not established either.
+
+    The implemented rule set (independent join/project with separator
+    variables, shattering, independent union, inclusion–exclusion over
+    minimized disjuncts) is sound but incomplete for self-join CQs and
+    UCQs; queries it cannot lift are classified ``unknown`` and routed
+    through the existing ladder.  Degradable, like
+    :class:`UnsafeQueryError`.
+    """
+
+
 class SchemaError(ReproError):
     """A fact or relation is inconsistent with the declared schema."""
 

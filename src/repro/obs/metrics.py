@@ -51,8 +51,15 @@ SCHEDULING_SENSITIVE = frozenset({"cache.inflight_waits"})
 #: depends on everything that ran earlier in the process, not on the
 #: item and its seed.  The *answers* those kernels produce remain
 #: bitwise-identical to the reference backend; only this bookkeeping is
-#: history-dependent.
-SCHEDULING_SENSITIVE_PREFIXES = ("kernels.",)
+#: history-dependent.  ``lifted.plan_cache.`` / ``lifted.classified.``
+#: instrument the lifted router's process-wide plan memo
+#: (:mod:`repro.queries.lifted`) the same way: a query is a miss (and
+#: is classified) only for the first evaluation in the process to ask.
+SCHEDULING_SENSITIVE_PREFIXES = (
+    "kernels.",
+    "lifted.plan_cache.",
+    "lifted.classified.",
+)
 
 #: Counter-name prefixes whose per-item totals depend on which *other*
 #: items ran in the same process: cache traffic (a key is a miss only

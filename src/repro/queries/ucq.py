@@ -10,8 +10,14 @@ A UCQ ``Q = Q1 ∨ … ∨ Qm`` holds on a world iff some disjunct does, so:
 - the paper's combined FPRAS is defined for single self-join-free CQs;
   extending it to UCQs is open (the disjuncts' automata would need a
   *disjoint* union of tree languages over a shared fact alphabet, which
-  the size-fixed bijection does not directly provide).  The evaluator
-  therefore routes UCQs through the intensional methods.
+  the size-fixed bijection does not directly provide);
+- *safe* UCQs — those the lifted router of
+  :mod:`repro.queries.lifted` can decompose via independent union and
+  inclusion–exclusion over minimized disjuncts — evaluate exactly in
+  polynomial time with no lineage at all.  :func:`ucq_probability`
+  takes that fast path by default (``method="auto"``) and falls back
+  to union-lineage WMC only when the router reports the UCQ unsafe or
+  unknown, so intensional evaluation is the fallback, not the rule.
 
 Redundant disjuncts (contained in another) can be removed without
 changing semantics via :meth:`UnionQuery.minimized`.
@@ -19,6 +25,7 @@ changing semantics via :meth:`UnionQuery.minimized`.
 
 from __future__ import annotations
 
+import hashlib
 from fractions import Fraction
 from typing import Iterable, Iterator
 
@@ -56,6 +63,19 @@ class UnionQuery:
         for query in self._disjuncts:
             out.update(query.relation_names)
         return frozenset(out)
+
+    @property
+    def cache_token(self) -> str:
+        """Digest identifying the UCQ up to disjunct order.
+
+        Computed on the fly (``__slots__`` precludes memoizing it here);
+        the plan memo in :mod:`repro.queries.lifted` is the layer that
+        amortizes repeated lookups.
+        """
+        canonical = "\x1f".join(
+            sorted(query.cache_token for query in self._disjuncts)
+        )
+        return hashlib.sha256(canonical.encode("ascii")).hexdigest()[:32]
 
     def satisfied_by(self, instance: DatabaseInstance) -> bool:
         return any(satisfies(instance, q) for q in self._disjuncts)
@@ -112,9 +132,28 @@ def _project(
 
 
 def ucq_probability(
-    ucq: UnionQuery, pdb: ProbabilisticDatabase
+    ucq: UnionQuery, pdb: ProbabilisticDatabase, method: str = "auto"
 ) -> Fraction:
-    """Exact ``Pr_H(Q1 ∨ … ∨ Qm)`` via union-lineage WMC."""
+    """Exact ``Pr_H(Q1 ∨ … ∨ Qm)``.
+
+    ``method="auto"`` first offers the UCQ to the lifted router and
+    evaluates its safe plan (polynomial, no lineage) when one exists,
+    falling back to union-lineage WMC otherwise; ``method="lineage"``
+    forces the intensional route (useful as an independent oracle).
+    Both paths return the same exact :class:`~fractions.Fraction`.
+    """
+    if method not in ("auto", "lineage"):
+        raise QueryError(f"unknown UCQ method: {method!r}")
+    if method == "auto":
+        # Function-level import: lifted.py imports this module lazily
+        # for UnionQuery handling, so a top-level import would cycle.
+        from repro.errors import UnknownSafetyError, UnsafeQueryError
+        from repro.queries.lifted import lifted_probability
+
+        try:
+            return lifted_probability(ucq, pdb)
+        except (UnsafeQueryError, UnknownSafetyError):
+            pass
     projected = _project(pdb, ucq)
     formula = ucq.lineage(projected.instance)
     return dnf_probability(formula, projected.probabilities)

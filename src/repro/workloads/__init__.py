@@ -10,9 +10,19 @@ from repro.workloads.instances import (
     random_probabilities,
     uniform_half,
 )
+from repro.workloads.queries import (
+    random_hierarchical_query,
+    random_safe_ucq,
+    random_shatterable_query,
+    random_unsafe_query,
+)
 from repro.workloads.warehouse import warehouse_instance, warehouse_query
 
 __all__ = [
+    "random_hierarchical_query",
+    "random_shatterable_query",
+    "random_unsafe_query",
+    "random_safe_ucq",
     "warehouse_instance",
     "warehouse_query",
     "layered_path_instance",

@@ -1,0 +1,163 @@
+"""Random query generators for the lifted differential harness.
+
+Each generator draws from one *classification regime* of the lifted
+router (:mod:`repro.queries.lifted`), so the three-oracle tests can
+target safe, shatterable, and provably-unsafe queries independently:
+
+- :func:`random_hierarchical_query` — self-join-free CQs built
+  hierarchy-first (a root variable shared by every atom, then nested
+  subtrees), so the safe plan always exists;
+- :func:`random_shatterable_query` — self-join CQs of the shape the
+  shattering/separator rules lift (all atoms of the repeated relation
+  share a separator variable at the same position);
+- :func:`random_unsafe_query` — SJF non-hierarchical CQs (Dalvi–Suciu
+  hard): an ``R(x), S(x, y), T(y)``-style core with random decoration;
+- :func:`random_safe_ucq` — UCQs over relation-disjoint safe disjuncts
+  (independent union) with optional duplicated disjuncts to exercise
+  minimization.
+
+Generators are deterministic in ``seed`` and keep queries small (a
+handful of atoms/variables): the exact-WMC and enumeration oracles they
+are differenced against are exponential in the instance, not the query,
+but small queries keep random instances satisfiable and cheap.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.queries.atoms import make_atom
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = [
+    "random_hierarchical_query",
+    "random_shatterable_query",
+    "random_unsafe_query",
+    "random_safe_ucq",
+]
+
+
+def _rng(seed: int | None) -> random.Random:
+    return random.Random(seed)
+
+
+def random_hierarchical_query(
+    seed: int | None = None,
+    max_branches: int = 3,
+    relation_prefix: str = "R",
+) -> ConjunctiveQuery:
+    """A random hierarchical self-join-free CQ.
+
+    Built top-down: a root variable ``x`` occurs in every atom; each
+    branch optionally adds a private child variable ``y_i`` (and with
+    it a two-atom subtree), which keeps ``at(y_i) ⊆ at(x)`` and the
+    variable sets laminar — the hierarchy condition by construction.
+    """
+    rng = _rng(seed)
+    root = "x"
+    atoms = []
+    branches = rng.randint(1, max_branches)
+    relation = 0
+    for index in range(branches):
+        shape = rng.choice(("unary", "binary", "child", "child_pair"))
+        child = f"y{index}"
+        if shape == "unary":
+            atoms.append(make_atom(f"{relation_prefix}{relation}", root))
+            relation += 1
+        elif shape == "binary":
+            # Repeated root variable in one atom is fine (no self-join).
+            atoms.append(
+                make_atom(f"{relation_prefix}{relation}", root, root)
+            )
+            relation += 1
+        elif shape == "child":
+            atoms.append(
+                make_atom(f"{relation_prefix}{relation}", root, child)
+            )
+            relation += 1
+        else:  # child_pair: two atoms sharing the child under the root
+            atoms.append(
+                make_atom(f"{relation_prefix}{relation}", root, child)
+            )
+            atoms.append(
+                make_atom(f"{relation_prefix}{relation + 1}", child, root)
+            )
+            relation += 2
+    return ConjunctiveQuery(atoms)
+
+
+def random_shatterable_query(
+    seed: int | None = None, max_extra: int = 2
+) -> ConjunctiveQuery:
+    """A random self-join CQ the shattering rules can lift.
+
+    All atoms mention a shared separator variable ``s`` — the repeated
+    relation ``R`` always carries it in position 0 — so grounding ``s``
+    shatters the self-join; each residual is a single-variable
+    hierarchical query the core/plan rules collapse.
+    """
+    rng = _rng(seed)
+    separator = "s"
+    atoms = [make_atom("R", separator, "u0")]
+    # More R-atoms with distinct second variables: the classic
+    # R(s, u), R(s, v) shape that plain safe plans must reject.
+    for index in range(1, rng.randint(2, 2 + max_extra)):
+        second = rng.choice((f"u{index}", separator))
+        atom = make_atom("R", separator, second)
+        if atom not in atoms:
+            atoms.append(atom)
+    if rng.random() < 0.5:
+        atoms.append(make_atom("S", separator))
+    return ConjunctiveQuery(atoms)
+
+
+def random_unsafe_query(
+    seed: int | None = None, max_decoration: int = 2
+) -> ConjunctiveQuery:
+    """A random self-join-free non-hierarchical CQ (provably #P-hard).
+
+    Contains the non-hierarchical core ``R(x), S(x, y), T(y)`` —
+    ``at(x)`` and ``at(y)`` overlap on ``S`` but neither contains the
+    other — plus random unary/binary decoration over fresh relations
+    that cannot repair the violation.
+    """
+    rng = _rng(seed)
+    x, y = "x", "y"
+    atoms = [
+        make_atom("R", x),
+        make_atom("S", x, y),
+        make_atom("T", y),
+    ]
+    for index in range(rng.randint(0, max_decoration)):
+        anchor = rng.choice((x, y))
+        atoms.append(make_atom(f"D{index}", anchor))
+    return ConjunctiveQuery(atoms)
+
+
+def random_safe_ucq(
+    seed: int | None = None,
+    max_disjuncts: int = 3,
+    duplicate: bool = False,
+):
+    """A random safe UCQ: relation-disjoint hierarchical disjuncts.
+
+    Disjuncts share no relation symbols, so the lifted router evaluates
+    the union by independence — every draw is certified ``safe``.  With
+    ``duplicate=True`` one disjunct is repeated verbatim, which
+    minimization must absorb (the metamorphic no-op property).
+    """
+    from repro.queries.ucq import UnionQuery
+
+    rng = _rng(seed)
+    count = rng.randint(2, max_disjuncts)
+    disjuncts = [
+        random_hierarchical_query(
+            seed=None if seed is None else seed * 31 + index,
+            max_branches=2,
+            relation_prefix=f"U{index}_",
+        )
+        for index in range(count)
+    ]
+    if duplicate:
+        disjuncts.append(disjuncts[rng.randrange(count)])
+    return UnionQuery(disjuncts)

@@ -152,6 +152,7 @@ def test_engine_routes_agree_metamorphically(seed):
     exact_routes = ["enumerate", "lineage-exact"]
     if is_hierarchical(query):
         exact_routes.append("safe-plan")
+        exact_routes.append("lifted")
     answers = {
         route: engine.probability(query, pdb, method=route)
         for route in exact_routes

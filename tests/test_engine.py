@@ -22,10 +22,11 @@ def _pdb_for(query, seed=0, domain=2, facts=2):
 
 
 class TestRouting:
-    def test_safe_query_routes_to_safe_plan(self):
+    def test_safe_query_routes_to_lifted(self):
         engine = PQEEngine(seed=0)
         answer = engine.probability(star_query(2), _pdb_for(star_query(2)))
-        assert answer.method == "safe-plan"
+        assert answer.method == "lifted"
+        assert answer.route == "lifted"
         assert answer.exact
         assert answer.rational is not None
 
@@ -87,6 +88,15 @@ class TestMethodAgreement:
         sp = engine.probability(query, pdb, method="safe-plan")
         enum = engine.probability(query, pdb, method="enumerate")
         assert sp.rational == enum.rational
+
+    def test_explicit_lifted(self):
+        query = star_query(2)
+        pdb = _pdb_for(query, seed=5)
+        engine = PQEEngine(seed=0)
+        lifted = engine.probability(query, pdb, method="lifted")
+        enum = engine.probability(query, pdb, method="enumerate")
+        assert lifted.method == "lifted"
+        assert lifted.rational == enum.rational
 
 
 class TestUniformReliability:
@@ -249,8 +259,11 @@ class TestExplain:
         query = star_query(2)
         pdb = _pdb_for(query, seed=2)
         plan = PQEEngine(seed=0).explain(query, pdb)
-        assert plan.method == "safe-plan"
+        assert plan.method == "lifted"
+        assert plan.route == "lifted"
+        assert plan.safety == "safe"
         assert plan.hierarchical is True
+        assert "safety: safe" in plan.describe()
 
     def test_self_join_plan(self):
         query = parse_query("R(x, y), R(y, z)")

@@ -1,0 +1,134 @@
+"""Frozen golden corpus for the lifted fast path.
+
+``tests/golden/lifted.json`` pins, for eight safe and shatterable
+workloads, the lifted route's exact answer (as a ``p/q`` rational
+string), the router's classification, and the shape of the emitted
+plan.  Any drift in the classifier, the shattering/minimization rules,
+or the plan evaluator fails here with a precise diff — the same
+regression contract ``tests/golden/corpus.json`` provides for the
+intensional pipeline.
+
+Refreshing after an *intentional* semantic change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_lifted.py \
+        --update-golden
+
+Review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from fractions import Fraction
+
+import pytest
+
+from repro.core.estimator import PQEEngine
+from repro.core.exact import exact_probability
+from repro.queries.builders import hierarchical_star_query, star_query
+from repro.queries.lifted import build_lifted_plan, classify_query
+from repro.queries.parser import parse_query
+from repro.workloads import (
+    random_instance_for_query,
+    random_probabilities,
+    random_shatterable_query,
+)
+
+pytestmark = pytest.mark.lifted
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "lifted.json"
+
+
+def _lifted_cases():
+    """Eight deterministic safe/shatterable (name, query, pdb) pairs."""
+    cases = []
+
+    def add(name, query, seed, domain_size=2, facts=3, max_denominator=5):
+        instance = random_instance_for_query(
+            query, domain_size=domain_size, facts_per_relation=facts,
+            seed=seed,
+        )
+        pdb = random_probabilities(
+            instance, seed=seed, max_denominator=max_denominator
+        )
+        cases.append((name, query, pdb))
+
+    add("star2", star_query(2), seed=201)
+    add("star3", star_query(3), seed=202, domain_size=3, facts=4)
+    add("hstar2", hierarchical_star_query(2), seed=203)
+    add("rs-chain", parse_query("Q :- R(x, y), S(x)"), seed=204,
+        domain_size=3, facts=4)
+    add("repeated-var", parse_query("Q :- R(x, x), S(x)"), seed=205)
+    add("shatter-fork", parse_query("Q :- R(s, u), R(s, v)"), seed=206,
+        domain_size=3, facts=4)
+    add("shatter-anchored", parse_query("Q :- R(s, u), R(s, v), S(s)"),
+        seed=207)
+    add("shatter-gen", random_shatterable_query(11), seed=208,
+        domain_size=3, facts=4, max_denominator=8)
+    return cases
+
+
+def _evaluate(query, pdb) -> dict:
+    classification = classify_query(query)
+    plan = build_lifted_plan(query)
+    answer = PQEEngine(seed=0).probability(query, pdb)
+    return {
+        "query": str(query),
+        "facts": len(pdb),
+        "classification": classification.status,
+        "plan": plan.describe(),
+        "plan_size": plan.size,
+        "route": answer.route,
+        "probability": str(answer.rational),
+    }
+
+
+def _current() -> dict:
+    return {
+        name: _evaluate(query, pdb)
+        for name, query, pdb in _lifted_cases()
+    }
+
+
+def test_corpus_has_eight_workloads():
+    assert len(_lifted_cases()) == 8
+
+
+def test_golden_lifted_matches(update_golden):
+    current = _current()
+    if update_golden:
+        GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    assert GOLDEN_PATH.exists(), (
+        "tests/golden/lifted.json is missing; generate it with "
+        "pytest tests/test_golden_lifted.py --update-golden"
+    )
+    frozen = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert current == frozen, (
+        "lifted answers or plans drifted from tests/golden/lifted.json; "
+        "if intentional, refresh with --update-golden and review the diff"
+    )
+
+
+def test_every_golden_workload_rides_the_lifted_route():
+    engine = PQEEngine(seed=0)
+    for name, query, pdb in _lifted_cases():
+        answer = engine.probability(query, pdb)
+        assert answer.route == "lifted", name
+        assert answer.exact, name
+
+
+def test_golden_values_against_the_wmc_oracle():
+    """The frozen rationals re-derived through the independent
+    exact-WMC oracle — the golden file cannot drift into agreement
+    with a broken lifted evaluator."""
+    frozen = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    for name, query, pdb in _lifted_cases():
+        expected = Fraction(frozen[name]["probability"])
+        assert exact_probability(query, pdb, method="lineage") == (
+            expected
+        ), name

@@ -1,0 +1,153 @@
+"""Metamorphic properties of the lifted evaluator.
+
+Each transformation below provably preserves ``Pr_H(Q)``; the lifted
+route must therefore return the *identical* Fraction before and after:
+
+- adding facts over relations the query never mentions (marginalised
+  away by tuple-independence);
+- renaming query variables (α-equivalence);
+- permuting atoms of a CQ / disjuncts of a UCQ (conjunction and
+  disjunction are commutative);
+- duplicating a UCQ disjunct (idempotence — absorbed by minimization).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.db.fact import Fact
+from repro.db.probabilistic import ProbabilisticDatabase
+from repro.queries.atoms import Atom, Variable
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.lifted import classify_query, lifted_probability
+from repro.queries.ucq import UnionQuery
+from repro.workloads import (
+    random_hierarchical_query,
+    random_instance_for_query,
+    random_probabilities,
+    random_safe_ucq,
+    random_shatterable_query,
+)
+
+pytestmark = pytest.mark.lifted
+
+SEEDS = range(15)
+
+
+def _pdb_for(query, seed):
+    instance = random_instance_for_query(
+        query, domain_size=2, facts_per_relation=2, seed=seed
+    )
+    return random_probabilities(instance, seed=seed, max_denominator=5)
+
+
+def _rename(query: ConjunctiveQuery, mapping) -> ConjunctiveQuery:
+    return ConjunctiveQuery(
+        [
+            Atom(
+                atom.relation,
+                tuple(
+                    Variable(mapping.get(v.name, v.name))
+                    for v in atom.args
+                ),
+            )
+            for atom in query.atoms
+        ]
+    )
+
+
+def _cq_cases():
+    for seed in SEEDS:
+        for generator in (
+            random_hierarchical_query, random_shatterable_query,
+        ):
+            query = generator(seed)
+            yield seed, query, _pdb_for(query, seed)
+
+
+def test_unmentioned_relations_never_change_the_answer():
+    for seed, query, pdb in _cq_cases():
+        baseline = lifted_probability(query, pdb)
+        widened = dict(pdb.probabilities)
+        widened[Fact("ZZ_unrelated", ("w1",))] = "1/2"
+        widened[Fact("ZZ_other", ("w1", "w2"))] = "9/10"
+        assert lifted_probability(
+            query, ProbabilisticDatabase(widened)
+        ) == baseline, (seed, str(query))
+
+
+def test_variable_renaming_never_changes_the_answer():
+    for seed, query, pdb in _cq_cases():
+        baseline = lifted_probability(query, pdb)
+        mapping = {
+            name: f"v{i}"
+            for i, name in enumerate(sorted(
+                v.name for v in query.variables
+            ))
+        }
+        renamed = _rename(query, mapping)
+        assert lifted_probability(renamed, pdb) == baseline, (
+            seed, str(query)
+        )
+
+
+def test_atom_permutation_never_changes_the_answer():
+    for seed, query, pdb in _cq_cases():
+        baseline = lifted_probability(query, pdb)
+        atoms = list(query.atoms)
+        random.Random(seed).shuffle(atoms)
+        permuted = ConjunctiveQuery(atoms)
+        assert lifted_probability(permuted, pdb) == baseline, (
+            seed, str(query)
+        )
+
+
+def _ucq_pdb(ucq, seed):
+    labels = {}
+    for index, disjunct in enumerate(ucq.disjuncts):
+        instance = random_instance_for_query(
+            disjunct, domain_size=2, facts_per_relation=2,
+            seed=seed + index,
+        )
+        part = random_probabilities(
+            instance, seed=seed + index, max_denominator=4
+        )
+        labels.update(part.probabilities)
+    return ProbabilisticDatabase(labels)
+
+
+def test_disjunct_permutation_never_changes_the_answer():
+    for seed in SEEDS:
+        ucq = random_safe_ucq(seed)
+        pdb = _ucq_pdb(ucq, seed)
+        baseline = lifted_probability(ucq, pdb)
+        disjuncts = list(ucq.disjuncts)
+        random.Random(seed).shuffle(disjuncts)
+        assert lifted_probability(
+            UnionQuery(disjuncts), pdb
+        ) == baseline, str(ucq)
+
+
+def test_duplicating_a_disjunct_is_a_no_op_after_minimization():
+    for seed in SEEDS:
+        plain = random_safe_ucq(seed, duplicate=False)
+        doubled = random_safe_ucq(seed, duplicate=True)
+        # Same seed: `doubled` is `plain` plus one verbatim repeat.
+        assert len(doubled) == len(plain) + 1
+        assert len(doubled.minimized()) == len(plain.minimized())
+        pdb = _ucq_pdb(plain, seed)
+        assert lifted_probability(doubled, pdb) == lifted_probability(
+            plain, pdb
+        ), str(plain)
+
+
+def test_metamorphic_transforms_preserve_the_classification():
+    # Renaming/permutation must not flip safe → unknown: the plan memo
+    # keys on a canonicalised token and the rules are syntax-robust.
+    for seed, query, _pdb in _cq_cases():
+        assert classify_query(query).safe
+        atoms = list(query.atoms)
+        random.Random(seed + 1).shuffle(atoms)
+        assert classify_query(ConjunctiveQuery(atoms)).safe

@@ -258,3 +258,130 @@ def test_optimization_report_is_consistent(seed):
     if dense.num_states:
         assert dense.states[0] == nfta.initial
         assert dense.initial_bit == 1
+
+
+# ---------------------------------------------------------------------
+# Lifted fast path: safe plans against WMC, hierarchy against brute force
+# ---------------------------------------------------------------------
+
+def _recursive_hierarchy_check(atoms) -> bool:
+    """Independent hierarchy decision via the recursive root-variable
+    characterisation: a query is hierarchical iff every connected
+    component (atoms linked by shared variables) either is ground or
+    has a *root* — a variable in all of the component's atoms — whose
+    removal leaves a hierarchical residual.  Exponential-ish and naive
+    on purpose: it shares no code with ``is_hierarchical``'s pairwise
+    atom-set comparison.
+    """
+    remaining = list(atoms)
+    while remaining:
+        component = [remaining.pop()]
+        grew = True
+        while grew:
+            grew = False
+            for atom in list(remaining):
+                if any(
+                    set(atom[1]) & set(member[1])
+                    for member in component
+                ):
+                    component.append(atom)
+                    remaining.remove(atom)
+                    grew = True
+        variables = set().union(*(set(a[1]) for a in component))
+        if not variables:
+            continue
+        roots = [
+            v for v in variables
+            if all(v in a[1] for a in component)
+        ]
+        if not any(
+            _recursive_hierarchy_check(
+                [
+                    (rel, tuple(x for x in args if x != root))
+                    for rel, args in component
+                ]
+            )
+            for root in roots
+        ):
+            return False
+    return True
+
+
+def _random_sjf_query(rng: random.Random) -> ConjunctiveQuery:
+    variables = [Variable(f"x{i}") for i in range(rng.randint(1, 4))]
+    atoms = []
+    for index in range(rng.randint(1, 4)):
+        arity = rng.randint(1, 3)
+        atoms.append(
+            Atom(
+                f"P{index}",
+                tuple(rng.choice(variables) for _ in range(arity)),
+            )
+        )
+    return ConjunctiveQuery(atoms)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=100, deadline=None)
+def test_is_hierarchical_agrees_with_brute_force(seed):
+    from repro.queries.properties import is_hierarchical
+
+    rng = random.Random(seed)
+    query = _random_sjf_query(rng)
+    shape = [
+        (atom.relation, tuple(v.name for v in atom.args))
+        for atom in query.atoms
+    ]
+    assert is_hierarchical(query) == _recursive_hierarchy_check(shape), (
+        str(query)
+    )
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_safe_plan_equals_exact_wmc_on_hierarchical_queries(seed):
+    from fractions import Fraction
+
+    from repro.core.exact import exact_probability
+    from repro.queries.properties import is_hierarchical
+    from repro.queries.safe_plan import safe_plan_probability
+    from repro.workloads import (
+        random_hierarchical_query,
+        random_instance_for_query,
+        random_probabilities,
+    )
+
+    query = random_hierarchical_query(seed)
+    assert query.is_self_join_free and is_hierarchical(query)
+    instance = random_instance_for_query(
+        query, domain_size=3, facts_per_relation=3, seed=seed
+    )
+    pdb = random_probabilities(
+        instance, seed=seed, max_denominator=6, include_extremes=True
+    )
+    via_plan = safe_plan_probability(query, pdb)
+    via_wmc = exact_probability(query, pdb, method="lineage")
+    assert isinstance(via_plan, Fraction)
+    assert via_plan == via_wmc, str(query)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_lifted_route_equals_safe_plan_on_hierarchical_queries(seed):
+    from repro.queries.lifted import classify_query, lifted_probability
+    from repro.queries.safe_plan import safe_plan_probability
+    from repro.workloads import (
+        random_hierarchical_query,
+        random_instance_for_query,
+        random_probabilities,
+    )
+
+    query = random_hierarchical_query(seed)
+    assert classify_query(query).safe
+    instance = random_instance_for_query(
+        query, domain_size=3, facts_per_relation=3, seed=seed
+    )
+    pdb = random_probabilities(instance, seed=seed, max_denominator=6)
+    assert lifted_probability(query, pdb) == safe_plan_probability(
+        query, pdb
+    )

@@ -69,10 +69,14 @@ def test_epsilon_widening_is_capped():
 
 
 def test_degradation_ladder_shapes():
-    assert degradation_ladder(QUERY) == ("auto", "fpras", "monte-carlo")
+    # QUERY is hierarchical, so its auto ladder starts at the lifted
+    # rung (which subsumes auto for safe queries).
+    assert degradation_ladder(QUERY) == ("lifted", "fpras", "monte-carlo")
     assert degradation_ladder(SELF_JOIN) == (
         "auto", "karp-luby", "monte-carlo"
     )
+    unsafe = parse_query("Q :- R1(x), R2(x, y), R3(y)")
+    assert degradation_ladder(unsafe) == ("auto", "fpras", "monte-carlo")
     assert degradation_ladder(QUERY, method="fpras") == (
         "fpras", "monte-carlo"
     )
@@ -82,6 +86,9 @@ def test_degradation_ladder_shapes():
     assert degradation_ladder(QUERY, method="safe-plan") == (
         "safe-plan", "fpras", "monte-carlo"
     )
+    assert degradation_ladder(unsafe, method="lifted") == (
+        "lifted", "fpras", "monte-carlo"
+    )
     assert degradation_ladder(QUERY, task="reliability") == (
         "auto", "fpras"
     )
@@ -89,10 +96,27 @@ def test_degradation_ladder_shapes():
 
 def test_plan_reports_the_ladder():
     plan = PQEEngine().explain(QUERY, PDB)
-    assert plan.fallbacks == ("auto", "fpras", "monte-carlo")
-    assert "degradation ladder: auto -> fpras -> monte-carlo" in (
+    assert plan.fallbacks == ("lifted", "fpras", "monte-carlo")
+    assert "degradation ladder: lifted -> fpras -> monte-carlo" in (
         plan.describe()
     )
+
+
+def test_unsafe_query_falls_through_the_lifted_rung():
+    # An explicit lifted request on an unsafe query degrades to the
+    # FPRAS deterministically, with the classification in provenance.
+    unsafe = parse_query("Q :- R1(x), R2(x, y), R3(y)")
+    pdb = ProbabilisticDatabase({
+        Fact("R1", ("a",)): "1/2",
+        Fact("R2", ("a", "b")): "1/2",
+        Fact("R3", ("b",)): "1/2",
+    })
+    answer = evaluate_with_policy(
+        sampled_engine(seed=5), unsafe, pdb, method="lifted", seed=5
+    )
+    assert answer.degraded
+    assert answer.degradations[0].startswith("lifted: UnsafeQueryError")
+    assert answer.method in ("fpras", "monte-carlo")
 
 
 # ---------------------------------------------------------------------
