@@ -22,6 +22,15 @@ Usage::
     repro eval --data facts.csv --batch batch.json --seed 7 \
         --journal batch.wal --resume
     repro trace-summary trace.jsonl
+    repro serve --data facts.csv --port 8080 --isolation process
+    repro cache-stats /var/cache/repro
+
+``repro serve`` starts the PQE-as-a-service daemon (admission control,
+load shedding, circuit breaker, graceful drain — see docs/serving.md).
+``repro cache-stats`` reports a durable cache directory's tier sizes
+and quarantine contents.  A batch run (``--batch``) handles SIGTERM by
+*draining*: in-flight items finish and are journalled, unstarted items
+are left for a later ``--resume``, and the process exits with code 5.
 
 The optional leading ``eval`` subcommand is accepted (and implied) for
 symmetry with the batch form.  A batch file is JSON: a list whose
@@ -42,6 +51,8 @@ from __future__ import annotations
 import argparse
 import csv
 import json
+import os
+import signal
 import sys
 from typing import Iterable, TextIO
 
@@ -50,7 +61,12 @@ from fractions import Fraction
 from repro.core.budget import EvaluationBudget
 from repro.core.cache import ReductionCache
 from repro.core.estimator import PQEEngine
-from repro.core.parallel import BatchError, BatchItem
+from repro.core.parallel import (
+    BatchDrainedError,
+    BatchError,
+    BatchItem,
+    request_drain,
+)
 from repro.db.fact import Fact
 from repro.db.probabilistic import ProbabilisticDatabase
 from repro.errors import ContextualError, ReproError
@@ -66,10 +82,13 @@ __all__ = ["main", "load_facts_csv", "load_batch_file"]
 
 # Batch exit codes (single-query errors keep the classic 1):
 # 0 = every item succeeded; EXIT_PARTIAL = some items failed but others
-# completed; EXIT_ALL_FAILED = no item produced an answer.  Scripts can
-# therefore distinguish "retry the stragglers" from "the batch is dead".
+# completed; EXIT_ALL_FAILED = no item produced an answer; EXIT_DRAINED
+# = a SIGTERM drained the batch (settled items journalled, the rest
+# resumable).  Scripts can therefore distinguish "retry the
+# stragglers" from "the batch is dead" from "finish with --resume".
 EXIT_PARTIAL = 3
 EXIT_ALL_FAILED = 4
+EXIT_DRAINED = 5
 
 
 def load_facts_csv(
@@ -316,6 +335,205 @@ def _run_trace_summary(arguments: list[str]) -> int:
     return 0
 
 
+def _run_serve(arguments: list[str]) -> int:
+    """``repro serve`` — start the PQE-as-a-service daemon."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Serve PQE over HTTP with admission control, load "
+            "shedding, a per-query circuit breaker and graceful "
+            "SIGTERM drain (see docs/serving.md)"
+        ),
+    )
+    parser.add_argument(
+        "--data", required=True, help="probabilistic facts CSV"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=_nonnegative_int, default=0,
+        help="listen port (default 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--max-concurrency", type=_positive_int, default=2,
+        help="concurrent evaluations admitted (default 2)",
+    )
+    parser.add_argument(
+        "--max-queue", type=_nonnegative_int, default=8,
+        help="waiting requests before 429s (default 8)",
+    )
+    parser.add_argument(
+        "--deadline", type=_positive_float, default=None,
+        help="default per-request deadline in seconds "
+             "(queue wait is deducted from it)",
+    )
+    parser.add_argument(
+        "--epsilon", type=_epsilon, default=0.25,
+        help="unshed approximation error bound (default 0.25)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2023,
+        help="server seed; request seeds derive from it and the "
+             "request content (default 2023)",
+    )
+    parser.add_argument(
+        "--isolation", choices=("thread", "process"), default="thread",
+        help="run evaluations in threads or forked workers "
+             "(process contains crashes; default thread)",
+    )
+    parser.add_argument(
+        "--memory-limit", type=_positive_int, default=None,
+        metavar="BYTES",
+        help="per-worker address-space cap (requires "
+             "--isolation process)",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="request journal: full-fidelity answers are replayed "
+             "across daemon restarts",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="durable disk tier behind the warm artifact registry",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write the server telemetry trace (JSONL) on drain",
+    )
+    parser.add_argument(
+        "--shed-target-p95", type=_positive_float, default=0.5,
+        help="latency target feeding the shedding pressure signal "
+             "(default 0.5s)",
+    )
+    parser.add_argument(
+        "--shed-thresholds", default="0.5,0.75,0.9",
+        help="comma-separated ascending pressure thresholds; each one "
+             "met sheds one more ladder rung (default 0.5,0.75,0.9)",
+    )
+    parser.add_argument(
+        "--drain-deadline", type=_positive_float, default=10.0,
+        help="seconds to wait for in-flight requests on drain "
+             "(default 10)",
+    )
+    parser.add_argument(
+        "--max-requests", type=_positive_int, default=None,
+        help="drain automatically after this many settled requests "
+             "(soak-test bound)",
+    )
+    parser.add_argument(
+        "--ready-file", default=None, metavar="FILE",
+        help="write the bound port here once listening (lets scripts "
+             "discover an ephemeral --port 0)",
+    )
+    args = parser.parse_args(arguments)
+    if args.memory_limit is not None and args.isolation != "process":
+        parser.error("--memory-limit requires --isolation process")
+    try:
+        thresholds = tuple(
+            float(part) for part in args.shed_thresholds.split(",") if part
+        )
+    except ValueError:
+        parser.error(
+            f"--shed-thresholds must be comma-separated numbers, "
+            f"got {args.shed_thresholds!r}"
+        )
+
+    from repro.serve import PQEServer, ServerConfig
+
+    try:
+        with open(args.data, encoding="utf-8") as stream:
+            pdb = load_facts_csv(stream, source=args.data)
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_concurrency=args.max_concurrency,
+            max_queue=args.max_queue,
+            default_deadline=args.deadline,
+            shed_target_p95=args.shed_target_p95,
+            shed_thresholds=thresholds,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            isolation=args.isolation,
+            memory_limit=args.memory_limit,
+            disk_cache=args.cache_dir,
+            journal=args.journal,
+            trace=args.trace,
+            drain_deadline=args.drain_deadline,
+            max_requests=args.max_requests,
+        )
+        server = PQEServer(pdb, config)
+        server.start()
+    except (ReproError, OSError) as failure:
+        print(f"error: {failure}", file=sys.stderr)
+        return 1
+    server.install_signal_handlers()
+    if args.ready_file:
+        # Written atomically (rename) so a polling parent never reads a
+        # half-written port number.
+        staging = args.ready_file + ".tmp"
+        with open(staging, "w", encoding="utf-8") as out:
+            out.write(f"{server.port}\n")
+        os.replace(staging, args.ready_file)
+    print(f"serving: http://{args.host}:{server.port}", flush=True)
+    print(
+        f"config:  concurrency={args.max_concurrency} "
+        f"queue={args.max_queue} isolation={args.isolation} "
+        f"epsilon={args.epsilon}",
+        flush=True,
+    )
+    server.serve_until_drained()
+    stats = server.stats()
+    print(
+        f"drained: {stats['settled']} requests settled "
+        f"(counters: "
+        + " ".join(
+            f"{name}={value}"
+            for name, value in sorted(stats["requests"].items())
+            if name.startswith("serve.")
+        )
+        + ")"
+    )
+    return 0
+
+
+def _run_cache_stats(arguments: list[str]) -> int:
+    """``repro cache-stats DIR`` — report a durable cache tier."""
+    parser = argparse.ArgumentParser(
+        prog="repro cache-stats",
+        description=(
+            "Report record and quarantine sizes for a durable disk "
+            "cache directory (--cache-dir)"
+        ),
+    )
+    parser.add_argument("cache_dir", help="cache directory")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the stats as JSON instead of text",
+    )
+    args = parser.parse_args(arguments)
+
+    from repro.core.diskcache import DiskCache
+
+    try:
+        stats = DiskCache(args.cache_dir).tier_stats()
+    except (ReproError, OSError) as failure:
+        print(f"error: {failure}", file=sys.stderr)
+        return 1
+    if args.json:
+        json.dump(stats, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    print(f"cache:       {stats['path']}")
+    print(f"records:     {stats['records']} ({stats['bytes']} bytes)")
+    print(
+        f"quarantined: {stats['quarantined']} "
+        f"({stats['quarantine_bytes']} bytes, "
+        f"cap {stats['quarantine_cap']})"
+    )
+    for name in stats["quarantine_files"]:
+        print(f"  {name}")
+    return 0
+
+
 def _batch_payload(args, items, batch) -> dict:
     """The ``--json`` document for a batch run."""
     records = []
@@ -365,6 +583,46 @@ def _batch_payload(args, items, batch) -> dict:
     }
 
 
+def _install_drain_on_sigterm():
+    """SIGTERM → graceful batch drain.  Returns the previous handler
+    (``None`` when handlers cannot be installed, e.g. off the main
+    thread under pytest-xdist)."""
+
+    def _on_sigterm(signum, frame):
+        request_drain()
+
+    try:
+        return signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        return None
+
+
+def _print_drained(items, failure: BatchDrainedError, args) -> int:
+    partial = failure.result
+    print(f"drained: {failure}", file=sys.stderr)
+    for result in partial.results:
+        item = items[result.index]
+        label = "UR" if item.task == "reliability" else "Pr"
+        if result.ok:
+            answer = result.answer
+            exact = " (exact)" if answer.exact else ""
+            print(
+                f"[{result.index}] {label} = {answer.value:<22g} "
+                f"method={answer.method}{exact}  {item.query}"
+            )
+        else:
+            print(
+                f"[{result.index}] {label} = FAILED "
+                f"({result.error.describe()})  {item.query}"
+            )
+    if args.journal:
+        print(
+            f"resume:  {len(partial)} settled items journalled in "
+            f"{args.journal}; finish with --resume"
+        )
+    return EXIT_DRAINED
+
+
 def _run_batch(args, pdb: ProbabilisticDatabase) -> int:
     with open(args.batch, encoding="utf-8") as stream:
         items = load_batch_file(stream, pdb, source=args.batch)
@@ -380,6 +638,7 @@ def _run_batch(args, pdb: ProbabilisticDatabase) -> int:
 
         cache = ReductionCache(disk=DiskCache(args.cache_dir))
     profiled = bool(args.profile or args.metrics_out)
+    previous_sigterm = _install_drain_on_sigterm()
     try:
         batch = engine.evaluate_batch(
             items,
@@ -401,6 +660,13 @@ def _run_batch(args, pdb: ProbabilisticDatabase) -> int:
         # them all rather than discarding the batch's work.
         print(f"error: {failure}", file=sys.stderr)
         batch = failure.result
+    except BatchDrainedError as failure:
+        # SIGTERM mid-batch: everything admitted settled (and was
+        # journalled); report it and exit resumable.
+        return _print_drained(items, failure, args)
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
 
     trace_meta = {
         "items": len(batch),
@@ -666,6 +932,10 @@ def main(argv: Iterable[str] | None = None) -> int:
     arguments = list(argv) if argv is not None else sys.argv[1:]
     if arguments and arguments[0] == "trace-summary":
         return _run_trace_summary(arguments[1:])
+    if arguments and arguments[0] == "serve":
+        return _run_serve(arguments[1:])
+    if arguments and arguments[0] == "cache-stats":
+        return _run_cache_stats(arguments[1:])
     if arguments and arguments[0] == "eval":
         # ``repro eval …`` — the (only) subcommand, accepted for the
         # batch-serving form; single-query flags work under it too.

@@ -98,6 +98,38 @@ class EvaluationBudget:
         and degradation rungs share one absolute per-item deadline."""
         return BudgetScope(self, started=started)
 
+    def consume_wait(
+        self, waited: float, *, phase: str = "serve.queue"
+    ) -> "EvaluationBudget":
+        """The budget left after ``waited`` seconds spent queueing.
+
+        The serving boundary admits a request, parks it in a bounded
+        queue, and only then evaluates — the queue wait is the
+        *request's* time, so it is deducted from the deadline before
+        any engine work.  Raises :class:`BudgetExceededError` (kind
+        ``deadline``) when the wait consumed the whole deadline, so an
+        expired request is rejected without touching the engine.  A
+        deadline-free budget passes through unchanged.
+        """
+        if waited < 0:
+            raise ReproError(f"waited must be >= 0, got {waited}")
+        if self.deadline is None:
+            return self
+        remaining = self.deadline - waited
+        if remaining <= 0:
+            raise BudgetExceededError(
+                "deadline",
+                phase=phase,
+                elapsed=waited,
+                limit=self.deadline,
+                used=round(waited, 3),
+            )
+        return EvaluationBudget(
+            deadline=remaining,
+            max_work_units=self.max_work_units,
+            lineage_clause_cap=self.lineage_clause_cap,
+        )
+
     def describe(self) -> str:
         parts = []
         if self.deadline is not None:

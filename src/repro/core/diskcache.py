@@ -34,8 +34,14 @@ every boundary:
   ``fcntl.flock`` where available (no-op elsewhere), so two processes
   populating one cache directory do not interleave quarantine moves.
 
+The quarantine itself is bounded: corrupt records accumulate across
+restarts (nothing ever read them back), so the directory keeps at most
+``max_quarantine`` files and evicts oldest-first —
+``diskcache.quarantine.evicted`` counts the drops.
+
 Counters (active telemetry only): ``diskcache.hits`` / ``.misses`` /
-``.writes`` / ``.quarantines`` / ``.unpicklable``.
+``.writes`` / ``.quarantines`` / ``.quarantine.evicted`` /
+``.unpicklable``.
 """
 
 from __future__ import annotations
@@ -79,10 +85,20 @@ class DiskCache:
     path:
         Cache directory; created (with its ``quarantine/`` subdirectory)
         on first use.
+    max_quarantine:
+        Most quarantined records kept for inspection; older files are
+        evicted (oldest modification time first) when a new quarantine
+        would exceed the cap.  ``0`` keeps nothing.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, *, max_quarantine: int = 64):
+        if max_quarantine < 0:
+            raise DiskCacheError(
+                f"max_quarantine must be >= 0, got {max_quarantine}",
+                phase="diskcache.init",
+            )
         self.path = Path(path)
+        self.max_quarantine = max_quarantine
         self._quarantine = self.path / "quarantine"
         try:
             self._quarantine.mkdir(parents=True, exist_ok=True)
@@ -211,6 +227,7 @@ class DiskCache:
         with self._locked():
             with contextlib.suppress(OSError):
                 os.replace(target, destination)
+            self._evict_quarantine_locked()
         metric_inc("diskcache.quarantines")
         warnings.warn(
             f"disk cache {self.path}: quarantined {target.name} "
@@ -219,9 +236,49 @@ class DiskCache:
             stacklevel=3,
         )
 
+    def _evict_quarantine_locked(self) -> None:
+        """Trim ``quarantine/`` to ``max_quarantine`` files, dropping
+        the oldest first.  Caller holds the cache lock."""
+        records = []
+        for record in self._quarantine.glob("*.rpdc"):
+            try:
+                records.append((record.stat().st_mtime, record.name, record))
+            except OSError:
+                continue
+        excess = len(records) - self.max_quarantine
+        if excess <= 0:
+            return
+        records.sort()
+        for _, _, record in records[:excess]:
+            with contextlib.suppress(OSError):
+                record.unlink()
+            metric_inc("diskcache.quarantine.evicted")
+
     def quarantined(self) -> list[Path]:
         """Records moved aside by integrity failures (for inspection)."""
         return sorted(self._quarantine.glob("*.rpdc"))
+
+    def tier_stats(self) -> dict:
+        """Sizes of the durable tier, for ``repro cache-stats``."""
+        records = list(self.path.glob("*.rpdc"))
+        quarantined = self.quarantined()
+
+        def _total(paths):
+            total = 0
+            for path in paths:
+                with contextlib.suppress(OSError):
+                    total += path.stat().st_size
+            return total
+
+        return {
+            "path": str(self.path),
+            "records": len(records),
+            "bytes": _total(records),
+            "quarantined": len(quarantined),
+            "quarantine_bytes": _total(quarantined),
+            "quarantine_cap": self.max_quarantine,
+            "quarantine_files": [path.name for path in quarantined],
+        }
 
     def clear(self) -> None:
         """Drop every record (quarantine included)."""

@@ -67,8 +67,11 @@ __all__ = [
     "JOURNAL_VERSION",
     "BatchJournal",
     "JournalWarning",
+    "RequestJournal",
     "batch_fingerprint",
+    "check_serve_fingerprint",
     "load_journal",
+    "load_request_journal",
 ]
 
 JOURNAL_VERSION = 1
@@ -222,6 +225,134 @@ class BatchJournal:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+class RequestJournal(BatchJournal):
+    """The serve daemon's write-ahead request log.
+
+    Unlike a :class:`BatchJournal` — bound to one finite batch with
+    integer indexes — a request journal is open-ended: records are
+    keyed by the request's content digest (query/database
+    ``cache_token``, task, method, seed), appended as requests settle,
+    and replayed by :func:`load_request_journal` when the daemon
+    restarts.  Only **full-fidelity** answers are recorded (rung 0, no
+    degradations): a load-shed answer is correct for its *widened* ε
+    but must not be replayed to a future unloaded request.  The header
+    fingerprint binds the journal to the serving engine's configuration,
+    the same way a batch fingerprint binds to a batch.
+    """
+
+    def write_serve_header(self, fingerprint: str) -> None:
+        self._append(
+            {
+                "type": "serve-header",
+                "version": JOURNAL_VERSION,
+                "fingerprint": fingerprint,
+            }
+        )
+
+    def record_request(
+        self,
+        key: str,
+        answer,
+        *,
+        seed: int | None,
+        elapsed: float,
+    ) -> None:
+        """Append one settled full-fidelity response."""
+        self._append(
+            {
+                "type": "request",
+                "key": key,
+                "seed": seed,
+                "elapsed": elapsed,
+                "answer": _answer_payload(answer),
+            }
+        )
+
+
+class LoadedRequestJournal:
+    """The verified prefix of a serve request journal."""
+
+    def __init__(self, header, requests, quarantined):
+        self.header = header
+        self.requests = requests
+        self.quarantined = quarantined
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def restore_answer(self, key: str):
+        """Rebuild the recorded :class:`PQEAnswer` for ``key``."""
+        return _restore_answer(self.requests[key]["answer"])
+
+
+def load_request_journal(path: str | Path) -> LoadedRequestJournal:
+    """Read a serve request journal, keeping the longest valid prefix.
+
+    Same quarantine contract as :func:`load_journal`: the first torn or
+    corrupt line discards itself and everything after it with a
+    :class:`JournalWarning`, never an exception.  The latest verified
+    record for a key wins.
+    """
+    path = Path(path)
+    header = None
+    requests: dict[str, dict] = {}
+    quarantined = 0
+    if not path.exists():
+        return LoadedRequestJournal(header, requests, quarantined)
+    with open(path, encoding="utf-8") as stream:
+        lines = stream.read().splitlines()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            record = None
+        ok = (
+            record is not None
+            and _verify(record)
+            and record.get("type") in ("serve-header", "request")
+        )
+        if ok and record["type"] == "request":
+            ok = isinstance(record.get("key"), str) and "answer" in record
+        if ok and record["type"] == "serve-header":
+            ok = record.get("version") == JOURNAL_VERSION
+        if not ok:
+            quarantined = len(lines) - number + 1
+            warnings.warn(
+                f"request journal {path}: quarantined line {number} and "
+                f"the {quarantined - 1} line(s) after it (torn or "
+                f"corrupt tail); the affected responses will be "
+                f"recomputed on demand",
+                JournalWarning,
+                stacklevel=2,
+            )
+            metric_inc("journal.quarantines")
+            break
+        if record["type"] == "serve-header":
+            if header is None:
+                header = record
+        else:
+            requests[record["key"]] = record
+    return LoadedRequestJournal(header, requests, quarantined)
+
+
+def check_serve_fingerprint(
+    loaded: LoadedRequestJournal, fingerprint: str, path
+) -> None:
+    """Refuse to replay responses recorded under a different engine."""
+    if loaded.header is None:
+        return
+    recorded = loaded.header.get("fingerprint")
+    if recorded != fingerprint:
+        raise JournalError(
+            f"request journal {path} was recorded under a different "
+            f"engine configuration (fingerprint {recorded!r:.20} != "
+            f"{fingerprint!r:.20}); refusing to replay its responses",
+            phase="serve.journal",
+        )
 
 
 class LoadedJournal:

@@ -100,6 +100,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -125,19 +126,45 @@ from repro.errors import BudgetExceededError, EstimationError, ReproError
 from repro.testing.faults import fault_scope
 
 __all__ = [
+    "BatchDrainedError",
     "BatchError",
     "BatchItem",
     "BatchItemError",
     "BatchItemResult",
     "BatchResult",
     "ItemRunner",
+    "clear_drain",
     "derive_item_seed",
+    "drain_requested",
     "evaluate_batch",
+    "request_drain",
 ]
 
 _TASKS = ("probability", "reliability")
 _ON_ERROR = ("fail", "skip", "degrade")
 _ISOLATION = ("thread", "process")
+
+#: Process-wide graceful-drain flag.  A SIGTERM handler (the CLI's, or
+#: the serve daemon's) sets it; the execution backends check it before
+#: *starting* each item, so in-flight work completes and is journalled
+#: while nothing new is admitted.  Threads cannot be interrupted, so
+#: drain is admission control, not cancellation.
+_DRAIN = threading.Event()
+
+
+def request_drain() -> None:
+    """Ask every in-progress batch to stop admitting new items."""
+    _DRAIN.set()
+
+
+def drain_requested() -> bool:
+    return _DRAIN.is_set()
+
+
+def clear_drain() -> None:
+    """Reset the drain flag (a new process starts clear; tests and
+    long-lived daemons that survive a drained batch must reset it)."""
+    _DRAIN.clear()
 
 
 def derive_item_seed(seed: int | None, index: int) -> int | None:
@@ -251,6 +278,26 @@ class BatchError(EstimationError):
         super().__init__(message)
         self.result = result
         self.index = index
+
+
+class BatchDrainedError(ReproError):
+    """The batch stopped early because a graceful drain was requested.
+
+    Every item that was *started* before the drain settled normally (and
+    was journalled, when the batch has a journal); ``result`` carries
+    those settled items in input order and ``remaining`` the indexes
+    never admitted.  With a journal, a rerun with ``resume=True``
+    replays the settled prefix bitwise and evaluates only
+    ``remaining`` — the chaos suite asserts the combined run equals an
+    uninterrupted one.
+    """
+
+    def __init__(
+        self, message: str, result: "BatchResult", remaining: tuple[int, ...]
+    ):
+        super().__init__(message)
+        self.result = result
+        self.remaining = remaining
 
 
 @dataclass(frozen=True)
@@ -739,13 +786,19 @@ def evaluate_batch(
             on_settled=record,
         )
     elif max_workers == 1 or len(pending) <= 1:
-        computed = {i: record(runner.run(i)) for i in pending}
+        computed = {}
+        for i in pending:
+            if drain_requested():
+                break
+            computed[i] = record(runner.run(i))
         stats_delta = None
     else:
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                i: pool.submit(runner.run, i) for i in pending
-            }
+            futures = {}
+            for i in pending:
+                if drain_requested():
+                    break
+                futures[i] = pool.submit(runner.run, i)
             # Every future settles — workers record failures instead of
             # raising, so no sibling's work is ever discarded.
             computed = {
@@ -756,6 +809,29 @@ def evaluate_batch(
 
     if journal_log is not None and journal is not journal_log:
         journal_log.close()
+
+    settled = {**replayed, **computed}
+    remaining = tuple(i for i in range(len(batch)) if i not in settled)
+    if remaining:
+        # Drained: in-flight items settled (and were journalled); the
+        # rest were never admitted.  Surface the partial outcome.
+        partial = BatchResult(
+            results=tuple(settled[i] for i in sorted(settled)),
+            cache_stats=(
+                stats_delta
+                if stats_delta is not None
+                else cache.stats - stats_before
+            ),
+            wall_time=time.perf_counter() - started,
+            max_workers=max_workers,
+        )
+        metric_inc("batch.drained")
+        raise BatchDrainedError(
+            f"batch drained after {len(settled)} of {len(batch)} items; "
+            f"{len(remaining)} never admitted",
+            partial,
+            remaining,
+        )
 
     results = [
         replayed[i] if i in replayed else computed[i]

@@ -58,6 +58,7 @@ from repro.core.parallel import (
     _error_record,
     _result_telemetry,
     derive_item_seed,
+    drain_requested,
 )
 from repro.errors import ReproError, WorkerCrashError
 from repro.obs import EvaluationTelemetry, MetricsRegistry, Tracer, metric_inc
@@ -274,8 +275,14 @@ def run_process_batch(
     workers = [_Worker(ctx, runner, memory_limit) for _ in range(width)]
     try:
         while len(computed) < total:
+            # A graceful drain stops admission: busy workers finish (and
+            # their items are journalled via ``on_settled``), idle ones
+            # get nothing new, and once no worker is busy the loop below
+            # exits with the queue's remainder unevaluated — the caller
+            # surfaces it as a BatchDrainedError.
+            draining = drain_requested()
             for position, worker in enumerate(workers):
-                if worker.item is None and queue:
+                if worker.item is None and queue and not draining:
                     if not worker.alive():
                         # An idle worker died (killed from outside);
                         # replace it before handing it work.
@@ -286,7 +293,9 @@ def run_process_batch(
                         metric_inc("procpool.restarts")
                     workers[position].assign(queue.pop())
             busy = [w for w in workers if w.item is not None]
-            if not busy:  # pragma: no cover - defensive
+            if not busy:
+                # Nothing in flight: either every worker died with the
+                # queue empty (defensive) or a drain stopped admission.
                 break
             waitables = [w.conn for w in busy] + [
                 w.process.sentinel for w in busy

@@ -80,8 +80,12 @@ class DegradationPolicy:
     ``epsilon_widening`` multiplies ε at each fallback rung (capped at
     ``epsilon_max``); ``backoff_base`` seconds double per retry attempt
     up to ``backoff_cap`` — deterministic, so reproducibility is
-    unaffected.  ``routes`` overrides the structural ladder from
-    :func:`degradation_ladder` when set.
+    unaffected.  ``jitter`` shaves a *seed-derived* fraction off each
+    delay (full-jitter style, but driven by :func:`derive_retry_seed`
+    rather than an ambient RNG) so coordinated retries decorrelate
+    while faulted batches stay bitwise-reproducible.  ``routes``
+    overrides the structural ladder from :func:`degradation_ladder`
+    when set.
     """
 
     max_retries: int = 1
@@ -89,6 +93,7 @@ class DegradationPolicy:
     backoff_cap: float = 1.0
     epsilon_widening: float = 2.0
     epsilon_max: float = 0.5
+    jitter: float = 0.0
     routes: tuple[str, ...] | None = None
 
     def __post_init__(self):
@@ -104,12 +109,34 @@ class DegradationPolicy:
             raise ReproError(
                 f"epsilon_widening must be >= 1, got {self.epsilon_widening}"
             )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ReproError(
+                f"jitter must be within [0, 1], got {self.jitter}"
+            )
 
-    def backoff(self, attempt: int) -> float:
-        """Deterministic delay before retry ``attempt`` (1-based)."""
+    def backoff(self, attempt: int, seed: int | None = None) -> float:
+        """Deterministic delay before retry ``attempt`` (1-based).
+
+        With ``jitter > 0`` the exponential delay is scaled by
+        ``1 - jitter * u`` where ``u ∈ [0, 1)`` is derived from
+        ``(seed, attempt)`` via :func:`derive_retry_seed` — two items
+        retrying the same attempt sleep different amounts, but the same
+        ``(seed, attempt)`` always sleeps the same amount.  A ``None``
+        seed keeps jitter deterministic by deriving from seed 0.
+        """
         if self.backoff_base <= 0:
             return 0.0
-        return min(self.backoff_base * 2 ** (attempt - 1), self.backoff_cap)
+        delay = min(self.backoff_base * 2 ** (attempt - 1), self.backoff_cap)
+        if self.jitter > 0:
+            # derive_retry_seed(seed, 0) returns seed unchanged, so use
+            # attempt + 1 to guarantee a hashed (uniform) value even for
+            # the first retry.
+            stream = derive_retry_seed(
+                seed if seed is not None else 0, attempt + 1
+            )
+            unit = (stream >> 11) / float(1 << 53)
+            delay *= 1.0 - self.jitter * unit
+        return delay
 
     def widened_epsilon(self, epsilon: float, rung: int) -> float:
         """ε for ladder rung ``rung`` (0 = the preferred route)."""
@@ -258,7 +285,7 @@ def evaluate_with_policy(
                     attempt += 1
                     retries_used += 1
                     metric_inc("resilience.retries")
-                    delay = policy.backoff(attempt)
+                    delay = policy.backoff(attempt, seed=seed)
                     if delay:
                         time.sleep(delay)
                     continue

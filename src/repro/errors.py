@@ -200,6 +200,53 @@ class DiskCacheError(ContextualError):
     """
 
 
+class ServeRejection(ContextualError):
+    """The serve daemon declined a request before evaluating it.
+
+    Structured admission-control outcomes, never engine failures: each
+    subclass maps to one HTTP status and a machine-readable ``reason``
+    so clients can distinguish back-off-and-retry (queue full,
+    draining) from give-up (deadline expired, query quarantined).
+    ``status`` is the HTTP status code the daemon responds with.
+    """
+
+    status = 503
+    reason = "rejected"
+
+    def __init__(self, message: str, **context):
+        super().__init__(message, **context)
+
+
+class QueueFullRejection(ServeRejection):
+    """The bounded admission queue is at capacity (HTTP 429)."""
+
+    status = 429
+    reason = "queue_full"
+
+
+class DrainingRejection(ServeRejection):
+    """The daemon is draining for shutdown; admission is closed."""
+
+    status = 503
+    reason = "draining"
+
+
+class DeadlineRejection(ServeRejection):
+    """The request's deadline expired before any engine work started
+    (e.g. the queue wait consumed it) — HTTP 504."""
+
+    status = 504
+    reason = "deadline_expired"
+
+
+class QuarantineRejection(ServeRejection):
+    """The circuit breaker has quarantined this query after repeated
+    worker crashes; retry after the cooldown."""
+
+    status = 503
+    reason = "quarantined"
+
+
 class LineageError(ReproError):
     """Lineage construction failed or exceeded a configured size budget."""
 

@@ -55,10 +55,14 @@ SCHEDULING_SENSITIVE = frozenset({"cache.inflight_waits"})
 #: instrument the lifted router's process-wide plan memo
 #: (:mod:`repro.queries.lifted`) the same way: a query is a miss (and
 #: is classified) only for the first evaluation in the process to ask.
+#: ``serve.`` instruments the daemon's admission queue, shedding ladder
+#: and circuit breaker — all functions of concurrent load and wall
+#: clock, deterministic only in the trivial single-request case.
 SCHEDULING_SENSITIVE_PREFIXES = (
     "kernels.",
     "lifted.plan_cache.",
     "lifted.classified.",
+    "serve.",
 )
 
 #: Counter-name prefixes whose per-item totals depend on which *other*
@@ -81,6 +85,7 @@ REPLAY_SENSITIVE_PREFIXES = (
     "journal.",
     "kernels.",
     "procpool.",
+    "serve.",
 )
 
 

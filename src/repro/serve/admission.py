@@ -1,0 +1,191 @@
+"""Bounded admission for the serve daemon: queue, deadlines, drain.
+
+The daemon's first line of defence is refusing work it cannot do well:
+:class:`AdmissionController` holds ``max_concurrency`` execution slots
+behind a bounded wait queue of ``max_queue`` requests.  A request that
+arrives to a full queue is rejected *immediately* with
+:class:`~repro.errors.QueueFullRejection` (HTTP 429) — overload becomes
+an explicit, machine-readable outcome instead of an ever-growing
+backlog.  A request that waits is charged for it: :meth:`admit` returns
+an :class:`AdmissionTicket` recording ``queue_seconds``, which the
+server deducts from the request's deadline
+(:meth:`EvaluationBudget.consume_wait
+<repro.core.budget.EvaluationBudget.consume_wait>`) before any engine
+work, and a waiter whose deadline expires in the queue is rejected with
+:class:`~repro.errors.DeadlineRejection` rather than evaluated late.
+
+Graceful drain rides the same structure: :meth:`begin_drain` closes
+admission (new arrivals and queued waiters get
+:class:`~repro.errors.DrainingRejection`) while in-flight requests keep
+their slots; :meth:`await_idle` blocks until they finish or the drain
+deadline passes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import (
+    DeadlineRejection,
+    DrainingRejection,
+    QueueFullRejection,
+    ReproError,
+)
+
+__all__ = ["AdmissionController", "AdmissionTicket"]
+
+
+@dataclass(frozen=True)
+class AdmissionTicket:
+    """Proof of admission: how long the request queued, and the load
+    observed at arrival (the shedding signal is sampled at admission so
+    one request sees one consistent pressure reading)."""
+
+    queue_seconds: float
+    queue_fraction: float
+
+
+class AdmissionController:
+    """Counting semaphore with a bounded wait queue and a drain mode.
+
+    Thread-safe; every HTTP handler thread calls :meth:`admit` /
+    :meth:`release` around its evaluation.  ``clock`` is injectable for
+    deterministic tests.
+    """
+
+    def __init__(
+        self,
+        max_concurrency: int = 2,
+        max_queue: int = 8,
+        clock=time.monotonic,
+    ):
+        if max_concurrency < 1:
+            raise ReproError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        if max_queue < 0:
+            raise ReproError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_concurrency = max_concurrency
+        self.max_queue = max_queue
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._running = 0
+        self._waiting = 0
+        self._draining = False
+
+    # -- load signal ----------------------------------------------------
+
+    @property
+    def queue_fraction(self) -> float:
+        """Occupancy of the wait queue in ``[0, 1]`` (1 = full)."""
+        with self._cond:
+            if self.max_queue == 0:
+                return 1.0 if self._waiting else 0.0
+            return min(1.0, self._waiting / self.max_queue)
+
+    def snapshot(self) -> dict:
+        with self._cond:
+            return {
+                "running": self._running,
+                "waiting": self._waiting,
+                "max_concurrency": self.max_concurrency,
+                "max_queue": self.max_queue,
+                "draining": self._draining,
+            }
+
+    # -- admission ------------------------------------------------------
+
+    def admit(self, deadline: float | None = None) -> AdmissionTicket:
+        """Block until an execution slot is free, then claim it.
+
+        Raises :class:`QueueFullRejection` when the wait queue is at
+        capacity, :class:`DrainingRejection` once :meth:`begin_drain`
+        has run (immediately for new arrivals, and for queued waiters
+        woken by the drain), and :class:`DeadlineRejection` when
+        ``deadline`` seconds pass before a slot frees up.
+        """
+        arrived = self._clock()
+        with self._cond:
+            if self._draining:
+                raise DrainingRejection(
+                    "admission closed: the daemon is draining",
+                    phase="serve.admit",
+                )
+            if self._running >= self.max_concurrency:
+                if self._waiting >= self.max_queue:
+                    raise QueueFullRejection(
+                        f"admission queue full "
+                        f"({self._waiting}/{self.max_queue} waiting, "
+                        f"{self._running} running)",
+                        phase="serve.admit",
+                    )
+                self._waiting += 1
+                try:
+                    while self._running >= self.max_concurrency:
+                        if self._draining:
+                            raise DrainingRejection(
+                                "admission closed while queued: the "
+                                "daemon is draining",
+                                phase="serve.admit",
+                            )
+                        waited = self._clock() - arrived
+                        if deadline is not None and waited >= deadline:
+                            raise DeadlineRejection(
+                                f"deadline ({deadline:g}s) expired "
+                                f"after {waited:.3f}s in the admission "
+                                f"queue",
+                                phase="serve.admit",
+                                elapsed=waited,
+                            )
+                        timeout = (
+                            None
+                            if deadline is None
+                            else max(0.0, deadline - waited)
+                        )
+                        self._cond.wait(timeout=timeout)
+                finally:
+                    self._waiting -= 1
+            self._running += 1
+            queued = self._clock() - arrived
+            fraction = (
+                min(1.0, self._waiting / self.max_queue)
+                if self.max_queue
+                else (1.0 if self._waiting else 0.0)
+            )
+        return AdmissionTicket(
+            queue_seconds=queued, queue_fraction=fraction
+        )
+
+    def release(self) -> None:
+        """Return an execution slot (wakes queued waiters)."""
+        with self._cond:
+            self._running = max(0, self._running - 1)
+            self._cond.notify_all()
+
+    # -- drain ----------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        with self._cond:
+            return self._draining
+
+    def begin_drain(self) -> None:
+        """Close admission; in-flight requests keep running."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    def await_idle(self, timeout: float | None = None) -> bool:
+        """Block until no request is running; False on timeout."""
+        limit = None if timeout is None else self._clock() + timeout
+        with self._cond:
+            while self._running > 0:
+                remaining = (
+                    None if limit is None else limit - self._clock()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(timeout=remaining)
+            return True

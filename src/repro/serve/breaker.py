@@ -1,0 +1,153 @@
+"""Per-query circuit breaker: quarantine repeat worker-killers.
+
+Process isolation (:mod:`repro.core.procpool`) turns one worker crash
+into one structured error record — but a query that *reliably* kills
+workers (a native-code segfault its inputs trigger, a pathological
+allocation) would keep burning a fork+die cycle per request.  The
+breaker quarantines such queries by their ``cache_token`` digest:
+
+``closed``
+    Normal service.  Crashes within the sliding ``window`` accumulate;
+    reaching ``threshold`` opens the breaker.
+``open``
+    Requests for the token are rejected up front with
+    :class:`~repro.errors.QuarantineRejection` (no worker is risked).
+    After ``cooldown`` seconds the breaker moves to half-open.
+``half-open``
+    Exactly one probe request is let through.  Success closes the
+    breaker (and clears the crash history); another crash re-opens it
+    for a fresh cooldown.
+
+``clock`` is injectable so tests step time instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ReproError
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class _Circuit:
+    __slots__ = ("state", "crashes", "opened_at", "probing")
+
+    def __init__(self):
+        self.state = CLOSED
+        self.crashes: list[float] = []
+        self.opened_at = 0.0
+        self.probing = False
+
+
+class CircuitBreaker:
+    """Crash-count circuit breakers keyed by query token (thread-safe)."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        window: float = 60.0,
+        cooldown: float = 30.0,
+        clock=time.monotonic,
+    ):
+        if threshold < 1:
+            raise ReproError(f"threshold must be >= 1, got {threshold}")
+        if window <= 0:
+            raise ReproError(f"window must be > 0, got {window}")
+        if cooldown <= 0:
+            raise ReproError(f"cooldown must be > 0, got {cooldown}")
+        self.threshold = threshold
+        self.window = window
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._circuits: dict[str, _Circuit] = {}
+
+    def _circuit(self, token: str) -> _Circuit:
+        circuit = self._circuits.get(token)
+        if circuit is None:
+            circuit = self._circuits[token] = _Circuit()
+        return circuit
+
+    # -- gate -----------------------------------------------------------
+
+    def allow(self, token: str) -> bool:
+        """May a request for ``token`` proceed right now?
+
+        An open breaker whose cooldown has elapsed admits exactly one
+        probe (moving to half-open); concurrent requests during the
+        probe stay rejected.
+        """
+        now = self._clock()
+        with self._lock:
+            circuit = self._circuits.get(token)
+            if circuit is None or circuit.state == CLOSED:
+                return True
+            if circuit.state == OPEN:
+                if now - circuit.opened_at < self.cooldown:
+                    return False
+                circuit.state = HALF_OPEN
+                circuit.probing = True
+                return True
+            # half-open: one probe at a time.
+            if circuit.probing:
+                return False
+            circuit.probing = True
+            return True
+
+    # -- outcomes -------------------------------------------------------
+
+    def record_crash(self, token: str) -> None:
+        """A worker died evaluating ``token``."""
+        now = self._clock()
+        with self._lock:
+            circuit = self._circuit(token)
+            if circuit.state == HALF_OPEN:
+                # The probe crashed too: back to open, fresh cooldown.
+                circuit.state = OPEN
+                circuit.opened_at = now
+                circuit.probing = False
+                return
+            circuit.crashes = [
+                stamp
+                for stamp in circuit.crashes
+                if now - stamp < self.window
+            ]
+            circuit.crashes.append(now)
+            if (
+                circuit.state == CLOSED
+                and len(circuit.crashes) >= self.threshold
+            ):
+                circuit.state = OPEN
+                circuit.opened_at = now
+
+    def record_success(self, token: str) -> None:
+        """A request for ``token`` completed without a crash."""
+        with self._lock:
+            circuit = self._circuits.get(token)
+            if circuit is None:
+                return
+            circuit.state = CLOSED
+            circuit.crashes = []
+            circuit.probing = False
+
+    # -- inspection -----------------------------------------------------
+
+    def state(self, token: str) -> str:
+        with self._lock:
+            circuit = self._circuits.get(token)
+            return CLOSED if circuit is None else circuit.state
+
+    def snapshot(self) -> dict:
+        """Token → state for every non-closed circuit."""
+        with self._lock:
+            return {
+                token: circuit.state
+                for token, circuit in self._circuits.items()
+                if circuit.state != CLOSED
+            }

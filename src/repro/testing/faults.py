@@ -49,6 +49,7 @@ __all__ = [
     "fault_scope",
     "flip_bit",
     "inject_faults",
+    "request_burst",
     "truncate_tail",
 ]
 
@@ -64,6 +65,7 @@ FAULT_SITES = (
     "counting.nfta",
     "sampling.trees",
     "monte_carlo.sample",
+    "serve.request",
 )
 
 #: Granularity of the cooperative stall loop (seconds).
@@ -247,6 +249,60 @@ def inject_faults(*specs: FaultSpec):
     finally:
         with _PLAN_LOCK:
             _PLAN = None
+
+
+# ---------------------------------------------------------------------------
+# overload injection (chaos tests for the serve daemon)
+
+
+def request_burst(send, count: int, *, concurrency: int | None = None):
+    """Fire ``count`` calls of ``send(i)`` from ``concurrency`` threads
+    at once and collect every outcome.
+
+    The serve chaos suite's overload generator: all threads arm on a
+    barrier so the burst lands as one synchronized spike — the worst
+    case for admission control — rather than a ramp.  Returns a list of
+    ``count`` entries in request order, each either ``send``'s return
+    value or the exception it raised (exceptions are outcomes here: an
+    overloaded daemon *should* reject, and the caller asserts on the
+    mix).
+    """
+    if count < 1:
+        raise ReproError(f"count must be >= 1, got {count}")
+    if concurrency is None:
+        concurrency = count
+    if concurrency < 1:
+        raise ReproError(f"concurrency must be >= 1, got {concurrency}")
+    concurrency = min(concurrency, count)
+    outcomes: list = [None] * count
+    indexes = list(range(count))
+    indexes_lock = threading.Lock()
+    barrier = threading.Barrier(concurrency)
+
+    def _fire():
+        try:
+            barrier.wait(timeout=30.0)
+        except threading.BrokenBarrierError:  # pragma: no cover
+            pass
+        while True:
+            with indexes_lock:
+                if not indexes:
+                    return
+                index = indexes.pop(0)
+            try:
+                outcomes[index] = send(index)
+            except Exception as failure:
+                outcomes[index] = failure
+
+    threads = [
+        threading.Thread(target=_fire, daemon=True)
+        for _ in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return outcomes
 
 
 # ---------------------------------------------------------------------------

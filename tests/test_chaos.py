@@ -212,6 +212,151 @@ class TestCliResume:
         _export_artifact(journal)
 
 
+CHILD_SCRIPT = """\
+import sys
+
+from repro.cli import main
+from repro.testing.faults import FaultSpec, inject_faults
+
+# Every item stalls at its first pipeline phase, long enough for the
+# parent's SIGTERM to land while the batch is mid-flight.
+with inject_faults(
+    FaultSpec("decomposition.search", stall=1.5),
+    FaultSpec("lineage.build", stall=1.5),
+):
+    sys.exit(main(sys.argv[1:]))
+"""
+
+
+class TestSigtermBatchDrain:
+    """SIGTERM mid-batch drains: every admitted item settles and is
+    journalled, the process exits EXIT_DRAINED, and ``--resume``
+    finishes the batch bitwise-identically to an uninterrupted run."""
+
+    def test_sigterm_drains_and_resume_is_bitwise_identical(
+        self, tmp_path
+    ):
+        import repro
+        import signal
+        import subprocess
+        import sys as _sys
+        import time
+        from pathlib import Path
+
+        data = tmp_path / "facts.csv"
+        # The non-hierarchical triad: its fpras route runs the full
+        # decomposition chain, so the stall sites reliably fire.
+        data.write_text(
+            "relation,probability,constant1,constant2\n"
+            "R,1/2,a\nR,1/3,b\nS,1/2,a,b\nS,2/3,b,c\nT,1/2,b\nT,1/3,c\n"
+        )
+        batch = tmp_path / "batch.json"
+        # Default (auto) method: small instances resolve through the
+        # lineage path, so the ``lineage.build`` stall site fires.
+        batch.write_text(json.dumps(
+            ["Q :- R(x), S(x, y), T(y)"] * 6
+        ))
+        journal = tmp_path / "drain.wal"
+        base_args = [
+            "--data", str(data), "--batch", str(batch),
+            "--seed", "7", "--workers", "1",
+        ]
+
+        # Reference: the same batch, uninterrupted and unstalled.
+        clean = subprocess.run(
+            [_sys.executable, "-m", "repro", "eval", *base_args],
+            capture_output=True, text=True,
+            env={**os.environ,
+                 "PYTHONPATH": str(Path(repro.__file__).parents[1])},
+        )
+        assert clean.returncode == 0
+        clean_rows = [
+            line for line in clean.stdout.splitlines()
+            if line.startswith("[")
+        ]
+        assert len(clean_rows) == 6
+
+        # Chaos run: stalled items, SIGTERM mid-batch.
+        script = tmp_path / "child.py"
+        script.write_text(CHILD_SCRIPT)
+        child = subprocess.Popen(
+            [_sys.executable, str(script), *base_args,
+             "--journal", str(journal)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env={**os.environ,
+                 "PYTHONPATH": str(Path(repro.__file__).parents[1])},
+        )
+        time.sleep(1.0)  # inside item 0's 1.5s stall
+        child.send_signal(signal.SIGTERM)
+        out, err = child.communicate(timeout=60)
+        assert child.returncode == 5, (out, err)  # EXIT_DRAINED
+        assert "drained:" in err
+        assert "--resume" in out
+        drained_rows = [
+            line for line in out.splitlines() if line.startswith("[")
+        ]
+        # At least one item settled, at least one was never admitted.
+        assert 1 <= len(drained_rows) < 6
+        # Every settled row already matches the uninterrupted run.
+        assert drained_rows == clean_rows[:len(drained_rows)]
+
+        # Resume: the drained journal finishes the batch bitwise.
+        code = main(base_args + ["--journal", str(journal), "--resume"])
+        assert code == 0
+        _export_artifact(journal)
+
+    def test_resume_rows_match_clean_run(self, tmp_path, capsys):
+        # In-process half of the scenario above: drain via the global
+        # drain event (what the SIGTERM handler calls), then resume.
+        from repro.core.parallel import clear_drain, request_drain
+        import threading
+
+        data = tmp_path / "facts.csv"
+        data.write_text(CSV)
+        batch = tmp_path / "batch.json"
+        batch.write_text(BATCH)
+        journal = tmp_path / "inproc.wal"
+        base_args = [
+            "--data", str(data), "--batch", str(batch),
+            "--seed", "7", "--workers", "1",
+        ]
+        assert main(base_args) == 0
+        clean_rows = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("[")
+        ]
+
+        with inject_faults(
+            FaultSpec("counting.nfta", scope=0, stall=1.0)
+        ):
+            timer = threading.Timer(0.3, request_drain)
+            timer.start()
+            try:
+                code = main(
+                    base_args + ["--journal", str(journal)]
+                )
+            finally:
+                timer.cancel()
+        assert code == 5  # EXIT_DRAINED
+        drained = capsys.readouterr()
+        drained_rows = [
+            line for line in drained.out.splitlines()
+            if line.startswith("[")
+        ]
+        assert 1 <= len(drained_rows) < 4
+
+        # A real resume runs in a fresh process, which starts with the
+        # drain flag clear; mirror that for the in-process resume.
+        clear_drain()
+        code = main(base_args + ["--journal", str(journal), "--resume"])
+        assert code == 0
+        resumed_rows = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("[")
+        ]
+        assert resumed_rows == clean_rows
+
+
 class TestDurableStateCorruption:
     def test_bit_flipped_disk_cache_record_never_wrong(
         self, rs_query, tmp_path

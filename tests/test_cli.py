@@ -722,3 +722,79 @@ class TestLoadErrorProvenance:
         )
         assert code == 1
         assert "broken-query.txt" in capsys.readouterr().err
+
+
+class TestServeAndCacheStatsCommands:
+    """Flag validation and output for the ``serve`` and
+    ``cache-stats`` subcommands (the daemon itself is exercised in
+    the ``-m serve`` tier)."""
+
+    @pytest.fixture
+    def data_file(self, tmp_path):
+        path = tmp_path / "facts.csv"
+        path.write_text(CSV)
+        return str(path)
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--memory-limit", "1000000"],  # needs process isolation
+            ["--shed-thresholds", "0.5,high,0.9"],
+            ["--epsilon", "1.5"],
+            ["--max-concurrency", "0"],
+            ["--port", "-1"],
+            ["--drain-deadline", "0"],
+        ],
+    )
+    def test_serve_rejects_bad_flags_with_exit_code_2(
+        self, data_file, flags, capsys
+    ):
+        with pytest.raises(SystemExit) as exited:
+            main(["serve", "--data", data_file] + flags)
+        assert exited.value.code == 2
+        assert flags[0] in capsys.readouterr().err
+
+    def test_serve_requires_data(self, capsys):
+        with pytest.raises(SystemExit) as exited:
+            main(["serve"])
+        assert exited.value.code == 2
+        assert "--data" in capsys.readouterr().err
+
+    def test_serve_missing_data_file_is_a_runtime_error(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            ["serve", "--data", str(tmp_path / "nope.csv")]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_cache_stats_text_output(self, tmp_path, capsys):
+        from repro.core.diskcache import DiskCache
+
+        cache = DiskCache(tmp_path / "tier")
+        cache.store(("cli", "stats"), {"payload": 1})
+        assert main(["cache-stats", str(tmp_path / "tier")]) == 0
+        out = capsys.readouterr().out
+        assert "records:     1" in out
+        assert "quarantined: 0" in out
+
+    def test_cache_stats_json_output(self, tmp_path, capsys):
+        import json as json_module
+
+        from repro.core.diskcache import DiskCache
+
+        cache = DiskCache(tmp_path / "tier")
+        cache.store(("cli", "stats"), {"payload": 1})
+        assert main(
+            ["cache-stats", str(tmp_path / "tier"), "--json"]
+        ) == 0
+        stats = json_module.loads(capsys.readouterr().out)
+        assert stats["records"] == 1
+        assert stats["quarantined"] == 0
+        assert stats["bytes"] > 0
+
+    def test_exit_drained_constant_is_exported(self):
+        from repro.cli import EXIT_DRAINED
+
+        assert EXIT_DRAINED == 5

@@ -7,6 +7,7 @@ record with a :class:`DiskCacheWarning` and reports a miss.  Corruption
 is never an exception and never a wrong value.
 """
 
+import os
 import pickle
 import warnings
 
@@ -19,6 +20,7 @@ from repro.core.diskcache import (
     DiskCacheWarning,
 )
 from repro.errors import DiskCacheError
+from repro.obs import EvaluationTelemetry, telemetry_scope
 from repro.testing.faults import flip_bit, truncate_tail
 
 
@@ -215,3 +217,69 @@ class TestCrossProcessSafety:
         assert b.load("key") == "from-a"
         b.store("key", "from-b")
         assert a.load("key") == "from-b"
+
+
+class TestQuarantineCap:
+    """``quarantine/`` is evidence, not an archive: it must not grow
+    without bound on a long-lived daemon."""
+
+    def _corrupt(self, cache, key, mtime=None):
+        """Corrupt ``key``'s record so the next load quarantines it;
+        optionally back-date the evidence for eviction-order tests."""
+        cache.store(key, f"value-{key}")
+        flip_bit(cache.record_path(key), offset=-1)
+        evidence = (
+            cache.path / "quarantine" / cache.record_path(key).name
+        )
+        if mtime is not None:
+            # Pre-stamp so the mtime survives the quarantine rename
+            # (rename preserves it) and stays distinct even on coarse
+            # filesystem clocks.
+            os.utime(cache.record_path(key), (mtime, mtime))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DiskCacheWarning)
+            assert cache.load(key) is None
+        return evidence
+
+    def test_oldest_quarantined_records_are_evicted(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache", max_quarantine=3)
+        for i in range(5):
+            self._corrupt(cache, f"key-{i}", mtime=i)
+        survivors = cache.quarantined()
+        assert len(survivors) == 3
+        # The survivors are the *newest* three (mtimes 2, 3, 4).
+        assert sorted(p.stat().st_mtime for p in survivors) == [2, 3, 4]
+
+    def test_eviction_is_counted(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache", max_quarantine=1)
+        telemetry = EvaluationTelemetry()
+        with telemetry_scope(telemetry):
+            for i in range(4):
+                self._corrupt(cache, f"key-{i}", mtime=i)
+        assert len(cache.quarantined()) == 1
+        counters = telemetry.metrics.counters
+        assert counters["diskcache.quarantines"] == 4
+        assert counters["diskcache.quarantine.evicted"] == 3
+
+    def test_cap_zero_keeps_no_evidence(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache", max_quarantine=0)
+        self._corrupt(cache, "key")
+        assert cache.quarantined() == []
+
+    def test_cap_is_validated(self, tmp_path):
+        with pytest.raises(DiskCacheError, match="max_quarantine"):
+            DiskCache(tmp_path / "cache", max_quarantine=-1)
+
+    def test_tier_stats_reports_both_tiers(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache", max_quarantine=8)
+        cache.store("good", "value")
+        self._corrupt(cache, "bad")
+        stats = cache.tier_stats()
+        assert stats["records"] == 1
+        assert stats["quarantined"] == 1
+        assert stats["quarantine_cap"] == 8
+        assert stats["bytes"] > 0
+        assert stats["quarantine_bytes"] > 0
+        assert stats["quarantine_files"] == [
+            cache.quarantined()[0].name
+        ]

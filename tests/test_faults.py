@@ -142,7 +142,24 @@ SITE_TRIGGERS = {
     "monte_carlo.sample": lambda: PQEEngine(seed=1).probability(
         QUERY, SMALL_PDB, method="monte-carlo"
     ),
+    "serve.request": lambda: _served_request(),
 }
+
+
+def _served_request():
+    """Drive a request through ``PQEServer.handle``, re-raising the
+    serving-layer fault it contains (the daemon's contract is a
+    structured 500 body, never a propagated exception)."""
+    from repro.serve import PQEServer, ServerConfig
+
+    server = PQEServer(SMALL_PDB, ServerConfig())
+    status, body = server.handle(
+        {"query": "Q :- R1(x, y), R2(y, z)", "method": "monte-carlo"}
+    )
+    if status == 500:
+        raise EstimationError(body["error"]["message"])
+    assert status == 200, body
+    return body
 
 
 def test_every_site_has_a_trigger():

@@ -61,6 +61,49 @@ def test_policy_validation_and_backoff():
     assert DegradationPolicy().backoff(9) == 0.0
 
 
+def test_backoff_jitter_is_deterministic_and_bounded():
+    policy = DegradationPolicy(
+        backoff_base=0.1, backoff_cap=0.3, jitter=0.5
+    )
+    delays = [policy.backoff(attempt, seed=7) for attempt in (1, 2, 5)]
+    # Same seed → same jittered schedule, always.
+    assert delays == [
+        policy.backoff(attempt, seed=7) for attempt in (1, 2, 5)
+    ]
+    # A different seed decorrelates the schedule (the point of jitter:
+    # retrying peers must not re-collide).
+    assert delays != [
+        policy.backoff(attempt, seed=8) for attempt in (1, 2, 5)
+    ]
+    # Jitter only ever *shrinks* the delay, within the jitter fraction.
+    for attempt, delay in zip((1, 2, 5), delays):
+        ceiling = min(0.1 * 2 ** (attempt - 1), 0.3)
+        assert ceiling * (1 - 0.5) <= delay <= ceiling
+
+
+def test_backoff_jitter_derives_from_retry_seed_stream():
+    # The jitter stream is derive_retry_seed(seed, attempt + 1) — the
+    # +1 matters because attempt 0 returns the seed unchanged (not a
+    # hash output, so not uniform).
+    policy = DegradationPolicy(backoff_base=1.0, jitter=1.0)
+    stream = derive_retry_seed(7, 2)
+    unit = (stream >> 11) / float(1 << 53)
+    assert policy.backoff(1, seed=7) == pytest.approx(1.0 - unit)
+    # seed=None falls back to stream 0, still deterministic.
+    assert policy.backoff(1) == policy.backoff(1, seed=None)
+    assert 0.0 <= policy.backoff(1) <= 1.0
+
+
+def test_backoff_jitter_validation_and_default_off():
+    with pytest.raises(ReproError):
+        DegradationPolicy(jitter=-0.1)
+    with pytest.raises(ReproError):
+        DegradationPolicy(jitter=1.5)
+    # jitter defaults to 0: the un-jittered schedule is unchanged.
+    policy = DegradationPolicy(backoff_base=0.1, backoff_cap=0.3)
+    assert policy.backoff(2, seed=7) == pytest.approx(0.2)
+
+
 def test_epsilon_widening_is_capped():
     policy = DegradationPolicy(epsilon_widening=2.0, epsilon_max=0.5)
     assert policy.widened_epsilon(0.1, 0) == 0.1

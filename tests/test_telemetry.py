@@ -353,8 +353,10 @@ def test_faulted_item_carries_partial_telemetry():
 
 
 # One batch item whose evaluation passes through each injection site
-# (``sampling.trees`` is only reachable via repro.core.sampling, and
-# ``decomposition.search`` needs a cyclic query — covered elsewhere).
+# (``sampling.trees`` is only reachable via repro.core.sampling,
+# ``decomposition.search`` needs a cyclic query, and ``serve.request``
+# sits in the daemon's request path above the engine — covered
+# elsewhere).
 _SITE_ITEMS = {
     "reduction.pqe": ("fpras", "probability"),
     "reduction.ur": ("fpras", "reliability"),
@@ -366,7 +368,9 @@ _SITE_ITEMS = {
 
 
 def test_site_items_cover_engine_reachable_sites():
-    unreachable = {"sampling.trees", "decomposition.search"}
+    unreachable = {
+        "sampling.trees", "decomposition.search", "serve.request",
+    }
     assert set(_SITE_ITEMS) == set(FAULT_SITES) - unreachable
 
 
