@@ -192,7 +192,7 @@ class NFA:
     # Exact counting (ground truth)
     # ------------------------------------------------------------------
 
-    def count_exact(self, length: int, weight_of=None):
+    def count_exact(self, length: int, weight_of=None, max_subsets=None):
         """``|L_n(M)|`` exactly, via the layered subset construction.
 
         Strings are partitioned by the subset of states they reach from
@@ -205,9 +205,22 @@ class NFA:
         the product of its symbols' weights instead of 1 — the weighted
         string measure used by the gadget-free path-query PQE pipeline
         (:func:`repro.core.path_estimate.path_pqe_estimate`).
+
+        ``max_subsets`` bounds the determinized frontier: when some
+        level holds more than this many distinct state subsets the
+        sweep bails out and returns ``None`` instead of a count.  This
+        makes the DP usable as a *bounded* exact fast path — callers
+        (:func:`repro.automata.nfa_counting.count_nfa`) try it first
+        and fall back to sampling only when it gives up, which is how
+        structurally-trivial languages (empty, or total with weight
+        0/1 boundaries) are guaranteed exact answers, never estimates.
         """
         if length < 0:
             raise AutomatonError("length must be non-negative")
+        if max_subsets is not None and max_subsets < 1:
+            raise AutomatonError(
+                f"max_subsets must be >= 1, got {max_subsets}"
+            )
         weigh = weight_of if weight_of is not None else (lambda _s: 1)
         level: dict[frozenset[State], object] = {self._initial: 1}
         for _ in range(length):
@@ -224,6 +237,8 @@ class NFA:
                     if target:
                         nxt[target] = nxt.get(target, 0) + weight * count
             level = nxt
+            if max_subsets is not None and len(level) > max_subsets:
+                return None
             if not level:
                 return 0
         return sum(

@@ -205,6 +205,9 @@ class _SumNode:
 
 _ZERO = _ExactNode(())
 
+#: Frontier bound for the exact-sweep fast path in :func:`count_nfa`.
+_EXACT_SWEEP_FRONTIER = 64
+
 
 class _Counter:
     def __init__(
@@ -452,6 +455,11 @@ def count_nfa(
     exact_set_cap:
         Languages at most this large are tracked exactly instead of
         sampled (0 disables the hybrid and forces sampling everywhere).
+        A positive cap also enables the bounded exact subset-DP sweep
+        that runs before any sampling: automata whose determinized
+        frontier stays small — in particular every empty-language and
+        probability-0/1 edge case — return their true (weighted) count
+        with ``exact=True`` and zero samples.
     repetitions:
         Run the estimator this many times and return the median — the
         standard confidence amplification.
@@ -467,6 +475,25 @@ def count_nfa(
         raise EstimationError(f"epsilon must be in (0, 1), got {epsilon}")
     if repetitions < 1:
         raise EstimationError("repetitions must be >= 1")
+    if length < 0:
+        raise EstimationError(f"length must be >= 0, got {length}")
+    if exact_set_cap > 0:
+        # Bounded exact sweep first: languages whose determinized
+        # frontier stays tiny (notably the structurally-trivial cases —
+        # empty languages, and total/self-loop-only automata whose
+        # weighted measure pins the probability at 0 or 1) get the true
+        # count, never an estimate.  The frontier bound keeps the
+        # attempt O(cap · n · |Σ|), so nontrivial automata bail out
+        # after a few layers and sample as before.
+        measure = nfa.count_exact(
+            length,
+            weight_of=weight_of,
+            max_subsets=min(_EXACT_SWEEP_FRONTIER, exact_set_cap),
+        )
+        if measure is not None:
+            return CountResult(
+                estimate=float(measure), exact=True, samples_used=0
+            )
     rng = random.Random(seed)
     results = [
         _Counter(

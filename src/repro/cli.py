@@ -21,9 +21,14 @@ Usage::
         --isolation process --journal batch.wal
     repro eval --data facts.csv --batch batch.json --seed 7 \
         --journal batch.wal --resume
+    repro eval --data edges.csv --rpq "a (b|c)*" --source s --target t
     repro trace-summary trace.jsonl
     repro serve --data facts.csv --port 8080 --isolation process
     repro cache-stats /var/cache/repro
+
+``--rpq`` treats the CSV's binary facts as a probabilistic graph
+(relation name = edge label) and evaluates a regular path query between
+``--source`` and ``--target`` — see docs/graphs.md.
 
 ``repro serve`` starts the PQE-as-a-service daemon (admission control,
 load shedding, circuit breaker, graceful drain — see docs/serving.md).
@@ -150,9 +155,12 @@ def load_batch_file(
 
     Entries are query strings (task 'probability', method 'auto') or
     objects with a required ``query`` and optional ``method``/``task``.
-    Reliability items run against the CSV's underlying instance.
-    Malformed entries raise :class:`~repro.errors.ContextualError`
-    naming the ``source`` file and the entry index.
+    Reliability items run against the CSV's underlying instance.  RPQ
+    items (``task: "rpq"``) read ``query`` as a label regex, require
+    ``source``/``target`` nodes, and run against the graph view of the
+    CSV (binary facts as labelled edges).  Malformed entries raise
+    :class:`~repro.errors.ContextualError` naming the ``source`` file
+    and the entry index.
     """
     if source is None:
         name = getattr(stream, "name", None)
@@ -180,16 +188,43 @@ def load_batch_file(
                 f"{entry!r}",
                 phase="io.load",
             )
-        unknown = set(entry) - {"query", "method", "task"}
+        task = entry.get("task", "probability")
+        allowed = {"query", "method", "task"}
+        if task == "rpq":
+            allowed |= {"source", "target"}
+        unknown = set(entry) - allowed
         if unknown:
             raise ContextualError(
                 f"{source}: batch entry {index}: unknown fields "
                 f"{sorted(unknown)}",
                 phase="io.load",
             )
-        query = parse_query(entry["query"])
-        task = entry.get("task", "probability")
-        database = pdb.instance if task == "reliability" else pdb
+        if task == "rpq":
+            missing = [
+                field for field in ("source", "target")
+                if not entry.get(field)
+            ]
+            if missing:
+                raise ContextualError(
+                    f"{source}: batch entry {index}: rpq items "
+                    f"require {missing}",
+                    phase="io.load",
+                )
+            from repro.graphs import RPQQuery
+
+            try:
+                query = RPQQuery(
+                    entry["query"], entry["source"], entry["target"]
+                )
+            except ReproError as failure:
+                raise ContextualError(
+                    f"{source}: batch entry {index}: {failure}",
+                    phase="io.load",
+                )
+            database = _graph_from_pdb(pdb)
+        else:
+            query = parse_query(entry["query"])
+            database = pdb.instance if task == "reliability" else pdb
         items.append(
             BatchItem(
                 query,
@@ -602,7 +637,9 @@ def _print_drained(items, failure: BatchDrainedError, args) -> int:
     print(f"drained: {failure}", file=sys.stderr)
     for result in partial.results:
         item = items[result.index]
-        label = "UR" if item.task == "reliability" else "Pr"
+        label = {"reliability": "UR", "rpq": "Pr_G"}.get(
+            item.task, "Pr"
+        )
         if result.ok:
             answer = result.answer
             exact = " (exact)" if answer.exact else ""
@@ -707,7 +744,9 @@ def _run_batch(args, pdb: ProbabilisticDatabase) -> int:
             f"{args.journal}"
         )
     for item, result in zip(items, batch.results):
-        label = "UR" if item.task == "reliability" else "Pr"
+        label = {"reliability": "UR", "rpq": "Pr_G"}.get(
+            item.task, "Pr"
+        )
         if result.ok:
             answer = result.answer
             exact = " (exact)" if answer.exact else ""
@@ -818,6 +857,20 @@ def _build_parser() -> argparse.ArgumentParser:
              "{query, method, task} objects) evaluated over --data "
              "through a shared reduction cache",
     )
+    query_group.add_argument(
+        "--rpq", metavar="REGEX",
+        help="regular path query over the graph formed by --data's "
+             "binary facts (relation = edge label); requires --source "
+             "and --target (see docs/graphs.md)",
+    )
+    parser.add_argument(
+        "--source", default=None, metavar="NODE",
+        help="source node for --rpq",
+    )
+    parser.add_argument(
+        "--target", default=None, metavar="NODE",
+        help="target node for --rpq",
+    )
     parser.add_argument(
         "--workers", type=_positive_int, default=None,
         help="worker-pool width for --batch (default: one per item, "
@@ -862,9 +915,11 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[
             "auto", "lifted", "safe-plan", "fpras", "fpras-weighted",
             "lineage-exact", "karp-luby", "monte-carlo", "enumerate",
+            "exact",
         ],
         help="evaluation method (default: auto routing, which takes "
-             "the exact lifted fast path whenever the query is safe)",
+             "the exact lifted fast path whenever the query is safe); "
+             "'exact' is the RPQ product DP and applies only to --rpq",
     )
     parser.add_argument(
         "--epsilon", type=_epsilon, default=0.25,
@@ -928,6 +983,69 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _graph_from_pdb(pdb: ProbabilisticDatabase):
+    """The probabilistic graph formed by ``pdb``'s binary facts.
+
+    A binary fact ``R(u, v)`` with probability ``p`` becomes the edge
+    ``u -[R]-> v`` with probability ``p``; facts of any other arity are
+    rejected (the CSV was loaded for an RPQ run, so a stray ternary
+    fact is a data error, not something to drop silently).
+    """
+    from repro.graphs import Edge, ProbabilisticGraph
+
+    probabilities = {}
+    for fact, probability in pdb.probabilities.items():
+        if fact.arity != 2:
+            raise ContextualError(
+                f"--rpq needs binary facts only; {fact} has arity "
+                f"{fact.arity}",
+                phase="io.load",
+            )
+        u, v = fact.constants
+        probabilities[Edge(str(u), fact.relation, str(v))] = probability
+    if not probabilities:
+        raise ContextualError(
+            "--rpq needs at least one binary fact in --data",
+            phase="io.load",
+        )
+    return ProbabilisticGraph(probabilities)
+
+
+def _run_rpq(args, pdb: ProbabilisticDatabase) -> int:
+    graph = _graph_from_pdb(pdb)
+    engine = PQEEngine(
+        epsilon=args.epsilon,
+        seed=args.seed,
+        repetitions=args.repetitions,
+        kernel_backend=args.kernel_backend,
+    )
+    budget = (
+        EvaluationBudget(deadline=args.timeout)
+        if args.timeout is not None
+        else None
+    )
+    profiled = bool(args.profile or args.metrics_out)
+    answer = engine.rpq_probability(
+        graph, args.rpq, source=args.source, target=args.target,
+        method=args.method, budget=budget, telemetry=profiled,
+    )
+    print(f"rpq:     {args.source} -[{args.rpq}]-> {args.target}")
+    print(f"edges:   {len(graph)}")
+    print(f"method:  {answer.method}" + (" (exact)" if answer.exact else ""))
+    if answer.rational is not None:
+        print(f"Pr_G = {answer.value} ({answer.rational})")
+    else:
+        print(f"Pr_G = {answer.value}")
+    if answer.telemetry is not None:
+        meta = {"seed": args.seed, "method": args.method}
+        if args.profile:
+            _print_profile(answer.telemetry, meta)
+        if args.metrics_out:
+            _write_metrics_file(args.metrics_out, answer.telemetry, meta)
+            print(f"trace:   written to {args.metrics_out}")
+    return 0
+
+
 def main(argv: Iterable[str] | None = None) -> int:
     arguments = list(argv) if argv is not None else sys.argv[1:]
     if arguments and arguments[0] == "trace-summary":
@@ -960,11 +1078,32 @@ def main(argv: Iterable[str] | None = None) -> int:
                 parser.error(f"{flag} only applies to --batch runs")
         if args.isolation != "thread":
             parser.error("--isolation only applies to --batch runs")
+    if args.rpq:
+        if args.source is None or args.target is None:
+            parser.error("--rpq requires --source and --target")
+        if args.reliability:
+            parser.error("--reliability does not apply to --rpq")
+        if args.explain:
+            parser.error("--explain does not apply to --rpq")
+        from repro.graphs import RPQ_METHODS
+
+        if args.method not in RPQ_METHODS:
+            parser.error(
+                f"--rpq accepts methods {', '.join(RPQ_METHODS)}; "
+                f"got {args.method!r}"
+            )
+    else:
+        if args.source is not None or args.target is not None:
+            parser.error("--source/--target only apply to --rpq")
+        if args.method == "exact":
+            parser.error("method 'exact' only applies to --rpq")
     try:
         with open(args.data, encoding="utf-8") as stream:
             pdb = load_facts_csv(stream, source=args.data)
         if args.batch:
             return _run_batch(args, pdb)
+        if args.rpq:
+            return _run_rpq(args, pdb)
         if args.query_file:
             from repro.io import load_query
 

@@ -374,6 +374,97 @@ class PQEEngine:
 
     # ------------------------------------------------------------------
 
+    def rpq_probability(
+        self,
+        graph,
+        rpq,
+        source: str | None = None,
+        target: str | None = None,
+        method: str = "auto",
+        *,
+        delta: float | None = None,
+        seed=_UNSET,
+        cache: ReductionCache | None = None,
+        budget: EvaluationBudget | None = None,
+        telemetry: bool = False,
+    ) -> PQEAnswer:
+        """``Pr_G(source ⟶_regex target)``: a regular path query over a
+        probabilistic graph (route ``rpq``; see :mod:`repro.graphs`).
+
+        ``rpq`` is either an :class:`~repro.graphs.rpq.RPQQuery` or a
+        regex string accompanied by ``source``/``target`` node names.
+        ``method`` is one of ``auto`` / ``exact`` / ``fpras`` /
+        ``enumerate`` / ``monte-carlo``; the product routes require an
+        acyclic graph and raise :class:`~repro.errors.GraphError`
+        otherwise — degradable, so :meth:`evaluate_resilient` with
+        ``task='rpq'`` falls through to the structure-free routes.
+        ``delta`` bounds the FPRAS failure probability via median
+        amplification (repetitions grow with ``log(1/delta)``).
+        ``seed``/``cache``/``budget``/``telemetry`` behave exactly as
+        in :meth:`probability`.
+        """
+        from repro.graphs.estimate import (
+            RPQ_METHODS,
+            repetitions_for_delta,
+            rpq_probability_estimate,
+        )
+        from repro.graphs.rpq import RPQQuery
+
+        if isinstance(rpq, RPQQuery):
+            query = rpq
+        else:
+            if source is None or target is None:
+                raise ReproError(
+                    "rpq_probability needs source and target nodes "
+                    "(or a pre-built RPQQuery)"
+                )
+            query = RPQQuery(str(rpq), source, target)
+        if method not in RPQ_METHODS:
+            raise ReproError(
+                f"unknown RPQ method {method!r}; "
+                f"choose from {RPQ_METHODS}"
+            )
+        if telemetry and active_telemetry() is None:
+            collected = EvaluationTelemetry()
+            with telemetry_scope(collected), span(
+                "rpq_probability", method=method
+            ):
+                answer = self.rpq_probability(
+                    graph, query, method=method, delta=delta,
+                    seed=seed, cache=cache, budget=budget,
+                )
+            return dataclasses.replace(answer, telemetry=collected)
+        if budget is not None:
+            with budget_scope(budget):
+                return self.rpq_probability(
+                    graph, query, method=method, delta=delta,
+                    seed=seed, cache=cache,
+                )
+        seed = self.seed if seed is _UNSET else seed
+        cache = self.cache if cache is None else cache
+        with span("rpq.compile", backend=self.kernel_backend):
+            query.rpq.nfa  # parse + Glushkov, cached on the query
+        estimate = rpq_probability_estimate(
+            graph,
+            query,
+            method=method,
+            epsilon=self.epsilon,
+            seed=seed,
+            exact_set_cap=self.exact_set_cap,
+            repetitions=repetitions_for_delta(
+                delta, floor=self.repetitions
+            ),
+            cache=cache,
+        )
+        return PQEAnswer(
+            estimate.estimate,
+            estimate.method,
+            estimate.exact,
+            estimate.rational,
+        )
+
+    # ------------------------------------------------------------------
+
     def explain(
         self, query: ConjunctiveQuery, pdb: ProbabilisticDatabase
     ) -> PQEPlan:

@@ -123,6 +123,8 @@ from repro.core.resilience import (
 from repro.db.instance import DatabaseInstance
 from repro.db.probabilistic import ProbabilisticDatabase
 from repro.errors import BudgetExceededError, EstimationError, ReproError
+from repro.graphs.model import ProbabilisticGraph
+from repro.graphs.rpq import RPQQuery
 from repro.testing.faults import fault_scope
 
 __all__ = [
@@ -140,7 +142,7 @@ __all__ = [
     "request_drain",
 ]
 
-_TASKS = ("probability", "reliability")
+_TASKS = ("probability", "reliability", "rpq")
 _ON_ERROR = ("fail", "skip", "degrade")
 _ISOLATION = ("thread", "process")
 
@@ -187,14 +189,16 @@ class BatchItem:
     """One evaluation request in a batch.
 
     ``task`` is ``'probability'`` (``database`` must be a
-    :class:`ProbabilisticDatabase`) or ``'reliability'`` (a
+    :class:`ProbabilisticDatabase`), ``'reliability'`` (a
     :class:`DatabaseInstance`; a probabilistic database's underlying
-    instance is used).  ``method`` is any method the engine accepts for
-    that task, including ``'auto'``.
+    instance is used), or ``'rpq'`` (``database`` is a
+    :class:`~repro.graphs.model.ProbabilisticGraph` and ``query`` an
+    :class:`~repro.graphs.rpq.RPQQuery`).  ``method`` is any method the
+    engine accepts for that task, including ``'auto'``.
     """
 
     query: object
-    database: ProbabilisticDatabase | DatabaseInstance
+    database: ProbabilisticDatabase | DatabaseInstance | ProbabilisticGraph
     task: str = "probability"
     method: str = "auto"
 
@@ -212,6 +216,18 @@ class BatchItem:
                 f"ProbabilisticDatabase, got "
                 f"{type(self.database).__name__}"
             )
+        if self.task == "rpq":
+            if not isinstance(self.database, ProbabilisticGraph):
+                raise ReproError(
+                    f"batch item {index}: task 'rpq' needs a "
+                    f"ProbabilisticGraph, got "
+                    f"{type(self.database).__name__}"
+                )
+            if not isinstance(self.query, RPQQuery):
+                raise ReproError(
+                    f"batch item {index}: task 'rpq' needs an RPQQuery, "
+                    f"got {type(self.query).__name__}"
+                )
         return self
 
 
@@ -366,11 +382,12 @@ def _coerce_items(items: Iterable) -> list[BatchItem]:
             coerced.append(item.validated(index))
         elif isinstance(item, Sequence) and len(item) == 2:
             query, database = item
-            task = (
-                "probability"
-                if isinstance(database, ProbabilisticDatabase)
-                else "reliability"
-            )
+            if isinstance(database, ProbabilisticDatabase):
+                task = "probability"
+            elif isinstance(database, ProbabilisticGraph):
+                task = "rpq"
+            else:
+                task = "reliability"
             coerced.append(
                 BatchItem(query, database, task=task).validated(index)
             )
@@ -457,6 +474,14 @@ class ItemRunner:
             return self.engine.probability(
                 item.query,
                 item.database,
+                method=item.method,
+                seed=call_seed,
+                cache=self.cache,
+            )
+        if item.task == "rpq":
+            return self.engine.rpq_probability(
+                item.database,
+                item.query,
                 method=item.method,
                 seed=call_seed,
                 cache=self.cache,

@@ -41,6 +41,7 @@ from repro.obs import metric_inc, span
 from repro.errors import (
     BudgetExceededError,
     EstimationError,
+    GraphError,
     LineageError,
     ReproError,
     UnknownSafetyError,
@@ -70,6 +71,7 @@ DEGRADABLE_ERRORS = (
     LineageError,
     UnsafeQueryError,
     UnknownSafetyError,
+    GraphError,
 )
 
 
@@ -182,6 +184,17 @@ def degradation_ladder(query, task: str = "probability",
         # Monte-Carlo has no reliability variant; the FPRAS leg (with
         # widened ε at rung >= 1) is the last resort.
         return ("auto", "fpras") if method == "auto" else (method, "fpras")
+    if task == "rpq":
+        # The RPQ ladder never inspects CQ structure (``query`` is an
+        # RPQQuery here).  'auto' already self-routes around cyclic
+        # graphs; the product FPRAS degrades to world-sampling
+        # Monte-Carlo, which works on any graph at any size.
+        tail = ("fpras", "monte-carlo")
+        if method == "auto":
+            return ("auto",) + tail
+        if method in tail:
+            return tail[tail.index(method):]
+        return (method,) + tail
     randomized = "fpras" if query.is_self_join_free else "karp-luby"
     tail = (randomized, "monte-carlo")
     if method == "auto":
@@ -261,6 +274,11 @@ def evaluate_with_policy(
                     if task == "reliability":
                         answer = rung_engine.uniform_reliability(
                             query, database, method=route,
+                            seed=attempt_seed, cache=cache,
+                        )
+                    elif task == "rpq":
+                        answer = rung_engine.rpq_probability(
+                            database, query, method=route,
                             seed=attempt_seed, cache=cache,
                         )
                     else:

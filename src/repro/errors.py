@@ -99,6 +99,18 @@ class ProbabilityError(ReproError):
     """A probability annotation is outside ``[0, 1]`` or not rational."""
 
 
+class GraphError(ReproError):
+    """A probabilistic graph (or an RPQ over one) is malformed, or a
+    graph route's structural precondition does not hold.
+
+    The product-automaton RPQ routes require an *acyclic* graph (the
+    layered reduction threads edges in topological order); they raise
+    this error on cyclic inputs, and the resilience ladder degrades to
+    enumeration / Monte-Carlo, which work on any graph.  Degradable,
+    like :class:`UnsafeQueryError`.
+    """
+
+
 class DecompositionError(ContextualError):
     """A hypertree decomposition is invalid or could not be constructed."""
 

@@ -1,0 +1,51 @@
+"""Probabilistic graphs and regular path queries (RPQs).
+
+The graph-shaped query family of Amarilli–van Bremen–Gaspard–Meel
+(arXiv 2309.13287), built on the repo's existing #NFA machinery: an
+edge-labelled tuple-independent graph model, a regex-over-labels query
+surface, and a layered product-automaton reduction that feeds the
+CountNFA exact and FPRAS counters.  The engine front door is
+:meth:`repro.core.estimator.PQEEngine.rpq_probability`; see
+``docs/graphs.md`` for the data model, syntax and oracle table.
+"""
+
+from repro.graphs.estimate import (
+    RPQ_METHODS,
+    RPQEstimate,
+    repetitions_for_delta,
+    rpq_monte_carlo,
+    rpq_probability_estimate,
+)
+from repro.graphs.model import Edge, ProbabilisticGraph
+from repro.graphs.product import (
+    RPQReduction,
+    build_rpq_nfa,
+    relevant_edges,
+    rpq_brute_force,
+    rpq_holds,
+)
+from repro.graphs.rpq import (
+    RPQExpression,
+    RPQQuery,
+    parse_rpq,
+    rpq_to_nfa,
+)
+
+__all__ = [
+    "Edge",
+    "ProbabilisticGraph",
+    "RPQExpression",
+    "RPQQuery",
+    "RPQ_METHODS",
+    "RPQEstimate",
+    "RPQReduction",
+    "build_rpq_nfa",
+    "parse_rpq",
+    "relevant_edges",
+    "repetitions_for_delta",
+    "rpq_brute_force",
+    "rpq_holds",
+    "rpq_monte_carlo",
+    "rpq_probability_estimate",
+    "rpq_to_nfa",
+]

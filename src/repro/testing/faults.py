@@ -65,6 +65,7 @@ FAULT_SITES = (
     "counting.nfta",
     "sampling.trees",
     "monte_carlo.sample",
+    "rpq.count",
     "serve.request",
 )
 

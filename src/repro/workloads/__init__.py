@@ -2,8 +2,12 @@
 
 from repro.workloads.graphs import (
     complete_layered_path_instance,
+    grid_graph,
+    layered_dag_graph,
     layered_path_instance,
+    preferential_attachment_graph,
     random_binary_instance,
+    rpq_workloads,
 )
 from repro.workloads.instances import (
     random_instance_for_query,
@@ -28,6 +32,10 @@ __all__ = [
     "layered_path_instance",
     "complete_layered_path_instance",
     "random_binary_instance",
+    "grid_graph",
+    "layered_dag_graph",
+    "preferential_attachment_graph",
+    "rpq_workloads",
     "random_instance_for_query",
     "random_probabilities",
     "uniform_half",

@@ -6,20 +6,37 @@ natural worst case for lineage size: ``length`` relations between
 consecutive vertex layers, so the number of query homomorphisms — hence
 lineage clauses — multiplies through the layers, while |D| grows only
 linearly.
+
+The second half of the module generates *probabilistic graphs* for the
+RPQ pipeline (:mod:`repro.graphs`): a road-network-ish grid DAG, a
+random layered DAG, and a preferential-attachment social graph
+(directed new→old, hence also a DAG).  Structure is drawn from a
+seeded :class:`random.Random`; edge probabilities are **hash-stable** —
+each edge's rational label is a pure SHA-256 function of ``(seed,
+edge)``, independent of generation order — so regenerating a workload
+from its parameters reproduces the exact graph, cache tokens included.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
+from fractions import Fraction
 
 from repro.db.fact import Fact
 from repro.db.instance import DatabaseInstance
 from repro.errors import ReproError
+from repro.graphs.model import Edge, ProbabilisticGraph
+from repro.graphs.rpq import RPQQuery
 
 __all__ = [
     "layered_path_instance",
     "complete_layered_path_instance",
     "random_binary_instance",
+    "grid_graph",
+    "layered_dag_graph",
+    "preferential_attachment_graph",
+    "rpq_workloads",
 ]
 
 
@@ -98,3 +115,190 @@ def random_binary_instance(
         for a, b in chosen:
             facts.add(Fact(relation, (a, b)))
     return DatabaseInstance(facts)
+
+# ---------------------------------------------------------------------
+# Probabilistic graphs for the RPQ pipeline
+# ---------------------------------------------------------------------
+
+def _edge_probability(
+    seed: int, edge: Edge, denominator: int
+) -> Fraction:
+    """A hash-stable rational in ``(0, 1)`` for ``edge`` under ``seed``.
+
+    SHA-256 over ``(seed, edge)`` — the same derivation style as
+    ``derive_item_seed`` — so the label depends only on the edge's
+    identity, never on the order the generator happened to emit it.
+    """
+    digest = hashlib.sha256(
+        f"repro-graph:{seed}:{edge.source}:{edge.label}:{edge.target}"
+        .encode("utf-8")
+    ).digest()
+    value = int.from_bytes(digest[:8], "big")
+    return Fraction(1 + value % (denominator - 1), denominator)
+
+
+def _pick_label(seed: int, key: str, labels: tuple[str, ...]) -> str:
+    digest = hashlib.sha256(
+        f"repro-graph-label:{seed}:{key}".encode("utf-8")
+    ).digest()
+    return labels[int.from_bytes(digest[:8], "big") % len(labels)]
+
+
+def _check_graph_args(labels, denominator: int) -> tuple[str, ...]:
+    labels = tuple(labels)
+    if not labels:
+        raise ReproError("labels must be non-empty")
+    if denominator < 2:
+        raise ReproError("denominator must be >= 2")
+    return labels
+
+
+def grid_graph(
+    rows: int,
+    cols: int,
+    labels=("a", "b"),
+    seed: int = 0,
+    denominator: int = 16,
+) -> ProbabilisticGraph:
+    """A ``rows × cols`` road-network-ish grid DAG.
+
+    Nodes ``n{r}_{c}`` with east (``c → c+1``) and south (``r → r+1``)
+    edges, so every edge strictly increases ``r + c`` — acyclic by
+    construction, with ``rows*cols - 1``-hop diameter.  Labels and
+    probabilities are hash-stable functions of ``(seed, edge)``.  The
+    canonical RPQ endpoints are ``n0_0`` (northwest) and
+    ``n{rows-1}_{cols-1}`` (southeast).
+    """
+    if rows < 1 or cols < 1:
+        raise ReproError("rows and cols must be >= 1")
+    labels = _check_graph_args(labels, denominator)
+    probabilities: dict[Edge, Fraction] = {}
+
+    def node(r: int, c: int) -> str:
+        return f"n{r}_{c}"
+
+    for r in range(rows):
+        for c in range(cols):
+            for dr, dc in ((0, 1), (1, 0)):
+                rr, cc = r + dr, c + dc
+                if rr >= rows or cc >= cols:
+                    continue
+                label = _pick_label(
+                    seed, f"{node(r, c)}->{node(rr, cc)}", labels
+                )
+                edge = Edge(node(r, c), label, node(rr, cc))
+                probabilities[edge] = _edge_probability(
+                    seed, edge, denominator
+                )
+    return ProbabilisticGraph(probabilities)
+
+
+def layered_dag_graph(
+    layers: int,
+    width: int,
+    edge_probability: float = 0.6,
+    labels=("a", "b", "c"),
+    seed: int = 0,
+    denominator: int = 16,
+) -> ProbabilisticGraph:
+    """A random layered DAG: ``layers`` ranks of ``width`` nodes, each
+    candidate edge between consecutive ranks kept independently with
+    ``edge_probability`` (drawn from ``random.Random(seed)``), plus one
+    forced diagonal edge per rank so ``l0_0 → l{layers-1}_0`` is always
+    connected.  Edge labels/probabilities are hash-stable.
+    """
+    if layers < 2 or width < 1:
+        raise ReproError("layers must be >= 2 and width >= 1")
+    if not 0 <= edge_probability <= 1:
+        raise ReproError("edge_probability must be in [0, 1]")
+    labels = _check_graph_args(labels, denominator)
+    rng = random.Random(seed)
+    probabilities: dict[Edge, Fraction] = {}
+    for layer in range(layers - 1):
+        for a in range(width):
+            for b in range(width):
+                if not (a == b == 0) and rng.random() >= edge_probability:
+                    continue
+                source, target = f"l{layer}_{a}", f"l{layer + 1}_{b}"
+                label = _pick_label(seed, f"{source}->{target}", labels)
+                edge = Edge(source, label, target)
+                probabilities[edge] = _edge_probability(
+                    seed, edge, denominator
+                )
+    return ProbabilisticGraph(probabilities)
+
+
+def preferential_attachment_graph(
+    nodes: int,
+    out_degree: int = 2,
+    labels=("follows", "mentions"),
+    seed: int = 0,
+    denominator: int = 16,
+) -> ProbabilisticGraph:
+    """A social-graph-ish preferential-attachment DAG.
+
+    Nodes ``u0 … u{nodes-1}`` arrive in order; each new node attaches
+    to ``out_degree`` distinct *earlier* nodes sampled with probability
+    proportional to ``1 + current degree`` (Barabási–Albert style).
+    Every edge points new→old, so the graph is a DAG with hubs — the
+    high-fan-in shape that stresses the layered product's frontier.
+    """
+    if nodes < 2 or out_degree < 1:
+        raise ReproError("nodes must be >= 2 and out_degree >= 1")
+    labels = _check_graph_args(labels, denominator)
+    rng = random.Random(seed)
+    degree = [0] * nodes
+    probabilities: dict[Edge, Fraction] = {}
+    for new in range(1, nodes):
+        weights = [1 + degree[old] for old in range(new)]
+        chosen: set[int] = set()
+        for _ in range(min(out_degree, new)):
+            remaining = [o for o in range(new) if o not in chosen]
+            total = sum(weights[o] for o in remaining)
+            pick = rng.random() * total
+            for old in remaining:
+                pick -= weights[old]
+                if pick <= 0:
+                    chosen.add(old)
+                    break
+            else:
+                chosen.add(remaining[-1])
+        for old in sorted(chosen):
+            source, target = f"u{new}", f"u{old}"
+            label = _pick_label(seed, f"{source}->{target}", labels)
+            edge = Edge(source, label, target)
+            probabilities[edge] = _edge_probability(
+                seed, edge, denominator
+            )
+            degree[new] += 1
+            degree[old] += 1
+    return ProbabilisticGraph(probabilities, nodes=[f"u{i}" for i in range(nodes)])
+
+
+def rpq_workloads() -> tuple[tuple[str, ProbabilisticGraph, RPQQuery], ...]:
+    """The pinned 8-workload RPQ corpus: ``(name, graph, query)`` triples.
+
+    Fixed parameters and seeds — the golden-answer tier
+    (``tests/golden/rpq.json``) and ``benchmarks/bench_rpq.py`` both key
+    off these names, so changing a generator or seed here shows up as a
+    golden diff, not a silent drift.
+    """
+    grid23 = grid_graph(2, 3, seed=1)
+    grid33 = grid_graph(3, 3, seed=2)
+    dag = layered_dag_graph(4, 3, seed=3)
+    social_a = preferential_attachment_graph(7, out_degree=2, seed=1)
+    social_b = preferential_attachment_graph(7, out_degree=2, seed=3)
+    return (
+        ("grid23-ab", grid23, RPQQuery("(a|b)(a|b)(a|b)", "n0_0", "n1_2")),
+        ("grid23-astar", grid23, RPQQuery("a* b a*", "n0_0", "n1_2")),
+        ("grid33-corner", grid33, RPQQuery("(a|b)*", "n0_0", "n2_2")),
+        ("grid33-strict", grid33, RPQQuery("a b a b", "n0_0", "n2_2")),
+        ("dag-any", dag, RPQQuery("(a|b|c)+", "l0_0", "l3_0")),
+        ("dag-alt", dag, RPQQuery("(a|c)* b? (a|c)*", "l0_0", "l3_0")),
+        ("social-follows", social_a, RPQQuery("follows+", "u6", "u0")),
+        (
+            "social-mixed",
+            social_b,
+            RPQQuery("(follows|mentions)+", "u6", "u0"),
+        ),
+    )

@@ -798,3 +798,125 @@ class TestServeAndCacheStatsCommands:
         from repro.cli import EXIT_DRAINED
 
         assert EXIT_DRAINED == 5
+
+
+EDGES_CSV = """\
+relation,probability,constant1,constant2
+a,1/2,s,u
+a,1/3,s,v
+b,2/3,u,t
+b,3/4,v,t
+c,1/2,u,v
+"""
+
+
+class TestRPQ:
+    @pytest.fixture
+    def edges_file(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text(EDGES_CSV)
+        return str(path)
+
+    def test_rpq_exact_prints_rational(self, edges_file, capsys):
+        code = main(
+            ["eval", "--data", edges_file, "--rpq", "a b",
+             "--source", "s", "--target", "t", "--method", "exact"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pr_G = 0.5 (1/2)" in out
+        assert "method:  exact (exact)" in out
+
+    def test_rpq_auto_route(self, edges_file, capsys):
+        code = main(
+            ["eval", "--data", edges_file, "--rpq", "a (c b | b)",
+             "--source", "s", "--target", "t"]
+        )
+        assert code == 0
+        assert "(13/24)" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            # --rpq needs both endpoints.
+            ["--rpq", "a b", "--source", "s"],
+            ["--rpq", "a b", "--target", "t"],
+            # Graph and relational surfaces don't mix.
+            ["--rpq", "a b", "--source", "s", "--target", "t",
+             "--reliability"],
+            ["--query", "Q :- a(x, y)", "--method", "exact"],
+            ["--query", "Q :- a(x, y)", "--source", "s"],
+            # karp-luby is lineage-only, not an RPQ method.
+            ["--rpq", "a b", "--source", "s", "--target", "t",
+             "--method", "karp-luby"],
+        ],
+        ids=["no-target", "no-source", "reliability", "exact-no-rpq",
+             "source-no-rpq", "bad-method"],
+    )
+    def test_usage_errors_exit_2(self, edges_file, argv):
+        with pytest.raises(SystemExit) as failure:
+            main(["eval", "--data", edges_file, *argv])
+        assert failure.value.code == 2
+
+    def test_rpq_rejects_nonbinary_facts(self, tmp_path, capsys):
+        path = tmp_path / "facts.csv"
+        path.write_text("relation,probability,constant1\nR,1/2,a\n")
+        code = main(
+            ["eval", "--data", str(path), "--rpq", "R",
+             "--source", "a", "--target", "a"]
+        )
+        assert code == 1
+        assert "binary" in capsys.readouterr().err
+
+    def test_batch_rpq_items(self, edges_file, tmp_path, capsys):
+        batch = tmp_path / "batch.json"
+        batch.write_text(
+            '["Q :- a(x, y), b(y, z)",\n'
+            ' {"query": "a b", "task": "rpq",'
+            ' "source": "s", "target": "t"},\n'
+            ' {"query": "(a|c)* b", "task": "rpq", "source": "s",'
+            ' "target": "t", "method": "fpras"}]\n'
+        )
+        outputs = []
+        for workers in ("1", "4"):
+            assert main(
+                ["eval", "--data", edges_file, "--batch", str(batch),
+                 "--workers", workers, "--seed", "7"]
+            ) == 0
+            lines = capsys.readouterr().out.splitlines()
+            outputs.append(
+                [line for line in lines if line.startswith("[")]
+            )
+        assert outputs[0] == outputs[1]
+        assert outputs[0][0].startswith("[0] Pr =")
+        assert outputs[0][1].startswith("[1] Pr_G = 0.5 ")
+        assert "s -[a b]-> t" in outputs[0][1]
+        assert outputs[0][2].startswith("[2] Pr_G =")
+
+    def test_batch_rpq_entry_requires_endpoints(
+        self, edges_file, tmp_path, capsys
+    ):
+        batch = tmp_path / "batch.json"
+        batch.write_text(
+            '[{"query": "a b", "task": "rpq", "source": "s"}]'
+        )
+        code = main(
+            ["eval", "--data", edges_file, "--batch", str(batch)]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "rpq items require" in err and "target" in err
+
+    def test_batch_rpq_entry_rejects_unknown_fields(
+        self, edges_file, tmp_path, capsys
+    ):
+        batch = tmp_path / "batch.json"
+        batch.write_text(
+            '[{"query": "a b", "task": "rpq", "source": "s",'
+            ' "target": "t", "nodes": ["s"]}]'
+        )
+        code = main(
+            ["eval", "--data", edges_file, "--batch", str(batch)]
+        )
+        assert code == 1
+        assert "unknown fields" in capsys.readouterr().err

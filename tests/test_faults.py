@@ -22,6 +22,7 @@ from repro.db.fact import Fact
 from repro.db.instance import DatabaseInstance
 from repro.db.probabilistic import ProbabilisticDatabase
 from repro.errors import EstimationError, ReproError
+from repro.graphs import Edge, ProbabilisticGraph
 from repro.lineage.build import build_lineage
 from repro.queries.parser import parse_query
 from repro.testing import (
@@ -141,6 +142,12 @@ SITE_TRIGGERS = {
     ).sample_satisfying_subinstances(QUERY, _INSTANCE, k=1, seed=1),
     "monte_carlo.sample": lambda: PQEEngine(seed=1).probability(
         QUERY, SMALL_PDB, method="monte-carlo"
+    ),
+    "rpq.count": lambda: PQEEngine(seed=1).rpq_probability(
+        ProbabilisticGraph.uniform(
+            [Edge("s", "a", "m"), Edge("m", "b", "t")]
+        ),
+        "a b", source="s", target="t", method="exact",
     ),
     "serve.request": lambda: _served_request(),
 }

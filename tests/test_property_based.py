@@ -385,3 +385,183 @@ def test_lifted_route_equals_safe_plan_on_hierarchical_queries(seed):
     assert lifted_probability(query, pdb) == safe_plan_probability(
         query, pdb
     )
+
+
+# ---------------------------------------------------------------------
+# Probabilistic-graph RPQs (repro.graphs)
+# ---------------------------------------------------------------------
+
+import re
+from fractions import Fraction
+
+from repro.automata.nfa import NFA
+from repro.graphs import (
+    Edge,
+    ProbabilisticGraph,
+    RPQQuery,
+    build_rpq_nfa,
+    rpq_holds,
+    rpq_probability_estimate,
+)
+from repro.graphs.product import Literal, relevant_edges
+from repro.graphs.rpq import RPQExpression, parse_rpq, rpq_to_nfa
+
+_RPQ_ALPHABET = ("a", "b", "c")
+
+
+def _random_rpq_text(rng: random.Random, depth: int = 3) -> str:
+    roll = rng.random()
+    if depth == 0 or roll < 0.4:
+        return rng.choice(_RPQ_ALPHABET)
+    if roll < 0.6:
+        left = _random_rpq_text(rng, depth - 1)
+        right = _random_rpq_text(rng, depth - 1)
+        return f"({left}|{right})"
+    if roll < 0.8:
+        left = _random_rpq_text(rng, depth - 1)
+        right = _random_rpq_text(rng, depth - 1)
+        return f"{left} {right}"
+    return f"({_random_rpq_text(rng, depth - 1)}){rng.choice('*+?')}"
+
+
+def _all_words(max_length: int):
+    frontier = [()]
+    for word in frontier:
+        yield word
+    for _ in range(max_length):
+        frontier = [
+            word + (symbol,)
+            for word in frontier
+            for symbol in _RPQ_ALPHABET
+        ]
+        yield from frontier
+
+
+def _random_dag(rng: random.Random) -> ProbabilisticGraph:
+    nodes = [f"v{i}" for i in range(rng.randint(3, 5))]
+    probabilities = {}
+    for i in range(len(nodes)):
+        for j in range(i + 1, len(nodes)):
+            if rng.random() < 0.5:
+                label = rng.choice(_RPQ_ALPHABET)
+                probabilities[Edge(nodes[i], label, nodes[j])] = Fraction(
+                    rng.randint(1, 5), 6
+                )
+    return ProbabilisticGraph(probabilities, nodes=nodes)
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=60, deadline=None)
+def test_glushkov_nfa_agrees_with_reference_matcher(seed):
+    """L(Glushkov NFA) == L(regex), checked word by word.
+
+    The reference matcher works on span sets straight off the AST — it
+    shares no code with the position-automaton construction, so
+    agreement over every word up to length 4 is a genuine differential
+    check of both.
+    """
+    rng = random.Random(seed)
+    expression = RPQExpression(_random_rpq_text(rng))
+    nfa = expression.nfa
+    for word in _all_words(4):
+        assert nfa.accepts(word) == expression.matches(word), (
+            expression.canonical, word
+        )
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_product_accepts_exactly_the_satisfying_subsets(seed):
+    """Layered-product language soundness: the reduction's NFA accepts
+    a literal string iff the corresponding edge subset satisfies the
+    RPQ (per the automaton-free product-BFS oracle)."""
+    rng = random.Random(seed)
+    graph = _random_dag(rng)
+    nodes = sorted(graph.nodes)
+    query = RPQQuery(
+        _random_rpq_text(rng), rng.choice(nodes), rng.choice(nodes)
+    )
+    reduction = build_rpq_nfa(graph, query)
+    edges = reduction.edges
+    if reduction.trivial is not None:
+        world = list(relevant_edges(graph, query))
+        assert rpq_holds(world, query) == (reduction.trivial == 1)
+        return
+    for mask in range(1 << len(edges)):
+        subset = [edges[i] for i in range(len(edges)) if mask >> i & 1]
+        word = tuple(
+            Literal(edge, bool(mask >> i & 1))
+            for i, edge in enumerate(edges)
+        )
+        assert reduction.nfa.accepts(word) == rpq_holds(subset, query), (
+            query, subset
+        )
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_rpq_probability_is_invariant_under_label_renaming(seed):
+    """Renaming edge labels by a bijection (applied to the graph and
+    the regex alike) cannot change the probability — bitwise, since
+    both sides take the exact DP route."""
+    rng = random.Random(seed)
+    graph = _random_dag(rng)
+    nodes = sorted(graph.nodes)
+    query = RPQQuery(
+        _random_rpq_text(rng), rng.choice(nodes), rng.choice(nodes)
+    )
+    renaming = dict(zip(_RPQ_ALPHABET, ("xx", "yy", "zz")))
+    renamed_graph = ProbabilisticGraph(
+        {
+            Edge(e.source, renaming[e.label], e.target): p
+            for e, p in graph.probabilities.items()
+        },
+        nodes=graph.nodes,
+    )
+    renamed_text = " ".join(
+        renaming.get(token, token)
+        for token in re.findall(
+            r"[A-Za-z_][A-Za-z0-9_]*|[()|*+?]", query.rpq.canonical
+        )
+    )
+    renamed_query = RPQQuery(renamed_text, query.source, query.target)
+    original = rpq_probability_estimate(graph, query, method="exact")
+    renamed = rpq_probability_estimate(
+        renamed_graph, renamed_query, method="exact"
+    )
+    assert original.rational == renamed.rational
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_nfa_trimming_preserves_counts_bitwise(seed):
+    """Grafting unreachable and dead states onto a Glushkov NFA and
+    trimming must give back the original counts exactly, at every
+    length — the RPQ reduction relies on ``trimmed()`` being a pure
+    optimisation."""
+    rng = random.Random(seed)
+    nfa = rpq_to_nfa(parse_rpq(_random_rpq_text(rng)))
+    transitions = list(nfa.transitions())
+    states = list(nfa.states) or [0]
+    # Unreachable component: cycles among fresh states, plus an edge
+    # into a live state (still unreachable from the initial set).
+    for k in range(rng.randint(1, 3)):
+        transitions.append((f"junk{k}", rng.choice(_RPQ_ALPHABET),
+                            f"junk{k + 1}"))
+        transitions.append((f"junk{k}", rng.choice(_RPQ_ALPHABET),
+                            rng.choice(states)))
+    # Dead component: reachable from a live state but never accepting.
+    transitions.append((rng.choice(states), rng.choice(_RPQ_ALPHABET),
+                        "dead0"))
+    transitions.append(("dead0", rng.choice(_RPQ_ALPHABET), "dead0"))
+    bloated = NFA(
+        transitions, initial=nfa.initial, accepting=nfa.accepting
+    )
+    slim = bloated.trimmed()
+    assert slim.states <= bloated.states
+    for length in range(7):
+        assert (
+            slim.count_exact(length)
+            == nfa.count_exact(length)
+            == bloated.count_exact(length)
+        )

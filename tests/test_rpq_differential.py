@@ -1,0 +1,237 @@
+"""Three-oracle differential tier for probabilistic-graph RPQs.
+
+Runs under ``-m rpq`` in its own CI job.  For every corpus entry the
+same probability is computed three independent ways:
+
+1. **Brute force** (:func:`~repro.graphs.rpq_brute_force`): exact
+   rational sum over all ``2^m`` relevant-edge subsets, using only the
+   product-BFS reachability oracle — no automata, no layering.
+2. **Exact product DP** (``method='exact'``): the layered reduction
+   counted by :meth:`~repro.automata.nfa.NFA.count_exact` in integer
+   arithmetic.  Must equal the brute force **bitwise** as a Fraction.
+3. **FPRAS** (``method='fpras'`` with ``exact_set_cap=0`` so the
+   counter genuinely samples): must land within ε of the truth under
+   median amplification, at fixed seeds.
+
+Worker invariance (max_workers 1 vs 4 bitwise) and fixed-seed
+reproducibility close the loop, and ``tests/golden/rpq.json`` pins the
+exact answers of the 8 :func:`~repro.workloads.rpq_workloads` entries —
+refresh with ``--update-golden`` and review the diff.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from fractions import Fraction
+
+import pytest
+
+from repro.core.estimator import PQEEngine
+from repro.core.parallel import BatchItem
+from repro.graphs import (
+    Edge,
+    ProbabilisticGraph,
+    RPQQuery,
+    relevant_edges,
+    repetitions_for_delta,
+    rpq_brute_force,
+    rpq_probability_estimate,
+)
+from repro.workloads import rpq_workloads
+
+pytestmark = pytest.mark.rpq
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "rpq.json"
+
+#: Brute force enumerates 2^m subsets; every corpus entry stays under
+#: this so the ground truth is instant.
+MAX_RELEVANT_EDGES = 12
+
+EPSILON = 0.3
+
+
+def _handcrafted_cases():
+    """Small adversarial shapes the generators don't produce."""
+    diamond = ProbabilisticGraph({
+        Edge("s", "a", "u"): "1/2",
+        Edge("s", "a", "v"): "1/3",
+        Edge("u", "b", "t"): "2/3",
+        Edge("v", "b", "t"): "3/4",
+        Edge("u", "c", "v"): "1/2",
+    })
+    chain = ProbabilisticGraph({
+        Edge(f"c{i}", "a", f"c{i + 1}"): Fraction(1, 2) for i in range(8)
+    })
+    skip = ProbabilisticGraph({
+        Edge("x0", "a", "x1"): "1/2",
+        Edge("x1", "a", "x2"): "1/2",
+        Edge("x0", "b", "x2"): "1/3",
+        Edge("x2", "a", "x3"): "2/3",
+        Edge("x1", "b", "x3"): "1/4",
+    })
+    lonely = ProbabilisticGraph(
+        {Edge("p", "a", "q"): "1/2"}, nodes=["iso"]
+    )
+    return [
+        ("diamond-ab", diamond, RPQQuery("a b", "s", "t")),
+        ("diamond-chord", diamond, RPQQuery("a (c b | b)", "s", "t")),
+        ("chain-star", chain, RPQQuery("a*", "c0", "c8")),
+        ("chain-exact8", chain, RPQQuery("a a a a a a a a", "c0", "c8")),
+        ("skip-mixed", skip, RPQQuery("(a|b)+", "x0", "x3")),
+        ("skip-strict", skip, RPQQuery("a b", "x0", "x3")),
+        ("nullable-self", lonely, RPQQuery("a*", "iso", "iso")),
+        ("dead-label", lonely, RPQQuery("zz+", "p", "q")),
+    ]
+
+
+def _corpus():
+    return _handcrafted_cases() + list(rpq_workloads())
+
+
+CORPUS = _corpus()
+CORPUS_IDS = [name for name, _, _ in CORPUS]
+
+
+def test_corpus_is_brute_forceable():
+    for name, graph, query in CORPUS:
+        m = len(relevant_edges(graph, query))
+        assert m <= MAX_RELEVANT_EDGES, (name, m)
+
+
+@pytest.mark.parametrize(
+    "name,graph,query", CORPUS, ids=CORPUS_IDS
+)
+def test_exact_dp_equals_brute_force_bitwise(name, graph, query):
+    truth = rpq_brute_force(graph, query)
+    estimate = rpq_probability_estimate(graph, query, method="exact")
+    assert estimate.exact
+    assert estimate.rational == truth, (
+        f"{name}: DP gave {estimate.rational}, brute force {truth}"
+    )
+
+
+@pytest.mark.parametrize(
+    "name,graph,query", CORPUS, ids=CORPUS_IDS
+)
+def test_enumerate_route_equals_brute_force(name, graph, query):
+    truth = rpq_brute_force(graph, query)
+    estimate = rpq_probability_estimate(graph, query, method="enumerate")
+    assert estimate.exact and estimate.rational == truth
+
+
+@pytest.mark.parametrize(
+    "name,graph,query", CORPUS, ids=CORPUS_IDS
+)
+def test_fpras_meets_epsilon_at_fixed_seed(name, graph, query):
+    truth = float(rpq_brute_force(graph, query))
+    estimate = rpq_probability_estimate(
+        graph, query, method="fpras", epsilon=EPSILON, seed=424242,
+        exact_set_cap=0,
+        repetitions=repetitions_for_delta(0.05),
+    )
+    assert 0.0 <= estimate.estimate <= 1.0
+    assert abs(estimate.estimate - truth) <= EPSILON * truth + 1e-12, (
+        f"{name}: fpras gave {estimate.estimate}, truth {truth}"
+    )
+
+
+def test_fpras_really_samples_on_nontrivial_entries():
+    sampled = 0
+    for _name, graph, query in CORPUS:
+        estimate = rpq_probability_estimate(
+            graph, query, method="fpras", epsilon=EPSILON, seed=7,
+            exact_set_cap=0,
+        )
+        if estimate.samples_used > 0:
+            sampled += 1
+    assert sampled >= len(CORPUS) // 2
+
+
+def test_monte_carlo_agrees_additively():
+    for name, graph, query in CORPUS:
+        truth = float(rpq_brute_force(graph, query))
+        estimate = rpq_probability_estimate(
+            graph, query, method="monte-carlo", seed=99, samples=4000
+        )
+        assert abs(estimate.estimate - truth) <= 0.05, (name, truth)
+
+
+# ---------------------------------------------------------------------
+# Batch worker invariance and seed reproducibility
+# ---------------------------------------------------------------------
+
+def _batch_items():
+    return [
+        BatchItem(query, graph, task="rpq", method=method)
+        for _name, graph, query in CORPUS
+        for method in ("auto", "fpras")
+    ]
+
+
+def test_batch_results_are_worker_invariant():
+    items = _batch_items()
+    runs = [
+        PQEEngine(seed=31, epsilon=EPSILON, exact_set_cap=0)
+        .evaluate_batch(items, seed=31, max_workers=workers)
+        for workers in (1, 4)
+    ]
+    assert runs[0].answers == runs[1].answers
+
+
+def test_fixed_seed_reproducibility():
+    items = _batch_items()
+
+    def run():
+        return PQEEngine(
+            seed=17, epsilon=EPSILON, exact_set_cap=0
+        ).evaluate_batch(items, seed=17, max_workers=2).answers
+
+    assert run() == run()
+
+
+# ---------------------------------------------------------------------
+# Golden corpus
+# ---------------------------------------------------------------------
+
+def _current_golden() -> dict:
+    current = {}
+    for name, graph, query in rpq_workloads():
+        estimate = rpq_probability_estimate(graph, query, method="exact")
+        assert estimate.exact and estimate.rational is not None
+        current[name] = {
+            "query": str(query),
+            "edges": len(graph),
+            "relevant_edges": len(relevant_edges(graph, query)),
+            "graph_token": graph.cache_token,
+            "probability": str(estimate.rational),
+        }
+    return current
+
+
+def test_golden_rpq_corpus_matches(update_golden):
+    current = _current_golden()
+    if update_golden:
+        GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    assert GOLDEN_PATH.exists(), (
+        "tests/golden/rpq.json is missing; generate it with "
+        "pytest tests/test_rpq_differential.py --update-golden"
+    )
+    frozen = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert current == frozen, (
+        "RPQ answers drifted from tests/golden/rpq.json; if the change "
+        "is intentional, refresh with --update-golden and review the "
+        "diff"
+    )
+
+
+def test_golden_values_cross_checked_against_brute_force():
+    frozen = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    for name, graph, query in rpq_workloads():
+        assert Fraction(frozen[name]["probability"]) == rpq_brute_force(
+            graph, query
+        ), name

@@ -114,3 +114,100 @@ def test_median_amplification_does_not_degrade():
         )
 
     assert failures(3) <= failures(1) + 1
+
+
+# ---------------------------------------------------------------------
+# RPQ FPRAS over probabilistic graphs (see docs/graphs.md)
+# ---------------------------------------------------------------------
+
+from repro.core.estimator import PQEEngine               # noqa: E402
+from repro.graphs import (                               # noqa: E402
+    rpq_brute_force,
+    rpq_probability_estimate,
+)
+from repro.workloads import grid_graph, rpq_workloads    # noqa: E402
+
+RPQ_TRIALS = 200
+RPQ_EPSILON = 0.3
+
+#: grid23-ab from the pinned workload corpus: 7 relevant edges, so the
+#: brute-force truth is instant, and the regex forces genuine Karp–Luby
+#: unions in the product counter.
+_RPQ_NAME, _RPQ_GRAPH, _RPQ_QUERY = next(
+    case for case in rpq_workloads() if case[0] == "grid23-ab"
+)
+
+
+def _rpq_trial(seed: int, epsilon: float = RPQ_EPSILON,
+               repetitions: int = 1) -> float:
+    return rpq_probability_estimate(
+        _RPQ_GRAPH, _RPQ_QUERY, method="fpras", epsilon=epsilon,
+        seed=seed, exact_set_cap=0, repetitions=repetitions,
+    ).estimate
+
+
+def test_rpq_trials_are_really_sampled():
+    result = rpq_probability_estimate(
+        _RPQ_GRAPH, _RPQ_QUERY, method="fpras", epsilon=RPQ_EPSILON,
+        seed=0, exact_set_cap=0,
+    )
+    assert not result.exact
+    assert result.samples_used > 0
+
+
+def test_rpq_fpras_meets_epsilon_delta_over_200_trials():
+    truth = float(rpq_brute_force(_RPQ_GRAPH, _RPQ_QUERY))
+    failures = 0
+    for seed in range(RPQ_TRIALS):
+        estimate = _rpq_trial(seed)
+        assert 0.0 <= estimate <= 1.0
+        if abs(estimate - truth) > RPQ_EPSILON * truth:
+            failures += 1
+    assert failures / RPQ_TRIALS <= DELTA
+
+
+def test_rpq_fpras_is_centered_on_the_truth():
+    truth = float(rpq_brute_force(_RPQ_GRAPH, _RPQ_QUERY))
+    mean = statistics.fmean(
+        _rpq_trial(seed) for seed in range(RPQ_TRIALS)
+    )
+    assert abs(mean - truth) <= (RPQ_EPSILON / 2) * truth
+
+
+def test_rpq_median_amplification_does_not_degrade():
+    truth = float(rpq_brute_force(_RPQ_GRAPH, _RPQ_QUERY))
+
+    def failures(repetitions: int) -> int:
+        return sum(
+            1 for seed in range(60)
+            if abs(_rpq_trial(seed, repetitions=repetitions) - truth)
+            > RPQ_EPSILON * truth
+        )
+
+    assert failures(3) <= failures(1) + 1
+
+
+def test_rpq_sample_count_scales_inverse_quadratically_in_epsilon():
+    # default_sample_count grows ∝ 1/ε² once past its floor of 64
+    # samples per union; the telemetry counter aggregates the actual
+    # draws, so halving ε four-folds it (up to the shared floor and
+    # per-node rounding).  Measured off the engine's counters, as the
+    # issue requires — not off the estimator's return value.
+    def samples(epsilon: float) -> int:
+        engine = PQEEngine(
+            seed=12, epsilon=epsilon, exact_set_cap=0
+        )
+        answer = engine.rpq_probability(
+            _RPQ_GRAPH, _RPQ_QUERY, method="fpras", telemetry=True
+        )
+        assert not answer.exact
+        return answer.telemetry.counter("rpq.count.samples")
+
+    coarse = samples(0.4)
+    fine = samples(0.1)
+    assert coarse > 0
+    ratio = fine / coarse
+    assert 8.0 <= ratio <= 32.0, (
+        f"samples went {coarse} -> {fine} (ratio {ratio:.1f}); "
+        f"expected ~16x for a 4x epsilon reduction"
+    )

@@ -364,6 +364,7 @@ _SITE_ITEMS = {
     "lineage.karp_luby": ("karp-luby", "probability"),
     "counting.nfta": ("fpras", "probability"),
     "monte_carlo.sample": ("monte-carlo", "probability"),
+    "rpq.count": ("exact", "rpq"),
 }
 
 
@@ -379,10 +380,19 @@ def test_site_items_cover_engine_reachable_sites():
 def test_fault_matrix_partial_telemetry_every_site(site):
     """Whatever phase faults, the error record keeps what was measured."""
     method, task = _SITE_ITEMS[site]
-    pdb = _path_pdb()
-    database = pdb.instance if task == "reliability" else pdb
+    if task == "rpq":
+        from repro.graphs import Edge, ProbabilisticGraph, RPQQuery
+
+        database = ProbabilisticGraph.uniform(
+            [Edge("s", "a", "m"), Edge("m", "b", "t")]
+        )
+        query = RPQQuery("a b", "s", "t")
+    else:
+        pdb = _path_pdb()
+        database = pdb.instance if task == "reliability" else pdb
+        query = RS_QUERY
     engine = PQEEngine(seed=29, exact_set_cap=0)
-    items = [BatchItem(RS_QUERY, database, task=task, method=method)]
+    items = [BatchItem(query, database, task=task, method=method)]
     with inject_faults(FaultSpec(site)):
         batch = engine.evaluate_batch(
             items, seed=29, max_workers=1, on_error="skip", telemetry=True
