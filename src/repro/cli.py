@@ -427,6 +427,12 @@ def _run_serve(arguments: list[str]) -> int:
              "across daemon restarts",
     )
     parser.add_argument(
+        "--delta-journal", default=None, metavar="FILE",
+        help="delta WAL: POST /delta mutations are journalled before "
+             "publishing and replayed on restart (see "
+             "docs/incremental.md)",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="durable disk tier behind the warm artifact registry",
     )
@@ -491,6 +497,7 @@ def _run_serve(arguments: list[str]) -> int:
             memory_limit=args.memory_limit,
             disk_cache=args.cache_dir,
             journal=args.journal,
+            delta_journal=args.delta_journal,
             trace=args.trace,
             drain_deadline=args.drain_deadline,
             max_requests=args.max_requests,
@@ -531,41 +538,122 @@ def _run_serve(arguments: list[str]) -> int:
 
 
 def _run_cache_stats(arguments: list[str]) -> int:
-    """``repro cache-stats DIR`` — report a durable cache tier."""
+    """``repro cache-stats [DIR] [--delta-journal FILE]``."""
     parser = argparse.ArgumentParser(
         prog="repro cache-stats",
         description=(
             "Report record and quarantine sizes for a durable disk "
-            "cache directory (--cache-dir)"
+            "cache directory (--cache-dir), and/or the version chain "
+            "and invalidation trailers of a delta WAL "
+            "(--delta-journal)"
         ),
     )
-    parser.add_argument("cache_dir", help="cache directory")
+    parser.add_argument(
+        "cache_dir", nargs="?", default=None, help="cache directory"
+    )
+    parser.add_argument(
+        "--delta-journal", default=None, metavar="FILE",
+        help="delta WAL to report: recovered version chain plus the "
+             "per-delta invalidation counts from its applied trailers",
+    )
     parser.add_argument(
         "--json", action="store_true",
         help="emit the stats as JSON instead of text",
     )
     args = parser.parse_args(arguments)
+    if args.cache_dir is None and args.delta_journal is None:
+        parser.error(
+            "give a cache directory, --delta-journal FILE, or both"
+        )
 
     from repro.core.diskcache import DiskCache
 
-    try:
-        stats = DiskCache(args.cache_dir).tier_stats()
-    except (ReproError, OSError) as failure:
-        print(f"error: {failure}", file=sys.stderr)
-        return 1
+    stats = None
+    if args.cache_dir is not None:
+        try:
+            stats = DiskCache(args.cache_dir).tier_stats()
+        except (ReproError, OSError) as failure:
+            print(f"error: {failure}", file=sys.stderr)
+            return 1
+    chain = None
+    if args.delta_journal is not None:
+        from repro.db.delta import load_delta_journal
+
+        try:
+            loaded = load_delta_journal(args.delta_journal)
+        except (ReproError, OSError) as failure:
+            print(f"error: {failure}", file=sys.stderr)
+            return 1
+        chain = {
+            "path": args.delta_journal,
+            "base_token": (
+                loaded.header["base_token"] if loaded.header else None
+            ),
+            "versions": len(loaded.deltas),
+            "quarantined": loaded.quarantined,
+            "deltas": [
+                {
+                    "version": record["to_version"],
+                    "digest": record["digest"],
+                    "token": record["token_after"],
+                    "ops": len(record["ops"]),
+                    "invalidated": (
+                        loaded.applied.get(record["to_version"], {})
+                        .get("invalidated", {})
+                    ),
+                    "survived": (
+                        loaded.applied.get(record["to_version"], {})
+                        .get("survived")
+                    ),
+                }
+                for record in loaded.deltas
+            ],
+        }
     if args.json:
-        json.dump(stats, sys.stdout, indent=2, sort_keys=True)
+        if chain is None:
+            payload = stats
+        elif stats is None:
+            payload = chain
+        else:
+            payload = {"cache": stats, "delta_journal": chain}
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
         print()
         return 0
-    print(f"cache:       {stats['path']}")
-    print(f"records:     {stats['records']} ({stats['bytes']} bytes)")
-    print(
-        f"quarantined: {stats['quarantined']} "
-        f"({stats['quarantine_bytes']} bytes, "
-        f"cap {stats['quarantine_cap']})"
-    )
-    for name in stats["quarantine_files"]:
-        print(f"  {name}")
+    if stats is not None:
+        print(f"cache:       {stats['path']}")
+        print(
+            f"records:     {stats['records']} ({stats['bytes']} bytes)"
+        )
+        print(
+            f"quarantined: {stats['quarantined']} "
+            f"({stats['quarantine_bytes']} bytes, "
+            f"cap {stats['quarantine_cap']})"
+        )
+        for name in stats["quarantine_files"]:
+            print(f"  {name}")
+    if chain is not None:
+        base = chain["base_token"]
+        print(f"deltas:      {chain['path']}")
+        print(f"base:        {base if base else '(no header)'}")
+        print(
+            f"versions:    {chain['versions']} "
+            f"(quarantined records: {chain['quarantined']})"
+        )
+        for entry in chain["deltas"]:
+            invalidated = " ".join(
+                f"{name}={value}"
+                for name, value in sorted(entry["invalidated"].items())
+            ) or "-"
+            survived = (
+                entry["survived"]
+                if entry["survived"] is not None
+                else "-"
+            )
+            print(
+                f"  v{entry['version']}: ops={entry['ops']} "
+                f"token={entry['token']} digest={entry['digest']} "
+                f"invalidated[{invalidated}] survived={survived}"
+            )
     return 0
 
 

@@ -12,21 +12,37 @@ Keys are tuples of short strings:
 
     ("ghd", query_token)                      — construction-ready
                                                 decomposition
-    ("ur",  query_token, instance_token, cm)  — Proposition 1 reduction
-    ("pqe", query_token, pdb_token, weighted) — Theorem 1 reduction
+    ("ur",  query_token, proj_token, cm)      — Proposition 1 reduction
+    ("pqe", query_token, proj_token, weighted) — Theorem 1 reduction
     ("count", kind, …, cap)                   — *exact* hybrid-counter
                                                 results (seed-
                                                 independent by
                                                 construction; sampled
                                                 counts are never
                                                 stored)
+    ("rpq", query_token, graph_token)         — RPQ product reduction
 
-where the tokens are the ``cache_token`` digests exposed by
-:class:`~repro.queries.cq.ConjunctiveQuery`,
-:class:`~repro.db.instance.DatabaseInstance` and
-:class:`~repro.db.probabilistic.ProbabilisticDatabase`: canonical (order
-insensitive, repr-exact) SHA-256 digests, so two structurally equal
-inputs share an entry regardless of construction order.
+where ``query_token`` is the ``cache_token`` digest exposed by
+:class:`~repro.queries.cq.ConjunctiveQuery` and ``proj_token`` is the
+database's ``projection_token`` over exactly the relations the query
+reads (:meth:`~repro.db.probabilistic.ProbabilisticDatabase.projection_token`):
+canonical (order insensitive, repr-exact) SHA-256 digests, so two
+structurally equal inputs share an entry regardless of construction
+order.  Keying data-dependent entries on the *projection* rather than
+the whole-database token means a delta confined to other relations
+leaves their keys valid — those entries keep hitting on the new
+database version (see :mod:`repro.db.delta` and
+``docs/incremental.md``).
+
+Entries may register the relation set their key depends on
+(``get_or_build(..., relations=...)``); ``invalidate_relations``
+reclaims exactly the entries whose registered relations were touched
+by a delta — and entries registered ``weighted=False`` (keyed on
+unweighted projection tokens) only when the touch was *structural*
+(insert/delete), so reweight-only deltas spare them.  Invalidation is
+*hygiene and accounting*, never a correctness mechanism: keys are
+content addressed, so a stale entry can only ever miss, not serve a
+wrong value.
 
 The cache is safe for concurrent use from the batch evaluator's worker
 pool.  Concurrent ``get_or_build`` calls on the same missing key are
@@ -125,6 +141,14 @@ class ReductionCache:
         self._lock = threading.Lock()
         self._entries: OrderedDict[Key, object] = OrderedDict()
         self._inflight: dict[Key, _InFlight] = {}
+        # Key → the relation names its value depends on.  frozenset()
+        # marks an explicitly query-only entry (survives every delta);
+        # an unregistered key is treated as depending on everything.
+        self._relations: dict[Key, frozenset[str]] = {}
+        # Keys registered with ``weighted=False``: their values depend
+        # only on the *fact sets* of their relations, not the
+        # probability labels, so reweight-only deltas leave them valid.
+        self._unweighted: set[Key] = set()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -136,8 +160,24 @@ class ReductionCache:
         key: Key,
         builder: Callable[[], object],
         cache_if: Callable[[object], bool] | None = None,
+        relations: "frozenset[str] | None" = None,
+        weighted: bool = True,
     ):
         """Return the cached value for ``key``, building it on miss.
+
+        ``relations`` registers the relation names the entry's keyed
+        inputs depend on, for :meth:`invalidate_relations`.  Pass an
+        empty frozenset for query-only artifacts (decompositions,
+        compiled automata) — they survive every database delta.
+        ``None`` leaves the entry unregistered, which invalidation
+        treats conservatively (evicted by any delta).
+
+        ``weighted=False`` declares the entry a function of the
+        relations' *fact sets* alone — UR reductions and their counts,
+        keyed on unweighted projection tokens.  Invalidation then only
+        reclaims it for structural (insert/delete) touches; reweight-
+        only deltas leave it serving hits, because its key is already
+        exact on the new version.
 
         Exactly one concurrent caller per key runs ``builder``; a
         builder exception is propagated to its caller and the key stays
@@ -209,9 +249,15 @@ class ReductionCache:
                 if store:
                     self._entries[key] = value
                     self._entries.move_to_end(key)
+                    if relations is not None:
+                        self._relations[key] = frozenset(relations)
+                    if not weighted:
+                        self._unweighted.add(key)
                     if self._maxsize is not None:
                         while len(self._entries) > self._maxsize:
-                            self._entries.popitem(last=False)
+                            evicted, _ = self._entries.popitem(last=False)
+                            self._relations.pop(evicted, None)
+                            self._unweighted.discard(evicted)
                             self._evictions += 1
                 del self._inflight[key]
             pending.event.set()
@@ -240,10 +286,79 @@ class ReductionCache:
         with self._lock:
             return CacheStats(self._hits, self._misses, self._evictions)
 
+    def invalidate_relations(self, touched, structural=None) -> dict:
+        """Reclaim entries whose registered relations were touched.
+
+        Called by the delta layer after a version commits.  An entry is
+        evicted when its registered relation set intersects ``touched``
+        or when it never registered one (conservative: unknown
+        dependencies are assumed touched).  Query-only entries
+        (registered with an empty relation set) and entries over
+        disjoint relations survive — their projection-token keys are
+        still exact on the new version, so they keep serving hits.
+
+        ``structural`` is the subset of ``touched`` whose fact *sets*
+        changed (insert/delete ops, :attr:`repro.db.delta.Delta.
+        structural_relations`).  Entries registered ``weighted=False``
+        are only matched against it: a reweight-only delta leaves every
+        unweighted artifact — UR reductions, their exact counts, and
+        the kernel memos hanging off their automata — in place.
+        ``None`` (a caller without op-level knowledge) conservatively
+        treats every touch as structural.
+
+        Evicted values that expose an ``nfta`` attribute contribute the
+        automaton's fingerprint to a process-wide kernel-memo eviction
+        (:func:`repro.core.kernels.evict_fingerprints`), and evicted
+        keys are deleted from the durable tier.  Returns the counts
+        ``{"cache": …, "diskcache": …, "kernels": …, "survived": …}``.
+        This is reclamation and accounting only — content-addressed
+        keys already make stale hits impossible.
+        """
+        touched = frozenset(touched)
+        structural = (
+            touched if structural is None else frozenset(structural)
+        )
+        evicted: list[tuple[Key, object]] = []
+        survived = 0
+        with self._lock:
+            for key in list(self._entries):
+                deps = self._relations.get(key)
+                guard = (
+                    structural if key in self._unweighted else touched
+                )
+                if deps is None or deps & guard:
+                    evicted.append((key, self._entries.pop(key)))
+                    self._relations.pop(key, None)
+                    self._unweighted.discard(key)
+                else:
+                    survived += 1
+        fingerprints = set()
+        disk_deleted = 0
+        for key, value in evicted:
+            nfta = getattr(value, "nfta", None)
+            fingerprint = getattr(nfta, "fingerprint", None)
+            if fingerprint is not None:
+                fingerprints.add(fingerprint)
+            if self._disk is not None and self._disk.delete(key):
+                disk_deleted += 1
+        kernels_evicted = 0
+        if fingerprints:
+            from repro.core.kernels import evict_fingerprints
+
+            kernels_evicted = evict_fingerprints(fingerprints)
+        return {
+            "cache": len(evicted),
+            "diskcache": disk_deleted,
+            "kernels": kernels_evicted,
+            "survived": survived,
+        }
+
     def clear(self) -> None:
         """Drop every entry; traffic counters are preserved."""
         with self._lock:
             self._entries.clear()
+            self._relations.clear()
+            self._unweighted.clear()
 
     def __repr__(self) -> str:
         return (

@@ -40,8 +40,8 @@ restarts (nothing ever read them back), so the directory keeps at most
 ``diskcache.quarantine.evicted`` counts the drops.
 
 Counters (active telemetry only): ``diskcache.hits`` / ``.misses`` /
-``.writes`` / ``.quarantines`` / ``.quarantine.evicted`` /
-``.unpicklable``.
+``.writes`` / ``.deletes`` / ``.quarantines`` / ``.quarantine.evicted``
+/ ``.unpicklable``.
 """
 
 from __future__ import annotations
@@ -221,6 +221,24 @@ class DiskCache:
             return default
         metric_inc("diskcache.hits")
         return value
+
+    def delete(self, key) -> bool:
+        """Remove the record for ``key``; True when a file was deleted.
+
+        Used by delta invalidation to reclaim durable entries whose
+        relations were touched.  Deleting a key that was never stored
+        (or was already reclaimed) is a no-op, not an error.
+        """
+        target = self.record_path(key)
+        with self._locked():
+            try:
+                os.unlink(target)
+            except FileNotFoundError:
+                return False
+            except OSError:
+                return False
+        metric_inc("diskcache.deletes")
+        return True
 
     def _quarantine_record(self, target: Path, reason: str) -> None:
         destination = self._quarantine / target.name

@@ -70,6 +70,21 @@ _METHODS = (
 )
 
 
+def _pin_database(pdb):
+    """Accept a :class:`~repro.db.delta.VersionedDatabase` (or one
+    :class:`~repro.db.delta.DatabaseVersion`) anywhere a plain
+    :class:`ProbabilisticDatabase` is expected, resolving it to the
+    immutable version it holds at call time."""
+    resolved = getattr(pdb, "pdb", None)
+    return pdb if resolved is None else resolved
+
+
+def _pin_instance(instance):
+    """Like :func:`_pin_database`, yielding the underlying instance."""
+    resolved = getattr(instance, "pdb", None)
+    return instance if resolved is None else resolved.instance
+
+
 @dataclass(frozen=True)
 class PQEAnswer:
     """A probability (or reliability count) with provenance.
@@ -258,6 +273,7 @@ class PQEEngine:
             raise ReproError(
                 f"unknown method {method!r}; choose from {_METHODS}"
             )
+        pdb = _pin_database(pdb)
         if telemetry and active_telemetry() is None:
             collected = EvaluationTelemetry()
             with telemetry_scope(collected), span(
@@ -569,6 +585,7 @@ class PQEEngine:
         telemetry: bool = False,
     ) -> PQEAnswer:
         """``UR(Q, D)``: number of satisfying subinstances."""
+        instance = _pin_instance(instance)
         if telemetry and active_telemetry() is None:
             collected = EvaluationTelemetry()
             with telemetry_scope(collected), span(

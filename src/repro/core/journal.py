@@ -70,8 +70,10 @@ __all__ = [
     "RequestJournal",
     "batch_fingerprint",
     "check_serve_fingerprint",
+    "checksummed_record",
     "load_journal",
     "load_request_journal",
+    "verify_record",
 ]
 
 JOURNAL_VERSION = 1
@@ -95,6 +97,13 @@ def _verify(record: dict) -> bool:
     if not isinstance(record, dict) or "checksum" not in record:
         return False
     return _checksummed(record)["checksum"] == record["checksum"]
+
+
+# Public names for the record conventions, so sibling write-ahead logs
+# (the delta journal in repro.db.delta) share one checksum format and
+# one quarantine discipline instead of reinventing them.
+checksummed_record = _checksummed
+verify_record = _verify
 
 
 def batch_fingerprint(items, seed, engine) -> str:
@@ -258,17 +267,27 @@ class RequestJournal(BatchJournal):
         *,
         seed: int | None,
         elapsed: float,
+        deps: dict | None = None,
     ) -> None:
-        """Append one settled full-fidelity response."""
-        self._append(
-            {
-                "type": "request",
-                "key": key,
-                "seed": seed,
-                "elapsed": elapsed,
-                "answer": _answer_payload(answer),
-            }
-        )
+        """Append one settled full-fidelity response.
+
+        ``deps`` records the answer's data dependencies — the relations
+        the query read and the database's projection token over them —
+        so that after a delta the replay path can re-check eligibility
+        per record instead of discarding the whole journal (records
+        whose relations were untouched replay bitwise on the new
+        version; see ``docs/incremental.md``).
+        """
+        record = {
+            "type": "request",
+            "key": key,
+            "seed": seed,
+            "elapsed": elapsed,
+            "answer": _answer_payload(answer),
+        }
+        if deps is not None:
+            record["deps"] = deps
+        self._append(record)
 
 
 class LoadedRequestJournal:
@@ -285,6 +304,11 @@ class LoadedRequestJournal:
     def restore_answer(self, key: str):
         """Rebuild the recorded :class:`PQEAnswer` for ``key``."""
         return _restore_answer(self.requests[key]["answer"])
+
+    def deps(self, key: str) -> dict | None:
+        """The recorded data dependencies for ``key`` (``None`` for
+        records written before deps tracking existed)."""
+        return self.requests[key].get("deps")
 
 
 def load_request_journal(path: str | Path) -> LoadedRequestJournal:

@@ -58,6 +58,7 @@ __all__ = [
     "clear_kernel_caches",
     "dense_automaton",
     "dense_exact_count",
+    "evict_fingerprints",
     "resolve_backend",
     "shared_plan",
 ]
@@ -147,6 +148,24 @@ class _KernelStore:
         with self._lock:
             self._entries.clear()
 
+    def evict_fingerprints(self, fingerprints: frozenset) -> int:
+        """Drop entries whose key names one of ``fingerprints``.
+
+        Every store key is a tuple carrying the automaton fingerprint
+        (``("dense", fp)``, ``("plan", fp, size)``,
+        ``("layers", fp, weights)``), so membership anywhere in the
+        tuple identifies the artefacts compiled from that automaton.
+        """
+        dropped = 0
+        with self._lock:
+            for key in list(self._entries):
+                if isinstance(key, tuple) and any(
+                    part in fingerprints for part in key
+                ):
+                    del self._entries[key]
+                    dropped += 1
+        return dropped
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -165,6 +184,29 @@ def clear_kernel_caches() -> None:
     _dense_store.clear()
     _plan_store.clear()
     _layer_store.clear()
+
+
+def evict_fingerprints(fingerprints) -> int:
+    """Drop kernel memos compiled from the given automaton fingerprints.
+
+    The structure-aware arm of delta invalidation
+    (:meth:`repro.core.cache.ReductionCache.invalidate_relations`):
+    when a reduction over touched relations is evicted, the dense
+    automaton, sampling plans and DP layer tables compiled from its
+    NFTA go with it; kernels for untouched automata survive.  Returns
+    the number of entries dropped across the three stores.
+    """
+    wanted = frozenset(fingerprints)
+    if not wanted:
+        return 0
+    dropped = (
+        _dense_store.evict_fingerprints(wanted)
+        + _plan_store.evict_fingerprints(wanted)
+        + _layer_store.evict_fingerprints(wanted)
+    )
+    if dropped:
+        metric_inc("kernels.delta_evicted", dropped)
+    return dropped
 
 
 def dense_automaton(nfta: NFTA) -> DenseNFTA:

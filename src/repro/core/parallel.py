@@ -208,6 +208,7 @@ class BatchItem:
                 f"batch item {index}: unknown task {self.task!r}; "
                 f"choose from {_TASKS}"
             )
+        self = self.pinned()
         if self.task == "probability" and not isinstance(
             self.database, ProbabilisticDatabase
         ):
@@ -229,6 +230,20 @@ class BatchItem:
                     f"got {type(self.query).__name__}"
                 )
         return self
+
+    def pinned(self) -> "BatchItem":
+        """Resolve a versioned database to the version it holds *now*.
+
+        A :class:`~repro.db.delta.VersionedDatabase` (or one
+        :class:`~repro.db.delta.DatabaseVersion`) is accepted anywhere
+        a plain database is; pinning happens once, at batch validation
+        time, so every item of the batch evaluates against the same
+        immutable version even if a delta publishes mid-flight.
+        """
+        pdb = getattr(self.database, "pdb", None)
+        if pdb is None or isinstance(self.database, ProbabilisticGraph):
+            return self
+        return dataclasses.replace(self, database=pdb)
 
 
 @dataclass(frozen=True)

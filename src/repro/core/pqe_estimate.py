@@ -112,15 +112,23 @@ def build_pqe_reduction(
 
     ``cache`` (a :class:`~repro.core.cache.ReductionCache`) memoizes the
     finished reduction under ``("pqe", query.cache_token,
-    pdb.cache_token, weighted)``; the underlying decomposition is cached
-    under its own ``("ghd", …)`` key, so distinct groundings of one
-    query shape still share the decomposition search.  A caller-supplied
+    pdb.projection_token(query.relation_names), weighted)``.  The
+    projection token is exact — the build projects ``pdb`` to the
+    query's relations before constructing anything — and, unlike the
+    whole-database token, is stable across deltas confined to other
+    relations, so the entry keeps hitting on later database versions.
+    The underlying decomposition is cached under its own query-only
+    ``("ghd", …)`` key, so distinct groundings of one query shape still
+    share the decomposition search.  A caller-supplied
     ``decomposition`` bypasses the cache.
     """
     if cache is not None and decomposition is None:
-        key = ("pqe", query.cache_token, pdb.cache_token, weighted)
+        relations = frozenset(query.relation_names)
+        key = ("pqe", query.cache_token, pdb.projection_token(relations), weighted)
         return cache.get_or_build(
-            key, lambda: _build_pqe_reduction(query, pdb, None, weighted, cache)
+            key,
+            lambda: _build_pqe_reduction(query, pdb, None, weighted, cache),
+            relations=relations,
         )
     return _build_pqe_reduction(query, pdb, decomposition, weighted, cache)
 
@@ -155,6 +163,7 @@ def _build_pqe_reduction_body(
         decomposition = cache.get_or_build(
             ("ghd", query.cache_token),
             lambda: _ready_decomposition(query),
+            relations=frozenset(),
         )
     reduction = build_ur_reduction(
         query, projected.instance, decomposition=decomposition
@@ -341,13 +350,16 @@ def pqe_estimate(
             # The backend is part of the key even though both backends
             # are bitwise-identical: it keeps differential runs from
             # serving one backend's result to the other.
+            count_relations = frozenset(query.relation_names)
             count_result = cache.get_or_build(
                 (
-                    "count", "pqe", query.cache_token, pdb.cache_token,
+                    "count", "pqe", query.cache_token,
+                    pdb.projection_token(count_relations),
                     method, exact_set_cap, backend,
                 ),
                 run_count,
                 cache_if=lambda result: result.exact,
+                relations=count_relations,
             )
         else:
             count_result = run_count()

@@ -118,13 +118,19 @@ def ur_estimate(
             # Exact (seed-independent) counts are shareable; sampled
             # ones stay private.  See pqe_estimate for the rationale
             # (including why the backend is in the key).
+            count_relations = frozenset(query.relation_names)
             count_result = cache.get_or_build(
                 (
                     "count", "ur", query.cache_token,
-                    instance.cache_token, exact_set_cap, backend,
+                    instance.projection_token(count_relations),
+                    exact_set_cap, backend,
                 ),
                 run_count,
                 cache_if=lambda result: result.exact,
+                relations=count_relations,
+                # The count sees only the instance's fact sets (via the
+                # unweighted projection token): reweights never stale it.
+                weighted=False,
             )
         else:
             count_result = run_count()

@@ -173,10 +173,18 @@ def build_ur_reduction(
         atom minimally are represented; see the module docstring.
     cache:
         Optional :class:`~repro.core.cache.ReductionCache`.  The whole
-        reduction is memoized under
-        ``("ur", query.cache_token, instance.cache_token, contract_mode)``
-        and the construction-ready decomposition under
-        ``("ghd", query.cache_token)`` — so many instances of one query
+        reduction is memoized under ``("ur", query.cache_token,
+        instance.projection_token(query.relation_names),
+        len(instance), contract_mode)``.  The projection token covers
+        everything the automaton is built from (the reduction projects
+        to the query's relations), and the total fact count covers the
+        one residual dependency on the rest of the database —
+        ``dropped_facts``, whose ``2**dropped`` marginalisation factor
+        scales the final count.  The key is therefore exact, yet
+        unchanged by reweight deltas anywhere and by any delta confined
+        to other relations that preserves ``|D|``.  The construction-
+        ready decomposition is cached under the query-only
+        ``("ghd", query.cache_token)``, so many instances of one query
         shape share a single decomposition search.  A caller-supplied
         ``decomposition`` bypasses the cache entirely (the key cannot
         describe it).
@@ -184,7 +192,12 @@ def build_ur_reduction(
     if contract_mode not in ("pad", "lambda"):
         raise QueryError(f"unknown contract_mode {contract_mode!r}")
     if cache is not None and decomposition is None:
-        key = ("ur", query.cache_token, instance.cache_token, contract_mode)
+        relations = frozenset(query.relation_names)
+        key = (
+            "ur", query.cache_token,
+            instance.projection_token(relations),
+            len(instance), contract_mode,
+        )
         return cache.get_or_build(
             key,
             lambda: _build_ur_reduction(
@@ -193,9 +206,14 @@ def build_ur_reduction(
                 cache.get_or_build(
                     ("ghd", query.cache_token),
                     lambda: _ready_decomposition(query),
+                    relations=frozenset(),
                 ),
                 contract_mode,
             ),
+            relations=relations,
+            # Keyed on the unweighted projection token: reweight-only
+            # deltas cannot stale this entry, only insert/delete can.
+            weighted=False,
         )
     return _build_ur_reduction(query, instance, decomposition, contract_mode)
 

@@ -1,5 +1,14 @@
 """Relational and probabilistic database substrate."""
 
+from repro.db.delta import (
+    DatabaseVersion,
+    Delta,
+    DeltaJournal,
+    DeltaOp,
+    VersionedDatabase,
+    apply_delta,
+    load_delta_journal,
+)
 from repro.db.fact import Fact
 from repro.db.instance import DatabaseInstance
 from repro.db.probabilistic import ProbabilisticDatabase
@@ -18,7 +27,14 @@ from repro.db.yannakakis import (
 __all__ = [
     "Fact",
     "DatabaseInstance",
+    "DatabaseVersion",
+    "Delta",
+    "DeltaJournal",
+    "DeltaOp",
     "ProbabilisticDatabase",
+    "VersionedDatabase",
+    "apply_delta",
+    "load_delta_journal",
     "RelationSymbol",
     "Schema",
     "satisfies",

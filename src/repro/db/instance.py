@@ -92,21 +92,45 @@ class DatabaseInstance:
         return frozenset(self._by_relation)
 
     @cached_property
+    def _accumulators(self) -> dict[str, tuple[int, int]]:
+        """Per-relation ``(multiset sum, fact count)`` pairs (see tokens.py).
+
+        The delta layer pre-seeds this cached property on derived
+        versions so tokens stay incremental; the from-scratch path here
+        is the reference it must match bitwise.
+        """
+        from repro.db.tokens import accumulate, fact_line
+
+        return accumulate(
+            (fact.relation, fact_line(fact)) for fact in self._facts
+        )
+
+    @cached_property
     def cache_token(self) -> str:
         """Canonical digest of the fact set, for reduction-cache keys.
 
-        Uses ``repr`` of each fact's relation and constants so that,
-        e.g., the constants ``1`` and ``"1"`` do not collide.
+        Derived from the homomorphic per-relation accumulators so a
+        delta-maintained token is bitwise-equal to this from-scratch
+        one.  ``repr`` of relation and constants keeps, e.g., the
+        constants ``1`` and ``"1"`` from colliding.
         """
-        import hashlib
+        from repro.db.tokens import token_from_accumulators
 
-        canonical = "\x1f".join(
-            sorted(
-                f"{fact.relation!r}{fact.constants!r}"
-                for fact in self._facts
-            )
+        return token_from_accumulators(self._accumulators)
+
+    def projection_token(self, relations: Iterable[str]) -> str:
+        """Digest of this instance restricted to ``relations``.
+
+        Equals ``project``-then-``cache_token`` in discriminating power
+        but is computed from the accumulators without materialising the
+        projection, and is stable across deltas that touch only other
+        relations — the property structure-aware cache keys rely on.
+        """
+        from repro.db.tokens import projection_token_from_accumulators
+
+        return projection_token_from_accumulators(
+            self._accumulators, relations
         )
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
 
     @cached_property
     def active_domain(self) -> frozenset:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 from functools import cached_property
+from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping
 
 from repro.db.fact import Fact
@@ -98,9 +99,15 @@ class ProbabilisticDatabase:
                 f"fact {fact} not in probabilistic database"
             ) from None
 
-    @property
+    @cached_property
     def probabilities(self) -> Mapping[Fact, Fraction]:
-        return dict(self._probabilities)
+        """Read-only live view of the label map.
+
+        A :class:`types.MappingProxyType` over the internal dict: no
+        O(n) copy per access, and mutation attempts raise instead of
+        silently desyncing the caller's copy from ``cache_token``.
+        """
+        return MappingProxyType(self._probabilities)
 
     @cached_property
     def size(self) -> int:
@@ -111,23 +118,49 @@ class ProbabilisticDatabase:
         return len(self._instance) + bits
 
     @cached_property
+    def _accumulators(self) -> dict[str, tuple[int, int]]:
+        """Per-relation ``(multiset sum, fact count)`` over weighted lines.
+
+        See :mod:`repro.db.tokens`.  The delta layer pre-seeds this on
+        derived versions (insert adds a summand, delete subtracts one,
+        reweight swaps two); this from-scratch fold is the reference
+        the incremental maintenance must match bitwise.
+        """
+        from repro.db.tokens import accumulate, weighted_fact_line
+
+        return accumulate(
+            (fact.relation, weighted_fact_line(fact, prob))
+            for fact, prob in self._probabilities.items()
+        )
+
+    @cached_property
     def cache_token(self) -> str:
         """Canonical digest of facts *and* labels, for reduction-cache keys.
 
         Two probabilistic databases share a token iff they are equal —
         same facts, same exact rational probabilities — so a cached
         Theorem 1 reduction is reused only when it is bit-for-bit valid.
+        Derived from the homomorphic per-relation accumulators so the
+        delta layer can maintain it incrementally.
         """
-        import hashlib
+        from repro.db.tokens import token_from_accumulators
 
-        canonical = "\x1f".join(
-            sorted(
-                f"{fact.relation!r}{fact.constants!r}="
-                f"{prob.numerator}/{prob.denominator}"
-                for fact, prob in self._probabilities.items()
-            )
+        return token_from_accumulators(self._accumulators)
+
+    def projection_token(self, relations: Iterable[str]) -> str:
+        """Digest of ``H`` restricted to ``relations`` (labels included).
+
+        ``project_to_query(q).cache_token`` and
+        ``projection_token(q.relation_names)`` agree in discriminating
+        power, but the latter never materialises the projection and is
+        unchanged by deltas confined to other relations — which is what
+        lets reduction-cache entries keyed on it survive those deltas.
+        """
+        from repro.db.tokens import projection_token_from_accumulators
+
+        return projection_token_from_accumulators(
+            self._accumulators, relations
         )
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
 
     @cached_property
     def denominator_product(self) -> int:

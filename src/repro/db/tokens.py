@@ -1,0 +1,130 @@
+"""Homomorphic per-relation digests behind every ``cache_token``.
+
+The delta layer (:mod:`repro.db.delta`) needs to maintain database
+cache tokens *incrementally*: applying a delta must produce the same
+token, bit for bit, that a from-scratch rebuild of the new database
+would produce, without re-hashing every untouched fact.  A plain
+"sha256 over the sorted fact lines" digest cannot be updated in place,
+so tokens are instead derived from a **multiset accumulator**:
+
+* each fact contributes a 256-bit summand — the SHA-256 of its
+  canonical line (``repr`` of relation and constants, plus the exact
+  rational label for weighted tokens);
+* each relation keeps the sum of its facts' summands modulo ``2**256``
+  together with a fact count (the count disambiguates the empty
+  relation from improbable zero-sum collisions and lets deletions
+  retire a relation exactly when its last fact goes);
+* the token is the SHA-256 of the sorted per-relation accumulator
+  lines, truncated to the usual 32 hex characters.
+
+Addition mod ``2**256`` is commutative and invertible, so inserts add
+a summand, deletes subtract it, and reweights subtract the old line
+and add the new one — in any order — while remaining bitwise equal to
+recomputing from scratch (property-tested in ``tests/test_delta.py``).
+
+The same accumulators yield :func:`projection_token`: a digest over a
+*chosen* set of relations (absent relations participate as empty).
+Cache entries keyed by a projection token over exactly the relations
+they read survive any delta that touches only other relations — the
+basis of structure-aware invalidation (``docs/incremental.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from repro.db.fact import Fact
+
+__all__ = [
+    "ACCUMULATOR_MODULUS",
+    "EMPTY_ACCUMULATOR",
+    "fact_line",
+    "weighted_fact_line",
+    "line_summand",
+    "accumulate",
+    "token_from_accumulators",
+    "projection_token_from_accumulators",
+]
+
+#: Summands live in Z / 2^256: wide enough that accidental collisions
+#: of independently random 256-bit values are out of reach.
+ACCUMULATOR_MODULUS = 1 << 256
+
+#: The (sum, count) pair of a relation with no facts.
+EMPTY_ACCUMULATOR: tuple[int, int] = (0, 0)
+
+
+def fact_line(fact: Fact) -> str:
+    """Canonical unweighted line for one fact.
+
+    ``repr`` keeps distinct constant types distinct (``1`` vs ``"1"``),
+    matching the historical ``DatabaseInstance.cache_token`` input.
+    """
+    return f"{fact.relation!r}{fact.constants!r}"
+
+
+def weighted_fact_line(fact: Fact, probability: Fraction) -> str:
+    """Canonical weighted line for one fact of a probabilistic database."""
+    return (
+        f"{fact.relation!r}{fact.constants!r}="
+        f"{probability.numerator}/{probability.denominator}"
+    )
+
+
+def line_summand(line: str) -> int:
+    """The 256-bit integer a canonical line contributes to its relation."""
+    return int.from_bytes(
+        hashlib.sha256(line.encode("utf-8")).digest(), "big"
+    )
+
+
+def accumulate(
+    lines_by_relation: Iterable[tuple[str, str]],
+) -> dict[str, tuple[int, int]]:
+    """Fold ``(relation, canonical line)`` pairs into accumulators."""
+    out: dict[str, tuple[int, int]] = {}
+    for relation, line in lines_by_relation:
+        acc, count = out.get(relation, EMPTY_ACCUMULATOR)
+        out[relation] = (
+            (acc + line_summand(line)) % ACCUMULATOR_MODULUS,
+            count + 1,
+        )
+    return out
+
+
+def _relation_line(relation: str, acc: int, count: int) -> str:
+    return f"{relation!r}#{count}={acc:064x}"
+
+
+def token_from_accumulators(
+    accumulators: Mapping[str, tuple[int, int]],
+) -> str:
+    """Database-wide token: digest of the sorted non-empty relation lines."""
+    canonical = "\x1f".join(
+        sorted(
+            _relation_line(rel, acc, count)
+            for rel, (acc, count) in accumulators.items()
+            if count
+        )
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+def projection_token_from_accumulators(
+    accumulators: Mapping[str, tuple[int, int]],
+    relations: Iterable[str],
+) -> str:
+    """Token over a fixed relation set, absent relations included as empty.
+
+    Including empty relations (rather than skipping them) means the
+    token changes when a delta *first populates* a relation the query
+    reads — an entry keyed before the insert cannot be confused with
+    one keyed after it.
+    """
+    lines = []
+    for relation in sorted(set(relations)):
+        acc, count = accumulators.get(relation, EMPTY_ACCUMULATOR)
+        lines.append(_relation_line(relation, acc, count))
+    return hashlib.sha256("\x1f".join(lines).encode("utf-8")).hexdigest()[:32]

@@ -99,6 +99,16 @@ class ProbabilityError(ReproError):
     """A probability annotation is outside ``[0, 1]`` or not rational."""
 
 
+class DeltaError(ReproError):
+    """A database delta cannot be applied to the version it targets.
+
+    Raised for caller errors — inserting a fact that already exists,
+    deleting or reweighting one that does not, malformed operations —
+    always *before* anything is journalled or published, so a rejected
+    delta leaves the versioned database exactly as it was.
+    """
+
+
 class GraphError(ReproError):
     """A probabilistic graph (or an RPQ over one) is malformed, or a
     graph route's structural precondition does not hold.

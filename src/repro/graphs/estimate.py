@@ -229,9 +229,13 @@ def rpq_probability_estimate(
         if cache is None:
             reduction = build_rpq_nfa(graph, query)
         else:
+            # Keyed on the graph token, not relational state: relation
+            # deltas never touch RPQ artifacts (relations=∅ makes them
+            # survive every relational invalidation).
             reduction = cache.get_or_build(
                 ("rpq", query.cache_token, graph.cache_token),
                 lambda: build_rpq_nfa(graph, query),
+                relations=frozenset(),
             )
         metric_observe("rpq.product.states", reduction.nfa_states)
         metric_observe(
@@ -264,6 +268,7 @@ def rpq_probability_estimate(
                     ),
                     exact_sweep,
                     cache_if=lambda value: value is not None,
+                    relations=frozenset(),
                 )
         if measure is not None:
             value = Fraction(int(measure), reduction.denominator)

@@ -46,6 +46,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     REPLAY_SENSITIVE_PREFIXES,
     SCHEDULING_SENSITIVE,
+    SCHEDULING_SENSITIVE_PREFIXES,
 )
 from repro.obs.spans import SpanRecord, Tracer
 
@@ -55,6 +56,7 @@ __all__ = [
     "MetricsRegistry",
     "REPLAY_SENSITIVE_PREFIXES",
     "SCHEDULING_SENSITIVE",
+    "SCHEDULING_SENSITIVE_PREFIXES",
     "SpanRecord",
     "Tracer",
     "active_telemetry",

@@ -58,7 +58,12 @@ SCHEDULING_SENSITIVE = frozenset({"cache.inflight_waits"})
 #: ``serve.`` instruments the daemon's admission queue, shedding ladder
 #: and circuit breaker — all functions of concurrent load and wall
 #: clock, deterministic only in the trivial single-request case.
+#: ``delta.`` instruments database-version mutation
+#: (:mod:`repro.db.delta`): how many cache/journal/registry artifacts a
+#: delta invalidates or spares depends on what earlier traffic happened
+#: to cache, i.e. on process history, not on any one item.
 SCHEDULING_SENSITIVE_PREFIXES = (
+    "delta.",
     "kernels.",
     "lifted.plan_cache.",
     "lifted.classified.",
@@ -81,6 +86,7 @@ REPLAY_SENSITIVE_PREFIXES = (
     "cache.",
     "count_nfta.",
     "decomposition.",
+    "delta.",
     "diskcache.",
     "journal.",
     "kernels.",

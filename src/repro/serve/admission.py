@@ -177,6 +177,29 @@ class AdmissionController:
             self._draining = True
             self._cond.notify_all()
 
+    def pause(self, timeout: float | None = None) -> bool:
+        """Close admission *temporarily* and wait for in-flight work.
+
+        The mutation barrier: ``POST /delta`` pauses admission so every
+        request already admitted — pinned to the pre-delta version —
+        settles before the new version publishes.  New arrivals and
+        queued waiters are rejected with
+        :class:`~repro.errors.DrainingRejection` while paused.  Returns
+        False when in-flight work outlives ``timeout`` (the caller must
+        abort its mutation); either way admission stays closed until
+        :meth:`resume`.
+        """
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+        return self.await_idle(timeout)
+
+    def resume(self) -> None:
+        """Reopen admission after a :meth:`pause` barrier."""
+        with self._cond:
+            self._draining = False
+            self._cond.notify_all()
+
     def await_idle(self, timeout: float | None = None) -> bool:
         """Block until no request is running; False on timeout."""
         limit = None if timeout is None else self._clock() + timeout

@@ -29,13 +29,24 @@ Endpoints::
 
     GET  /healthz   liveness  (200 while the process serves HTTP)
     GET  /readyz    readiness (200 = admitting, 503 = draining)
-    GET  /stats     admission/shedder/breaker/registry snapshots
+    GET  /stats     admission/shedder/breaker/registry/version snapshots
     POST /evaluate  {"query": "Q :- R(x,y)", "task"?, "method"?,
                      "deadline"?, "seed"?}
+    POST /delta     {"ops": [{"op": "insert"|"delete"|"reweight",
+                     "relation", "constants", "probability"?}, …]}
 
-``handle(payload)`` — the full request path minus HTTP — is a public
-method so tests drive admission, shedding, crash containment and drain
-semantics without sockets.
+``POST /delta`` mutates the served database through a
+:class:`~repro.db.delta.VersionedDatabase`: admission pauses, in-flight
+requests — each pinned to its admission-time version — settle, the
+delta applies transactionally (WAL first when ``delta_journal`` is
+configured), warm artifacts touching a mutated relation are invalidated
+(``delta.invalidated.registry`` / ``.journal``), and admission reopens
+against the new version.  See ``docs/incremental.md``.
+
+``handle(payload)`` / ``handle_delta(payload)`` — the full request and
+mutation paths minus HTTP — are public methods so tests drive
+admission, shedding, crash containment, drain and delta semantics
+without sockets.
 """
 
 from __future__ import annotations
@@ -61,14 +72,16 @@ from repro.core.journal import (
 )
 from repro.core.parallel import BatchItem, evaluate_batch
 from repro.core.resilience import DegradationPolicy, degradation_ladder
+from repro.db.delta import Delta, VersionedDatabase
 from repro.errors import (
     BudgetExceededError,
     DeadlineRejection,
+    DeltaError,
     QuarantineRejection,
     ReproError,
     ServeRejection,
 )
-from repro.obs import EvaluationTelemetry
+from repro.obs import EvaluationTelemetry, telemetry_scope
 from repro.obs.export import write_trace
 from repro.queries.parser import parse_query
 from repro.serve.admission import AdmissionController
@@ -108,6 +121,7 @@ class ServerConfig:
     registry_size: int = 256
     disk_cache: str | None = None
     journal: str | None = None
+    delta_journal: str | None = None
     trace: str | None = None
     # drain
     drain_deadline: float = 10.0
@@ -141,11 +155,26 @@ class PQEServer:
                 f"unknown isolation {self.config.isolation!r}; "
                 f"choose 'thread' or 'process'"
             )
-        self.database = database
+        if isinstance(database, VersionedDatabase):
+            self.versioned = database
+        else:
+            self.versioned = VersionedDatabase(
+                database, journal=self.config.delta_journal
+            )
         self.registry = ArtifactRegistry(
             maxsize=self.config.registry_size,
             disk=self.config.disk_cache,
         )
+        # Structure-aware invalidation: a published delta reclaims the
+        # warm artifacts and replayable journal records whose keyed
+        # relations it touched, and nothing else.
+        self.versioned.attach_invalidator(
+            "registry", self._invalidate_registry
+        )
+        self.versioned.attach_invalidator(
+            "journal", self._invalidate_replayable
+        )
+        self._delta_lock = threading.Lock()
         self.engine = PQEEngine(
             epsilon=self.config.epsilon,
             seed=self.config.seed,
@@ -187,13 +216,23 @@ class PQEServer:
 
     # -- identity -------------------------------------------------------
 
+    @property
+    def database(self):
+        """The *current* database version's head — every read pins the
+        head once and evaluates against that immutable snapshot."""
+        return self.versioned.pdb
+
     def fingerprint(self) -> str:
-        """Binds the request journal to this engine + database."""
+        """Binds the request journal to this engine + the database
+        *lineage* (version 0's token, stable across deltas — per-record
+        ``deps`` tokens carry the version-sensitive part, so one journal
+        serves the daemon across mutations)."""
         engine = self.engine
         return hashlib.sha256(
             f"repro-serve:{engine.epsilon!r}:{engine.repetitions}:"
             f"{engine.lineage_budget}:{engine.exact_set_cap}:"
-            f"{engine.kernel_backend}:{self.database.cache_token}".encode()
+            f"{engine.kernel_backend}:"
+            f"{self.versioned.base_token}".encode()
         ).hexdigest()
 
     def _request_key(self, query, task, method, seed) -> str:
@@ -257,8 +296,16 @@ class PQEServer:
                 trace_id,
             )
 
-        # 2. Warm replay from a previous instance's journal.
+        # 2. Warm replay from a previous instance's journal — only when
+        # the record's recorded dependency token still matches the
+        # current version's projection over the query's relations (the
+        # never-stale-wrong check: content equality, not version
+        # equality, so deltas to *other* relations keep replays warm).
         record = self._replayable.get(key)
+        if record is not None and not self._replay_eligible(record):
+            self._replayable.pop(key, None)
+            self._inc("serve.replay_stale")
+            record = None
         if record is not None:
             self._inc("serve.replays")
             answer = _restore(record)
@@ -359,6 +406,162 @@ class PQEServer:
             raise ReproError(f"seed must be an integer, got {seed!r}")
         return query, task, method, deadline, seed
 
+    def _replay_eligible(self, record: dict) -> bool:
+        """A journalled answer replays only while the current version's
+        projection over the record's relations matches the token it was
+        recorded against — bitwise content equality, so a replay can be
+        stale-warm (miss) but never stale-wrong."""
+        deps = record.get("deps")
+        if deps is None:
+            # Pre-deps record: safe only on a never-mutated database.
+            return self.versioned.version == 0
+        relations = frozenset(deps.get("relations", ()))
+        return deps.get("token") == self.versioned.pdb.projection_token(
+            relations
+        )
+
+    # -- the mutation path ----------------------------------------------
+
+    def handle_delta(self, payload) -> tuple[int, dict]:
+        """Apply one delta payload; returns ``(status, body)``.
+
+        The mutation barrier: admission pauses so in-flight requests —
+        each pinned to its admission-time version — settle before the
+        head moves; a barrier that cannot go idle within
+        ``drain_deadline`` aborts with a 503 *before* anything is
+        journalled or invalidated, so a shed mutation has no trace.
+        Conflicting ops (inserting an existing fact, deleting a missing
+        one) are structured 409s; the version head is untouched.
+        """
+        trace_id = f"req-{next(self._trace_ids):06d}"
+        self._inc("serve.delta.requests")
+        try:
+            delta = self._parse_delta(payload)
+        except ReproError as failure:
+            self._inc("serve.rejected.bad_request")
+            return 400, {
+                "ok": False,
+                "rejected": True,
+                "reason": "bad_request",
+                "message": str(failure),
+                "trace_id": trace_id,
+            }
+        with self._delta_lock:
+            if self._drained.is_set() or self.admission.draining:
+                self._inc("serve.rejected.draining")
+                return 503, {
+                    "ok": False,
+                    "rejected": True,
+                    "reason": "draining",
+                    "message": "the daemon is draining; mutations are "
+                               "closed",
+                    "trace_id": trace_id,
+                }
+            idle = self.admission.pause(self.config.drain_deadline)
+            try:
+                if not idle:
+                    self._inc("serve.rejected.delta_barrier")
+                    return 503, {
+                        "ok": False,
+                        "rejected": True,
+                        "reason": "delta_barrier",
+                        "message": (
+                            f"in-flight requests did not settle within "
+                            f"{self.config.drain_deadline:g}s; delta "
+                            f"aborted before the commit point"
+                        ),
+                        "trace_id": trace_id,
+                    }
+                try:
+                    # The apply path emits ``delta.*`` counters through
+                    # the ambient telemetry — collect them with the
+                    # daemon's own.
+                    with telemetry_scope(self.telemetry):
+                        version = self.versioned.apply(delta)
+                except DeltaError as failure:
+                    self._inc("serve.delta.rejected")
+                    return 409, {
+                        "ok": False,
+                        "rejected": True,
+                        "reason": "delta_conflict",
+                        "message": str(failure),
+                        "trace_id": trace_id,
+                    }
+                except ReproError as failure:
+                    self._inc("serve.errors")
+                    return 500, {
+                        "ok": False,
+                        "rejected": False,
+                        "trace_id": trace_id,
+                        "error": {
+                            "exception": type(failure).__name__,
+                            "message": str(failure),
+                            "phase": getattr(failure, "phase", None),
+                            "retries": 0,
+                            "degradations": [],
+                        },
+                    }
+            finally:
+                if not self._drained.is_set():
+                    self.admission.resume()
+        self._inc("serve.delta.applied")
+        return 200, {
+            "ok": True,
+            "version": version.version,
+            "token": version.token,
+            "ops": len(delta),
+            "touched": sorted(delta.touched_relations),
+            "trace_id": trace_id,
+        }
+
+    def _parse_delta(self, payload) -> Delta:
+        if not isinstance(payload, dict) or "ops" not in payload:
+            raise ReproError(
+                "delta body must be a JSON object with an 'ops' list"
+            )
+        unknown = set(payload) - {"ops"}
+        if unknown:
+            raise ReproError(f"unknown delta fields {sorted(unknown)}")
+        ops = payload["ops"]
+        if not isinstance(ops, list) or not ops:
+            raise ReproError("'ops' must be a non-empty list of op "
+                             "records")
+        return Delta.from_records(ops)
+
+    # -- delta invalidation hooks ----------------------------------------
+
+    def _invalidate_registry(self, touched, structural) -> dict:
+        """Reclaim warm registry artifacts keyed on a touched relation
+        (L1 entries, their disk shadows, their kernel memos).
+        Unweighted artifacts only match ``structural`` touches."""
+        counts = self.registry.cache.invalidate_relations(
+            touched, structural=structural
+        )
+        return {
+            "registry": counts["cache"],
+            "diskcache": counts["diskcache"],
+            "kernels": counts["kernels"],
+            "survived": counts["survived"],
+        }
+
+    def _invalidate_replayable(self, touched, structural) -> dict:
+        """Drop replay-eligible journal records whose query read a
+        touched relation (or that predate dependency tracking).
+
+        Journalled answers depend on the probability labels, so the
+        full ``touched`` set applies here — a reweight stales an
+        answer even though it spares structure-only artifacts."""
+        touched = set(touched)
+        dropped = survived = 0
+        for key, record in list(self._replayable.items()):
+            deps = record.get("deps")
+            if deps is None or touched & set(deps.get("relations", ())):
+                self._replayable.pop(key, None)
+                dropped += 1
+            else:
+                survived += 1
+        return {"journal": dropped, "survived": survived}
+
     def _evaluate(
         self, query, task, method, seed, key, budget, ticket, trace_id
     ) -> tuple[int, dict]:
@@ -374,11 +577,11 @@ class PQEServer:
             engine = copy.copy(engine)
             engine.epsilon = epsilon
         policy = dataclasses.replace(self.policy, routes=ladder[rung:])
-        database = (
-            self.database.instance
-            if task == "reliability"
-            else self.database
-        )
+        # Pin the version head exactly once: the whole evaluation (and
+        # the journalled deps token below) sees one immutable snapshot,
+        # even if a delta publishes mid-flight.
+        pdb = self.database
+        database = pdb.instance if task == "reliability" else pdb
         started = time.perf_counter()
         result = evaluate_batch(
             engine,
@@ -415,8 +618,13 @@ class PQEServer:
                 and rung == 0
                 and not answer.degradations
             ):
+                relations = frozenset(query.relation_names)
                 self.journal.record_request(
-                    key, answer, seed=seed, elapsed=elapsed
+                    key, answer, seed=seed, elapsed=elapsed,
+                    deps={
+                        "relations": sorted(relations),
+                        "token": pdb.projection_token(relations),
+                    },
                 )
             return 200, self._success_body(
                 answer,
@@ -500,6 +708,7 @@ class PQEServer:
     # -- introspection --------------------------------------------------
 
     def stats(self) -> dict:
+        head = self.versioned.current
         return {
             "requests": self.telemetry.metrics.counters,
             "settled": self._requests_settled,
@@ -507,6 +716,13 @@ class PQEServer:
             "shedder": self.shedder.snapshot(),
             "breaker": self.breaker.snapshot(),
             "registry": self.registry.snapshot(),
+            "database": {
+                "version": head.version,
+                "token": head.token,
+                "facts": len(head.pdb),
+                "recovered": self.versioned.recovered,
+                "replayable": len(self._replayable),
+            },
             "draining": self.admission.draining,
         }
 
@@ -585,6 +801,7 @@ class PQEServer:
         clean = self.admission.await_idle(self.config.drain_deadline)
         if self.journal is not None:
             self.journal.close()
+        self.versioned.close()
         if self.config.trace is not None:
             meta = {
                 "kind": "serve",
@@ -644,7 +861,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
             )
 
     def do_POST(self):  # noqa: N802 - stdlib casing
-        if self.path != "/evaluate":
+        if self.path not in ("/evaluate", "/delta"):
             self._send_json(
                 404, {"ok": False, "message": f"no route {self.path}"}
             )
@@ -663,5 +880,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 },
             )
             return
-        status, body = self.pqe_server.handle(payload)
+        if self.path == "/delta":
+            status, body = self.pqe_server.handle_delta(payload)
+        else:
+            status, body = self.pqe_server.handle(payload)
         self._send_json(status, body)

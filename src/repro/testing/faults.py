@@ -67,6 +67,7 @@ FAULT_SITES = (
     "monte_carlo.sample",
     "rpq.count",
     "serve.request",
+    "db.delta",
 )
 
 #: Granularity of the cooperative stall loop (seconds).

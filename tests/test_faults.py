@@ -18,6 +18,7 @@ import pytest
 from repro.core.cache import ReductionCache
 from repro.core.estimator import PQEEngine
 from repro.core.parallel import BatchError, BatchItem, evaluate_batch
+from repro.db.delta import Delta, DeltaOp, VersionedDatabase
 from repro.db.fact import Fact
 from repro.db.instance import DatabaseInstance
 from repro.db.probabilistic import ProbabilisticDatabase
@@ -150,6 +151,9 @@ SITE_TRIGGERS = {
         "a b", source="s", target="t", method="exact",
     ),
     "serve.request": lambda: _served_request(),
+    "db.delta": lambda: VersionedDatabase(SMALL_PDB).apply(
+        Delta([DeltaOp.insert(Fact("R3", ("x", "y")), "1/2")])
+    ),
 }
 
 
@@ -270,6 +274,64 @@ def test_retry_outcomes_are_identical_across_worker_counts():
     recovered = outcomes[0].results[1]
     assert recovered.ok
     assert recovered.retries == 1
+
+
+@pytest.mark.parametrize(
+    "step,rolls_forward",
+    [(0, False), (1, False), (2, True), (3, True)],
+)
+def test_delta_fault_matrix_across_worker_counts(step, rolls_forward):
+    """The mutation path under injected faults, at workers 1/4/8.
+
+    A delta apply killed at any of its four steps leaves the version
+    head on exactly the old version (fault before the WAL commit,
+    steps 1-2) or the new one (fault after it, steps 3-4) — never a
+    hybrid — and a batch admitted afterwards pins that head and
+    produces bitwise-identical answers at every worker count.  A
+    pre-commit failure is retryable: re-applying the same delta
+    converges on the same final state the roll-forward cases reach.
+    """
+    from fractions import Fraction
+
+    engine = sampled_engine()
+    outcomes = []
+    for width in WIDTHS:
+        vdb = VersionedDatabase(SMALL_PDB)
+        reweight = Delta(
+            [DeltaOp.reweight(Fact("R1", ("a", "b")), "3/4")]
+        )
+        with inject_faults(
+            FaultSpec("db.delta", after=step, times=1)
+        ):
+            with pytest.raises(
+                EstimationError, match="injected fault at 'db.delta'"
+            ):
+                vdb.apply(reweight)
+            # Items pin the admission-time head via ``.pdb`` duck
+            # typing — the batch sees one consistent version.
+            items = [
+                BatchItem(QUERY, vdb, method="fpras-weighted")
+                for _ in range(8)
+            ]
+            batch = evaluate_batch(
+                engine, items, max_workers=width, seed=11
+            )
+        assert vdb.version == (1 if rolls_forward else 0)
+        if not rolls_forward:
+            vdb.apply(reweight)  # the retry converges
+        assert vdb.version == 1
+        assert (
+            vdb.pdb.probabilities[Fact("R1", ("a", "b"))]
+            == Fraction(3, 4)
+        )
+        assert batch.ok
+        outcomes.append(
+            [
+                (r.index, r.answer.value, r.answer.method)
+                for r in batch.results
+            ]
+        )
+    assert outcomes[0] == outcomes[1] == outcomes[2]
 
 
 def test_degrade_mode_reroutes_faulted_items():

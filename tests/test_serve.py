@@ -559,3 +559,181 @@ class TestConfig:
         assert "p95_ewma" in stats["shedder"]
         assert stats["breaker"] == {}
         assert "hits" in stats["registry"]
+
+
+# ---------------------------------------------------------------------------
+# POST /delta: the mutation path
+
+
+def reweight_payload(relation="P", constants=("a", "b"), prob="1/9"):
+    return {
+        "ops": [
+            {
+                "op": "reweight",
+                "relation": relation,
+                "constants": list(constants),
+                "probability": prob,
+            }
+        ]
+    }
+
+
+class TestDeltaEndpoint:
+    def test_delta_applies_and_serves_the_new_version(self, pdb):
+        server = make_server(pdb, epsilon=0.5)
+        _, before = server.handle({"query": SELF_JOIN, "method": "karp-luby"})
+        status, body = server.handle_delta(reweight_payload())
+        assert status == 200
+        assert body["ok"] and body["version"] == 1
+        assert body["touched"] == ["P"]
+        assert server.stats()["database"]["version"] == 1
+        # Admission reopened after the barrier.
+        assert not server.admission.draining
+        _, after = server.handle({"query": SELF_JOIN, "method": "karp-luby"})
+        assert after["ok"]
+        assert after["value"] != before["value"]
+
+    def test_malformed_and_conflicting_deltas_are_structured(self, pdb):
+        server = make_server(pdb)
+        status, body = server.handle_delta({"ops": []})
+        assert status == 400 and body["reason"] == "bad_request"
+        status, body = server.handle_delta({"nope": 1})
+        assert status == 400
+        status, body = server.handle_delta(
+            {"ops": [{"op": "upsert", "relation": "P",
+                      "constants": ["a", "b"]}]}
+        )
+        assert status == 400
+        # Deleting a fact that is not there: a 409, head untouched.
+        status, body = server.handle_delta(
+            {"ops": [{"op": "delete", "relation": "P",
+                      "constants": ["zz", "zz"]}]}
+        )
+        assert status == 409 and body["reason"] == "delta_conflict"
+        assert server.versioned.version == 0
+
+    def test_barrier_timeout_aborts_before_the_commit_point(
+        self, pdb, tmp_path
+    ):
+        wal = str(tmp_path / "deltas.wal")
+        server = make_server(
+            pdb, drain_deadline=0.1, delta_journal=wal
+        )
+        server.admission.admit()          # a request that never settles
+        try:
+            status, body = server.handle_delta(reweight_payload())
+        finally:
+            server.admission.release()
+        assert status == 503 and body["reason"] == "delta_barrier"
+        assert server.versioned.version == 0
+        # Nothing was journalled: a fresh recovery sees zero versions.
+        from repro.db.delta import load_delta_journal
+
+        assert len(load_delta_journal(wal)) == 0
+        # Admission reopened; the daemon still serves.
+        status, body = server.handle({"query": BASE})
+        assert status == 200
+
+    def test_draining_daemon_refuses_mutations(self, pdb):
+        server = make_server(pdb)
+        server.admission.begin_drain()
+        status, body = server.handle_delta(reweight_payload())
+        assert status == 503 and body["reason"] == "draining"
+
+    def test_delta_journal_restores_the_version_chain(
+        self, pdb, tmp_path
+    ):
+        wal = str(tmp_path / "deltas.wal")
+        first = make_server(pdb, delta_journal=wal)
+        status, _ = first.handle_delta(reweight_payload())
+        assert status == 200
+        head = first.versioned.cache_token
+        first.drain(reason="restart")
+
+        second = make_server(pdb, delta_journal=wal)
+        assert second.versioned.version == 1
+        assert second.versioned.recovered == 1
+        assert second.versioned.cache_token == head
+        assert second.stats()["database"]["recovered"] == 1
+
+
+class TestDeltaReplayEligibility:
+    def test_untouched_replays_touched_recomputes(self, pdb, tmp_path):
+        journal = str(tmp_path / "requests.wal")
+        first = make_server(pdb, epsilon=0.5, journal=journal)
+        _, base_answer = first.handle(
+            {"query": BASE, "method": "fpras"}
+        )
+        _, join_answer = first.handle(
+            {"query": SELF_JOIN, "method": "karp-luby"}
+        )
+        assert base_answer["ok"] and join_answer["ok"]
+        first.drain(reason="restart")
+
+        second = make_server(pdb, epsilon=0.5, journal=journal)
+        status, body = second.handle_delta(reweight_payload())
+        assert status == 200
+        counters = second.telemetry.metrics.counters
+        # The P-dependent record was dropped by the journal hook; the
+        # R/S/T record survived.
+        assert counters["delta.invalidated.journal"] == 1
+        assert counters["delta.survived"] >= 1
+
+        status, replayed = second.handle(
+            {"query": BASE, "method": "fpras"}
+        )
+        assert status == 200 and replayed["replayed"] is True
+        assert replayed["value"] == base_answer["value"]
+
+        status, live = second.handle(
+            {"query": SELF_JOIN, "method": "karp-luby"}
+        )
+        assert status == 200 and live["replayed"] is False
+        assert live["value"] != join_answer["value"]
+
+    def test_restart_on_a_mutated_chain_prunes_stale_records(
+        self, pdb, tmp_path
+    ):
+        journal = str(tmp_path / "requests.wal")
+        deltas = str(tmp_path / "deltas.wal")
+        first = make_server(
+            pdb, epsilon=0.5, journal=journal, delta_journal=deltas
+        )
+        _, base_answer = first.handle(
+            {"query": BASE, "method": "fpras"}
+        )
+        _, join_answer = first.handle(
+            {"query": SELF_JOIN, "method": "karp-luby"}
+        )
+        first.drain(reason="restart")
+
+        # Mutate the chain *offline* (no server running): the next
+        # daemon recovers version 1 and must not replay the stale
+        # P-dependent answer.
+        from repro.db.delta import (
+            Delta,
+            DeltaOp,
+            VersionedDatabase,
+        )
+
+        offline = VersionedDatabase(pdb, journal=deltas)
+        offline.apply(
+            Delta([DeltaOp.reweight(Fact("P", ("a", "b")), "1/9")])
+        )
+        offline.close()
+
+        second = make_server(
+            pdb, epsilon=0.5, journal=journal, delta_journal=deltas
+        )
+        assert second.versioned.version == 1
+        status, replayed = second.handle(
+            {"query": BASE, "method": "fpras"}
+        )
+        assert status == 200 and replayed["replayed"] is True
+        assert replayed["value"] == base_answer["value"]
+        status, live = second.handle(
+            {"query": SELF_JOIN, "method": "karp-luby"}
+        )
+        assert status == 200 and live["replayed"] is False
+        counters = second.telemetry.metrics.counters
+        assert counters["serve.replay_stale"] == 1

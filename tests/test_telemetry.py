@@ -219,6 +219,41 @@ def test_scheduling_sensitive_counters_are_catalogued():
     )
 
 
+def test_delta_counters_are_classified_history_dependent():
+    """``delta.*`` instruments database mutation: how many artifacts a
+    delta invalidates or spares depends on what earlier traffic warmed,
+    so the family sits outside both the bitwise-determinism and the
+    replay-stability contracts."""
+    from repro.obs import (
+        REPLAY_SENSITIVE_PREFIXES,
+        SCHEDULING_SENSITIVE_PREFIXES,
+        EvaluationTelemetry,
+        telemetry_scope,
+    )
+
+    assert "delta." in SCHEDULING_SENSITIVE_PREFIXES
+    assert "delta." in REPLAY_SENSITIVE_PREFIXES
+
+    from repro.db import Delta, DeltaOp, Fact, VersionedDatabase
+
+    telemetry = EvaluationTelemetry()
+    vdb = VersionedDatabase(_path_pdb())
+    some_fact = next(iter(vdb.pdb.probabilities))
+    with telemetry_scope(telemetry):
+        vdb.apply(Delta([DeltaOp.reweight(some_fact, "1/13")]))
+    counters = telemetry.metrics.counters
+    assert counters["delta.applied"] == 1
+    assert counters["delta.ops"] == 1
+    for name in counters:
+        if name.startswith("delta."):
+            assert (
+                name not in telemetry.metrics.deterministic_counters()
+            )
+            assert (
+                name not in telemetry.metrics.replay_stable_counters()
+            )
+
+
 def test_telemetry_does_not_change_answers():
     engine = PQEEngine(seed=7)
     plain = engine.evaluate_batch(_mixed_items(), seed=7)
@@ -371,6 +406,7 @@ _SITE_ITEMS = {
 def test_site_items_cover_engine_reachable_sites():
     unreachable = {
         "sampling.trees", "decomposition.search", "serve.request",
+        "db.delta",
     }
     assert set(_SITE_ITEMS) == set(FAULT_SITES) - unreachable
 
