@@ -1,24 +1,32 @@
-"""K1 — counting-kernel speedup: optimized vs reference backend.
+"""K1 — counting-kernel speedup: the three-backend ladder.
 
-The optimized backend (:mod:`repro.core.kernels` over
-:mod:`repro.automata.optimize`) must earn its keep: this bench times
-the exact CountNFTA DP through the Theorem 1 weighted reduction on the
-Table-1-style workloads, reference vs optimized, *cold* (kernel caches
-cleared before every optimized pass, so plan compilation and layer
+The optimized and vectorized backends (:mod:`repro.core.kernels` over
+:mod:`repro.automata.optimize`, and :mod:`repro.core.vectorized`) must
+earn their keep: this bench times the exact CountNFTA DP through the
+Theorem 1 weighted reduction on the Table-1-style workloads —
+reference vs optimized vs vectorized — *cold* (kernel caches cleared
+before every pass, so plan compilation, layer fills and memo-table
 fills are paid, not amortised away).
 
-Two of the measurements double as CI perf-regression gates (run by the
+The measurements double as CI perf-regression gates (run by the
 ``benchmarks`` job next to the telemetry/durability overhead guards):
 
-- ``test_optimized_speedup_on_largest_workload``: ≥3× on the largest
-  workload (the 3-path chain over a 3-constant domain, 5 facts per
-  relation — the biggest automaton this file builds);
-- ``test_preprocessing_amortized_below_5_percent``: compiling the
-  :class:`~repro.automata.optimize.DenseNFTA` costs <5% of a single
-  cold optimized DP pass, so preprocessing can never dominate even a
-  one-shot evaluation.
+- ``test_optimized_speedup_on_largest_workload``: optimized ≥3× over
+  reference on the largest workload (the 3-path chain over a
+  3-constant domain, 5 facts per relation — the biggest automaton this
+  file builds);
+- ``test_vectorized_speedup_on_largest_workload``: vectorized ≥3× over
+  *optimized* cold on the same workload (skips when numpy is absent);
+- ``test_preprocessing_amortized_below_5_percent`` /
+  ``test_vectorized_preprocessing_amortized_below_5_percent``: each
+  tier's own preprocessing costs <5% of a single cold DP pass, so it
+  can never dominate a one-shot evaluation — compiling the
+  :class:`~repro.automata.optimize.DenseNFTA` for the optimized tier;
+  building the :class:`~repro.core.vectorized.VectorLayerTable` from
+  the (shared, already-gated) dense compile for the vectorized tier,
+  whose lazy memo tables fill during the DP, not up front.
 
-Both backends return bitwise-identical counts — asserted here too, on
+All backends return bitwise-identical counts — asserted here too, on
 the real workloads (the differential suite covers the corpus).
 """
 
@@ -68,6 +76,17 @@ def _best_of(fn, repeats=REPEATS, check=True):
     return value, best
 
 
+def _cold_pass(reduction, backend):
+    def run():
+        clear_kernel_caches()
+        return count_nfta_exact(
+            reduction.nfta, reduction.tree_size,
+            weight_of=reduction.weight_of, backend=backend,
+        )
+
+    return run
+
+
 def _measure(reduction):
     """(reference seconds, optimized cold seconds, count) best-of."""
 
@@ -77,30 +96,33 @@ def _measure(reduction):
             weight_of=reduction.weight_of, backend="reference",
         )
 
-    def optimized_cold():
-        clear_kernel_caches()
-        return count_nfta_exact(
-            reduction.nfta, reduction.tree_size,
-            weight_of=reduction.weight_of, backend="optimized",
-        )
-
     ref_value, ref_time = _best_of(reference)
-    opt_value, opt_time = _best_of(optimized_cold)
+    opt_value, opt_time = _best_of(_cold_pass(reduction, "optimized"))
     assert ref_value == opt_value, "backends disagree — differential bug"
     return ref_time, opt_time, ref_value
 
 
 def run_kernels() -> ResultTable:
+    from repro.core.kernels import vectorized_available
+
+    with_vec = vectorized_available()
     table = ResultTable(
-        "K1: counting-kernel speedup (cold optimized vs reference)",
+        "K1: counting-kernel speedup (cold, per backend)",
         [
             "workload", "states", "transitions", "tree size",
-            "ref (s)", "opt (s)", "speedup",
+            "ref (s)", "opt (s)", "vec (s)", "opt x", "vec x",
         ],
     )
     for label, query, domain_size, facts in WORKLOADS:
         reduction = _weighted_reduction(query, domain_size, facts)
-        ref_time, opt_time, _count = _measure(reduction)
+        ref_time, opt_time, count = _measure(reduction)
+        if with_vec:
+            vec_value, vec_time = _best_of(
+                _cold_pass(reduction, "vectorized")
+            )
+            assert vec_value == count, "backends disagree"
+        else:
+            vec_time = float("nan")
         table.add_row([
             label,
             len(reduction.nfta.states),
@@ -108,7 +130,9 @@ def run_kernels() -> ResultTable:
             reduction.tree_size,
             ref_time,
             opt_time,
+            vec_time,
             ref_time / opt_time if opt_time else float("inf"),
+            opt_time / vec_time if vec_time else float("inf"),
         ])
     return table
 
@@ -152,6 +176,61 @@ def test_preprocessing_amortized_below_5_percent():
         f"preprocessing {prep_time:.4f}s is "
         f"{100 * prep_time / dp_time:.1f}% of a cold optimized DP pass "
         f"({dp_time:.3f}s); the <5% amortisation gate failed"
+    )
+
+
+def test_vectorized_speedup_on_largest_workload():
+    """ISSUE 10 gate: vectorized ≥3× over *optimized*, both cold, on
+    the largest Table-1-style workload."""
+    import pytest
+
+    from repro.core.kernels import vectorized_available
+
+    if not vectorized_available():
+        pytest.skip("numpy not installed")
+    label, query, domain_size, facts = WORKLOADS[-1]
+    reduction = _weighted_reduction(query, domain_size, facts)
+    opt_value, opt_time = _best_of(_cold_pass(reduction, "optimized"))
+    vec_value, vec_time = _best_of(_cold_pass(reduction, "vectorized"))
+    assert opt_value == vec_value, "backends disagree — differential bug"
+    assert vec_time * 3 <= opt_time, (
+        f"vectorized backend only {opt_time / vec_time:.2f}x faster "
+        f"than optimized on {label} (opt {opt_time:.3f}s, vec "
+        f"{vec_time:.3f}s); the >=3x gate failed"
+    )
+
+
+def test_vectorized_preprocessing_amortized_below_5_percent():
+    """The vectorized tier's *own* preprocessing — building the
+    :class:`VectorLayerTable` (packed source-mask columns, the fused
+    unary memo bank) from a compiled dense automaton — is <5% of one
+    cold vectorized DP pass.  The dense compile itself is shared with
+    the optimized tier and separately gated by
+    ``test_preprocessing_amortized_below_5_percent``; the lazy memo
+    tables fill during the DP and are deliberately part of the pass,
+    not the prep."""
+    import pytest
+
+    from repro.core.kernels import vectorized_available
+    from repro.core.vectorized import VectorLayerTable
+
+    if not vectorized_available():
+        pytest.skip("numpy not installed")
+    _label, query, domain_size, facts = WORKLOADS[-1]
+    reduction = _weighted_reduction(query, domain_size, facts)
+    dense = optimize_nfta(reduction.nfta)
+    weights = tuple(
+        reduction.weight_of(symbol) for symbol in dense.symbols
+    )
+
+    _table, prep_time = _best_of(
+        lambda: VectorLayerTable(dense, weights), check=False
+    )
+    _value, dp_time = _best_of(_cold_pass(reduction, "vectorized"))
+    assert prep_time <= 0.05 * dp_time, (
+        f"vectorized preprocessing {prep_time:.4f}s is "
+        f"{100 * prep_time / dp_time:.1f}% of a cold vectorized DP "
+        f"pass ({dp_time:.3f}s); the <5% amortisation gate failed"
     )
 
 

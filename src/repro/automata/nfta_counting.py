@@ -21,8 +21,13 @@ budget/metric ticks — while producing bitwise-identical counts,
 estimates and sampled trees: exact DP terms are summed in exact
 arithmetic (order-free; float weights fall back to the reference DP),
 and the sampling loops consume the RNG streams in exactly the
-reference order.  The differential suite
-(``tests/test_kernel_differential.py``) enforces this equivalence.
+reference order.  The ``vectorized`` backend
+(:mod:`repro.core.vectorized`; requires the optional numpy extra)
+lowers that same exact layer DP to batched numpy operations and
+shares the optimized sampling machinery unchanged, under the same
+bitwise guarantee.  The differential suite
+(``tests/test_kernel_differential.py``) enforces this equivalence
+across all three backends.
 
       A(q, s) = ⨄_{(σ, k, s̄)}  ⋃_{τ = (q, σ, (q1..qk)) ∈ Δ}
                     σ⟨ A(q1, s̄1) × … × A(qk, s̄k) ⟩
@@ -84,8 +89,11 @@ def count_nfta_exact(nfta: NFTA, size: int, weight_of=None, backend=None):
     ``backend='optimized'`` (the default) runs the layer DP of
     :mod:`repro.core.kernels` over the pruned dense automaton, with
     layers memoized under the automaton fingerprint; exact arithmetic
-    makes the result bitwise-equal to the reference.  Float weights
-    (whose summation order matters) automatically use the reference DP.
+    makes the result bitwise-equal to the reference.
+    ``backend='vectorized'`` lowers the same layer DP to numpy array
+    batches (:mod:`repro.core.vectorized`) with the identical bitwise
+    guarantee.  Float weights (whose summation order matters)
+    automatically use the reference DP under either backend.
     """
     from repro.core import kernels
 
@@ -97,12 +105,13 @@ def count_nfta_exact(nfta: NFTA, size: int, weight_of=None, backend=None):
     fault_point("counting.nfta")
     weigh = weight_of if weight_of is not None else (lambda _symbol: 1)
 
-    if backend == "optimized":
+    if backend != "reference":
         with span("counting.nfta_exact", size=size, backend=backend):
             budget_checkpoint("counting.nfta")
             result = kernels.dense_exact_count(
                 nfta, size, weigh,
                 checkpoint=lambda: budget_checkpoint("counting.nfta"),
+                backend=backend,
             )
             if result is not kernels.FLOAT_WEIGHTS:
                 # Keep the per-call ``dp_cells`` total equal to the
@@ -885,6 +894,9 @@ def count_nfta(
     counter plan across repetitions and batch items and batches the
     per-sample accounting; every estimate, accepted flag and sampled
     tree is bitwise-identical to ``backend='reference'``.
+    ``backend='vectorized'`` takes the same sampling path — vectorizing
+    a loop that must consume the RNG stream in reference order would
+    buy nothing — so all three backends sample identically.
     """
     from repro.core import kernels
 
@@ -895,7 +907,7 @@ def count_nfta(
         raise EstimationError("repetitions must be >= 1")
     fault_point("counting.nfta")
     plan = None
-    if backend == "optimized" and not nfta.has_lambda:
+    if backend != "reference" and not nfta.has_lambda:
         plan = kernels.shared_plan(
             ("plan", nfta.fingerprint, size),
             lambda: _CounterPlan(nfta, size),
@@ -953,7 +965,7 @@ def sample_accepted_trees(
 
     backend = kernels.resolve_backend(backend)
     plan = None
-    if backend == "optimized" and not nfta.has_lambda:
+    if backend != "reference" and not nfta.has_lambda:
         plan = kernels.shared_plan(
             ("plan", nfta.fingerprint, size),
             lambda: _CounterPlan(nfta, size),

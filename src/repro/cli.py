@@ -411,6 +411,13 @@ def _run_serve(arguments: list[str]) -> int:
              "request content (default 2023)",
     )
     parser.add_argument(
+        "--kernel-backend", default="optimized",
+        choices=["optimized", "vectorized", "reference"],
+        help="counting-kernel implementation; 'vectorized' degrades "
+             "to 'optimized' when numpy is missing (counted as "
+             "kernels.vectorized.unavailable in /stats)",
+    )
+    parser.add_argument(
         "--isolation", choices=("thread", "process"), default="thread",
         help="run evaluations in threads or forked workers "
              "(process contains crashes; default thread)",
@@ -495,6 +502,7 @@ def _run_serve(arguments: list[str]) -> int:
             seed=args.seed,
             isolation=args.isolation,
             memory_limit=args.memory_limit,
+            kernel_backend=args.kernel_backend,
             disk_cache=args.cache_dir,
             journal=args.journal,
             delta_journal=args.delta_journal,
@@ -1022,10 +1030,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--kernel-backend", default="optimized",
-        choices=["optimized", "reference"],
+        choices=["optimized", "vectorized", "reference"],
         help="counting-kernel implementation (bitwise-identical "
-             "results; 'reference' is the direct transcription of the "
-             "paper's pseudocode, for triage — see docs/performance.md)",
+             "results; 'vectorized' batches the layer DP through numpy "
+             "(the [vectorized] extra), 'reference' is the direct "
+             "transcription of the paper's pseudocode, for triage — "
+             "see docs/performance.md)",
     )
     parser.add_argument(
         "--timeout", type=_positive_float, default=None, metavar="SECONDS",

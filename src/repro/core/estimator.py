@@ -212,12 +212,18 @@ class PQEEngine:
         unaffected — sampled counts are never cached.  Per-call
         ``cache`` arguments override it.
     kernel_backend:
-        Counting-kernel implementation used by the FPRAS and Karp–Luby
-        routes: ``'optimized'`` (default; dense-interned layer DP and
-        batched sampling, see :mod:`repro.core.kernels`) or
-        ``'reference'`` (the direct transcription of the paper's
-        pseudocode).  Both produce bitwise-identical answers for any
-        seed — the knob exists for differential testing and triage.
+        Counting-kernel implementation used by the FPRAS, Karp–Luby
+        and RPQ routes: ``'optimized'`` (default; dense-interned layer
+        DP and batched sampling, see :mod:`repro.core.kernels`),
+        ``'vectorized'`` (the numpy layer DP of
+        :mod:`repro.core.vectorized`; requires the ``[vectorized]``
+        extra) or ``'reference'`` (the direct transcription of the
+        paper's pseudocode).  All produce bitwise-identical answers
+        for any seed — the knob exists for speed, differential testing
+        and triage.  When ``'vectorized'`` is requested but numpy is
+        missing the engine degrades to ``'optimized'`` (recording
+        ``kernels.vectorized.unavailable``) rather than failing, since
+        the answers are identical either way.
     """
 
     def __init__(
@@ -230,7 +236,7 @@ class PQEEngine:
         exact_set_cap: int = 4096,
         kernel_backend: str = "optimized",
     ):
-        from repro.core.kernels import resolve_backend
+        from repro.core.kernels import fallback_backend
 
         if not 0 < epsilon < 1:
             raise ReproError(f"epsilon must be in (0, 1), got {epsilon}")
@@ -240,7 +246,7 @@ class PQEEngine:
         self.repetitions = repetitions
         self.cache = cache
         self.exact_set_cap = exact_set_cap
-        self.kernel_backend = resolve_backend(kernel_backend)
+        self.kernel_backend = fallback_backend(kernel_backend)
 
     # ------------------------------------------------------------------
 
@@ -471,6 +477,7 @@ class PQEEngine:
                 delta, floor=self.repetitions
             ),
             cache=cache,
+            backend=self.kernel_backend,
         )
         return PQEAnswer(
             estimate.estimate,

@@ -3,9 +3,15 @@
 This module is the process-wide home of the ``optimized`` counting
 backend (see ``docs/performance.md``):
 
-- :func:`resolve_backend` — the ``backend="reference"|"optimized"``
-  knob threaded through ``count_nfta_exact``, the estimators,
-  :class:`~repro.core.estimator.PQEEngine` and the CLI;
+- :func:`resolve_backend` — the
+  ``backend="reference"|"optimized"|"vectorized"`` knob threaded
+  through ``count_nfta_exact``, the estimators,
+  :class:`~repro.core.estimator.PQEEngine` and the CLI.  The
+  ``vectorized`` backend (numpy; the optional ``[vectorized]`` extra —
+  see :mod:`repro.core.vectorized`) swaps the scalar layer DP for a
+  batched array one and reuses the optimized machinery everywhere
+  else; :func:`fallback_backend` is the engine/serve entry point that
+  degrades it to ``optimized`` when numpy is missing;
 - :func:`dense_exact_count` — a layer-at-a-time bottom-up DP over the
   :class:`~repro.automata.optimize.DenseNFTA` bitmask indexes.  Its
   per-size layers are memoized under the automaton
@@ -59,11 +65,14 @@ __all__ = [
     "dense_automaton",
     "dense_exact_count",
     "evict_fingerprints",
+    "fallback_backend",
     "resolve_backend",
     "shared_plan",
+    "vector_nfa_count",
+    "vectorized_available",
 ]
 
-BACKENDS = ("reference", "optimized")
+BACKENDS = ("reference", "optimized", "vectorized")
 DEFAULT_BACKEND = "optimized"
 
 #: Sentinel returned by :func:`dense_exact_count` when the weight
@@ -72,15 +81,52 @@ DEFAULT_BACKEND = "optimized"
 FLOAT_WEIGHTS = object()
 
 
+def vectorized_available() -> bool:
+    """Whether the ``vectorized`` backend can run (numpy importable)."""
+    from repro.core import vectorized
+
+    return vectorized.available()
+
+
 def resolve_backend(backend: str | None) -> str:
-    """Normalise a backend knob (``None`` means the default)."""
+    """Normalise a backend knob (``None`` means the default).
+
+    Raises a contextual :class:`~repro.errors.ReproError` for unknown
+    names, and for ``'vectorized'`` when numpy (the ``[vectorized]``
+    optional extra) is not installed — callers that prefer degrading
+    over failing use :func:`fallback_backend` instead.
+    """
     if backend is None:
         return DEFAULT_BACKEND
     if backend not in BACKENDS:
         raise ReproError(
             f"unknown kernel backend {backend!r}; choose from {BACKENDS}"
         )
+    if backend == "vectorized" and not vectorized_available():
+        raise ReproError(
+            "kernel backend 'vectorized' requires numpy, which is not "
+            "installed; install the optional extra "
+            "(pip install 'repro[vectorized]') or choose from "
+            "('reference', 'optimized')"
+        )
     return backend
+
+
+def fallback_backend(backend: str | None) -> str:
+    """Resolve a backend, degrading ``'vectorized'`` to ``'optimized'``
+    when numpy is unavailable.
+
+    The auto-fallback used by :class:`~repro.core.estimator.PQEEngine`
+    and the serve daemon: answers are bitwise-identical across backends,
+    so degrading silently is safe; the
+    ``kernels.vectorized.unavailable`` counter records that it
+    happened (like all ``kernels.*`` counters, outside the determinism
+    contract).
+    """
+    if backend == "vectorized" and not vectorized_available():
+        metric_inc("kernels.vectorized.unavailable")
+        return "optimized"
+    return resolve_backend(backend)
 
 
 # ----------------------------------------------------------------------
@@ -153,8 +199,9 @@ class _KernelStore:
 
         Every store key is a tuple carrying the automaton fingerprint
         (``("dense", fp)``, ``("plan", fp, size)``,
-        ``("layers", fp, weights)``), so membership anywhere in the
-        tuple identifies the artefacts compiled from that automaton.
+        ``("layers", fp, weights)``, ``("vlayers", fp, weights)``), so
+        membership anywhere in the tuple identifies the artefacts
+        compiled from that automaton.
         """
         dropped = 0
         with self._lock:
@@ -356,7 +403,8 @@ class _LayerTable:
 
 
 def dense_exact_count(
-    nfta: NFTA, size: int, weigh, checkpoint: Callable[[], None]
+    nfta: NFTA, size: int, weigh, checkpoint: Callable[[], None],
+    backend: str = "optimized",
 ):
     """Exact weighted count of size-``size`` accepted trees, or
     :data:`FLOAT_WEIGHTS` when the weight vector forces the reference
@@ -364,18 +412,47 @@ def dense_exact_count(
 
     Bitwise-equal to the reference DP for int/Fraction weights: both
     backends sum exactly the same per-tree weight terms, and exact
-    arithmetic makes the grouping irrelevant.
+    arithmetic makes the grouping irrelevant.  ``backend='vectorized'``
+    runs the numpy layer DP of :mod:`repro.core.vectorized` instead of
+    the scalar one; its layer tables are memoized separately (under
+    ``("vlayers", …)``) so the two artefact families never shadow each
+    other.
     """
     dense = dense_automaton(nfta)
     weights = tuple(weigh(symbol) for symbol in dense.symbols)
     for weight in weights:
         if isinstance(weight, float):
             return FLOAT_WEIGHTS
-    table = _layer_store.get_or_build(
-        ("layers", dense.fingerprint, weights),
-        lambda: _LayerTable(dense, weights),
-    )
+    if backend == "vectorized":
+        from repro.core import vectorized
+
+        table = _layer_store.get_or_build(
+            ("vlayers", dense.fingerprint, weights),
+            lambda: vectorized.VectorLayerTable(dense, weights),
+        )
+    else:
+        table = _layer_store.get_or_build(
+            ("layers", dense.fingerprint, weights),
+            lambda: _LayerTable(dense, weights),
+        )
     return table.count(size, checkpoint)
+
+
+def vector_nfa_count(nfa, length: int, weight_of=None, max_subsets=None):
+    """Vectorized exact layered subset DP over a string NFA.
+
+    The ``vectorized`` arm of the RPQ exact product route (see
+    :func:`repro.graphs.estimate.rpq_probability_estimate`): returns the
+    same count / ``None``-on-frontier-blowup as
+    :meth:`repro.automata.nfa.NFA.count_exact`, or
+    :data:`FLOAT_WEIGHTS` when float weights require the reference
+    summation order.
+    """
+    from repro.core import vectorized
+
+    return vectorized.nfa_exact_count(
+        nfa, length, weight_of=weight_of, max_subsets=max_subsets
+    )
 
 
 # ----------------------------------------------------------------------

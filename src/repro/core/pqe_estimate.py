@@ -296,9 +296,10 @@ def pqe_estimate(
         median-of-``repetitions`` runs are fanned out (see
         :func:`repro.automata.nfta_counting.count_nfta`).
     backend:
-        Counting-kernel backend, ``'optimized'`` (default) or
-        ``'reference'`` — see :mod:`repro.core.kernels`.  Both are
-        bitwise-identical for any seed; the knob exists for
+        Counting-kernel backend, ``'optimized'`` (default),
+        ``'vectorized'`` (numpy layer DP; optional extra) or
+        ``'reference'`` — see :mod:`repro.core.kernels`.  All are
+        bitwise-identical for any seed; the knob exists for speed,
         differential testing and triage.
     """
     from repro.core.kernels import resolve_backend

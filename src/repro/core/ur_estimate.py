@@ -83,9 +83,10 @@ def ur_estimate(
         Optional :class:`concurrent.futures.Executor` over which
         median-of-``repetitions`` runs are fanned out.
     backend:
-        Counting-kernel backend, ``'optimized'`` (default) or
-        ``'reference'`` — see :mod:`repro.core.kernels`.  Bitwise-
-        identical results either way.
+        Counting-kernel backend, ``'optimized'`` (default),
+        ``'vectorized'`` or ``'reference'`` — see
+        :mod:`repro.core.kernels`.  Bitwise-identical results under
+        every knob.
     """
     from repro.core.kernels import resolve_backend
 

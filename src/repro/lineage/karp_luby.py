@@ -75,7 +75,9 @@ def karp_luby_probability(
     free-fact list, and batches the per-sample budget/metric ticks.
     The RNG is consulted for exactly the same facts in exactly the
     reference order, so the estimate is bitwise-identical to
-    ``backend='reference'`` for any seed.
+    ``backend='reference'`` for any seed.  ``backend='vectorized'``
+    shares the optimized loop: sampling is RNG-order-bound, so there
+    is nothing for numpy to batch here.
     """
     from repro.core.kernels import resolve_backend
 
@@ -109,7 +111,7 @@ def karp_luby_probability(
     accepted = 0
     metric_gauge("karp_luby.clauses", len(clauses))
     with span("lineage.karp_luby", samples=samples):
-        if backend == "optimized":
+        if backend != "reference":
             accepted = _sample_optimized(
                 rng, samples, clauses, cumulative, total_weight,
                 relevant, float_probs,

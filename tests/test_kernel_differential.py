@@ -1,9 +1,11 @@
-"""Differential tests: optimized vs reference kernels, compared bitwise.
+"""Differential tests: every kernel backend pair, compared bitwise.
 
-The optimized backend (:mod:`repro.core.kernels` over
-:mod:`repro.automata.optimize`) promises *bitwise-identical* results to
-the reference transcription for any input and any seed — not "close",
-identical.  This module enforces that promise over the repository's
+The optimized and vectorized backends (:mod:`repro.core.kernels` over
+:mod:`repro.automata.optimize`, and :mod:`repro.core.vectorized`)
+promise *bitwise-identical* results to the reference transcription for
+any input and any seed — not "close", identical.  This module enforces
+that promise over the full backend cross product (the ``vectorized``
+legs drop out cleanly when numpy is not installed) on the repository's
 existing corpus:
 
 - every automaton shape used by ``test_nfta_counting`` (Catalan, random
@@ -15,9 +17,12 @@ existing corpus:
   ``pqe_estimate`` / ``ur_estimate`` / ``PQEEngine`` on every routed
   method;
 - Karp–Luby over random monotone DNFs;
+- RPQ product automata: the exact product-DP route of
+  ``rpq_probability_estimate`` over the handcrafted adversarial graph
+  corpus;
 - whole batches at workers 1 and 4, where answers *and* the merged
-  deterministic counters must agree across both worker counts and both
-  backends.
+  deterministic counters must agree across both worker counts and
+  every backend.
 
 Comparisons use ``==`` on exact values (``int``/``Fraction``: value and
 type), full result dataclasses, and tree lists — never ``approx``.
@@ -50,7 +55,11 @@ from repro.workloads.instances import (
 
 from test_nfta_counting import _catalan_automaton, _random_nfta
 
-BACKENDS = ("reference", "optimized")
+from repro.core.kernels import vectorized_available
+
+BACKENDS = ("reference", "optimized") + (
+    ("vectorized",) if vectorized_available() else ()
+)
 
 
 def _ambiguous_automaton() -> NFTA:
@@ -129,8 +138,9 @@ def test_exact_counts_bitwise(index):
             count_nfta_exact(nfta, size, backend=backend)
             for backend in BACKENDS
         ]
-        assert plain[0] == plain[1]
-        assert type(plain[0]) is type(plain[1])
+        for other in plain[1:]:
+            assert other == plain[0]
+            assert type(other) is type(plain[0])
         for table in (weights, fractional):
             weighted = [
                 count_nfta_exact(
@@ -138,8 +148,9 @@ def test_exact_counts_bitwise(index):
                 )
                 for backend in BACKENDS
             ]
-            assert weighted[0] == weighted[1]
-            assert type(weighted[0]) is type(weighted[1])
+            for other in weighted[1:]:
+                assert other == weighted[0]
+                assert type(other) is type(weighted[0])
 
 
 @pytest.mark.parametrize("index", range(12))
@@ -158,7 +169,7 @@ def test_count_nfta_bitwise(index, exact_set_cap):
         )
         for backend in BACKENDS
     ]
-    assert results[0] == results[1]
+    assert all(result == results[0] for result in results[1:])
 
 
 @pytest.mark.parametrize("index", range(12))
@@ -175,7 +186,7 @@ def test_sampled_trees_bitwise(index):
         )
         for backend in BACKENDS
     ]
-    assert trees[0] == trees[1]
+    assert all(sample == trees[0] for sample in trees[1:])
 
 
 def test_weighted_sampling_bitwise():
@@ -188,7 +199,7 @@ def test_weighted_sampling_bitwise():
         )
         for backend in BACKENDS
     ]
-    assert trees[0] == trees[1]
+    assert all(sample == trees[0] for sample in trees[1:])
 
 
 # ---------------------------------------------------------------------------
@@ -221,8 +232,9 @@ def test_pqe_estimate_bitwise(case, method):
         )
         for backend in BACKENDS
     ]
-    assert estimates[0].estimate == estimates[1].estimate
-    assert estimates[0].count_result == estimates[1].count_result
+    for other in estimates[1:]:
+        assert other.estimate == estimates[0].estimate
+        assert other.count_result == estimates[0].count_result
 
 
 @pytest.mark.parametrize("case", range(4))
@@ -236,8 +248,9 @@ def test_ur_estimate_bitwise(case, method):
         )
         for backend in BACKENDS
     ]
-    assert estimates[0].estimate == estimates[1].estimate
-    assert estimates[0].count_result == estimates[1].count_result
+    for other in estimates[1:]:
+        assert other.estimate == estimates[0].estimate
+        assert other.count_result == estimates[0].count_result
 
 
 def test_engine_fixture_corpus_bitwise(q2, q3, tiny_pdb):
@@ -249,7 +262,9 @@ def test_engine_fixture_corpus_bitwise(q2, q3, tiny_pdb):
                 )
                 for backend in BACKENDS
             ]
-            assert answers[0] == answers[1], (query, method)
+            assert all(
+                answer == answers[0] for answer in answers[1:]
+            ), (query, method)
 
 
 def test_engine_random_sjf_corpus_bitwise():
@@ -269,7 +284,7 @@ def test_engine_random_sjf_corpus_bitwise():
             ).probability(query, pdb, method="fpras")
             for backend in BACKENDS
         ]
-        assert answers[0] == answers[1]
+        assert all(answer == answers[0] for answer in answers[1:])
         checked += 1
 
 
@@ -291,7 +306,51 @@ def test_karp_luby_random_dnfs_bitwise():
             )
             for backend in BACKENDS
         ]
-        assert results[0] == results[1]
+        assert all(result == results[0] for result in results[1:])
+
+
+# ---------------------------------------------------------------------------
+# RPQ product automata: the exact product-DP route per backend
+
+
+@pytest.mark.parametrize("case", range(8))
+def test_rpq_exact_product_dp_bitwise(case):
+    from repro.graphs import rpq_probability_estimate
+    from test_rpq_differential import _handcrafted_cases
+
+    name, graph, query = _handcrafted_cases()[case]
+    estimates = [
+        rpq_probability_estimate(
+            graph, query, method="exact", backend=backend
+        )
+        for backend in BACKENDS
+    ]
+    for other in estimates[1:]:
+        assert other.exact is estimates[0].exact, name
+        assert other.rational == estimates[0].rational, name
+        assert other.estimate == estimates[0].estimate, name
+
+
+@pytest.mark.parametrize("case", range(8))
+def test_rpq_auto_frontier_bailout_parity(case):
+    # 'auto' with a tiny frontier cap: whether the DP bails to the
+    # FPRAS must be backend-independent, and the fallback estimates
+    # (fixed seed) bitwise-equal.
+    from repro.graphs import rpq_probability_estimate
+    from test_rpq_differential import _handcrafted_cases
+
+    name, graph, query = _handcrafted_cases()[case]
+    estimates = [
+        rpq_probability_estimate(
+            graph, query, method="auto", epsilon=0.3, seed=case,
+            backend=backend,
+        )
+        for backend in BACKENDS
+    ]
+    for other in estimates[1:]:
+        assert other.method == estimates[0].method, name
+        assert other.estimate == estimates[0].estimate, name
+        assert other.rational == estimates[0].rational, name
 
 
 # ---------------------------------------------------------------------------
@@ -316,6 +375,7 @@ def test_batch_answers_and_counters_bitwise():
         assert per_workers[1] == per_workers[4]
         merged[backend] = per_workers[1]
     # … and full answer + counter parity across backends: the optimized
-    # kernels do the same semantic work, bit for bit (only the
-    # contract-exempt kernels.* bookkeeping may differ).
-    assert merged["reference"] == merged["optimized"]
+    # and vectorized kernels do the same semantic work, bit for bit
+    # (only the contract-exempt kernels.* bookkeeping may differ).
+    for backend in BACKENDS[1:]:
+        assert merged[backend] == merged["reference"]

@@ -1,0 +1,242 @@
+"""The vectorized backend's own contracts: overflow and degradation.
+
+Two properties the three-backend differential suite cannot pin by
+itself:
+
+- **the object-dtype overflow fallback** — weighted counts that
+  straddle 2^63 must silently switch the numpy DP from ``int64`` to
+  object dtype (exact Python ints) and still match the reference
+  bitwise, value *and* type.  A hypothesis property drives random
+  weighted automata across the boundary; a pinned regression freezes
+  one straddling workload and asserts the
+  ``kernels.vectorized.object_fallback`` counter actually fired.
+- **graceful no-numpy degradation** — with numpy absent (simulated by
+  monkeypatching :data:`repro.core.vectorized._np` to ``None``),
+  ``resolve_backend('vectorized')`` raises a contextual error naming
+  the ``[vectorized]`` extra, while the engine and the serve daemon
+  auto-fall back to ``'optimized'`` and count the degradation as
+  ``kernels.vectorized.unavailable``.  The other two backends stay
+  untouched, so tier-1 behaviour is numpy-independent.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.vectorized as vectorized
+from repro.automata.nfta_counting import count_nfta_exact
+from repro.core.estimator import PQEEngine
+from repro.core.kernels import (
+    clear_kernel_caches,
+    fallback_backend,
+    resolve_backend,
+    vectorized_available,
+)
+from repro.errors import ReproError
+from repro.obs import EvaluationTelemetry, telemetry_scope
+from repro.queries.builders import path_query
+from repro.workloads.instances import (
+    random_instance_for_query,
+    random_probabilities,
+)
+
+from test_nfta_counting import _random_nfta
+
+needs_numpy = pytest.mark.skipif(
+    not vectorized_available(), reason="numpy not installed"
+)
+
+
+# ---------------------------------------------------------------------------
+# overflow: counts straddling 2^63 take the object-dtype fallback
+
+
+@needs_numpy
+@given(seed=st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=20, deadline=None)
+def test_straddling_counts_match_reference_bitwise(seed):
+    """Mixed-sign weights near 2^44 push intermediate products far past
+    2^63 within a few layers; the vectorized DP must cross into object
+    mode and stay bitwise-equal (value and type) to the reference."""
+    nfta = _random_nfta(seed, states=4)
+    symbols = sorted(nfta.alphabet, key=str)
+    table = {
+        symbol: ((-1) ** i) * ((1 << 44) + 977 * i + seed)
+        for i, symbol in enumerate(symbols)
+    }
+    for size in range(1, 7):
+        expected = count_nfta_exact(
+            nfta, size, weight_of=table.get, backend="reference"
+        )
+        actual = count_nfta_exact(
+            nfta, size, weight_of=table.get, backend="vectorized"
+        )
+        assert actual == expected
+        assert type(actual) is type(expected)
+
+
+@needs_numpy
+def test_pinned_straddling_regression():
+    """One frozen straddling workload: a weighted PQE reduction whose
+    weights are scaled by 2^40, forcing the int64 → object switch.  The
+    count, its type, and the fallback counter are all pinned."""
+    query = path_query(2)
+    instance = random_instance_for_query(
+        query, domain_size=2, facts_per_relation=3, seed=7
+    )
+    pdb = random_probabilities(instance, seed=7, max_denominator=4)
+    from repro.core.pqe_estimate import build_pqe_reduction
+
+    reduction = build_pqe_reduction(query, pdb, weighted=True)
+
+    def scaled(symbol):
+        return reduction.weight_of(symbol) * (1 << 40)
+
+    expected = count_nfta_exact(
+        reduction.nfta, reduction.tree_size, weight_of=scaled,
+        backend="reference",
+    )
+    clear_kernel_caches()
+    telemetry = EvaluationTelemetry()
+    with telemetry_scope(telemetry):
+        actual = count_nfta_exact(
+            reduction.nfta, reduction.tree_size, weight_of=scaled,
+            backend="vectorized",
+        )
+    assert actual == expected
+    assert type(actual) is type(expected) is int
+    assert actual.bit_length() > 63  # genuinely straddles int64
+    assert telemetry.counter("kernels.vectorized.object_fallback") >= 1
+
+
+@needs_numpy
+def test_fraction_weights_use_object_mode_from_the_start():
+    nfta = _random_nfta(3, states=4)
+    symbols = sorted(nfta.alphabet, key=str)
+    table = {
+        symbol: Fraction(2 * i + 1, 7) for i, symbol in enumerate(symbols)
+    }
+    for size in range(1, 6):
+        expected = count_nfta_exact(
+            nfta, size, weight_of=table.get, backend="reference"
+        )
+        actual = count_nfta_exact(
+            nfta, size, weight_of=table.get, backend="vectorized"
+        )
+        assert actual == expected
+        assert type(actual) is type(expected)
+
+
+# ---------------------------------------------------------------------------
+# degradation: the backend without numpy
+
+
+def _without_numpy(monkeypatch):
+    monkeypatch.setattr(vectorized, "_np", None)
+
+
+def test_resolve_backend_raises_contextually_without_numpy(monkeypatch):
+    _without_numpy(monkeypatch)
+    with pytest.raises(ReproError) as failure:
+        resolve_backend("vectorized")
+    message = str(failure.value)
+    assert "numpy" in message
+    assert "[vectorized]" in message
+    assert "optimized" in message  # points at the working alternative
+
+
+def test_fallback_backend_degrades_with_counter(monkeypatch):
+    _without_numpy(monkeypatch)
+    telemetry = EvaluationTelemetry()
+    with telemetry_scope(telemetry):
+        assert fallback_backend("vectorized") == "optimized"
+    assert telemetry.counter("kernels.vectorized.unavailable") == 1
+
+
+def test_other_backends_are_numpy_independent(monkeypatch):
+    _without_numpy(monkeypatch)
+    assert resolve_backend("optimized") == "optimized"
+    assert resolve_backend("reference") == "reference"
+    assert resolve_backend(None) == "optimized"
+    assert fallback_backend("optimized") == "optimized"
+
+
+def test_engine_autofallback_without_numpy(monkeypatch, q2, tiny_pdb):
+    _without_numpy(monkeypatch)
+    telemetry = EvaluationTelemetry()
+    with telemetry_scope(telemetry):
+        engine = PQEEngine(seed=11, kernel_backend="vectorized")
+    assert engine.kernel_backend == "optimized"
+    assert telemetry.counter("kernels.vectorized.unavailable") == 1
+    # …and the degraded engine answers exactly like a native one.
+    native = PQEEngine(seed=11, kernel_backend="optimized")
+    assert engine.probability(q2, tiny_pdb) == native.probability(
+        q2, tiny_pdb
+    )
+
+
+def test_serve_autofallback_without_numpy(monkeypatch, tiny_pdb):
+    _without_numpy(monkeypatch)
+    from repro.serve import PQEServer, ServerConfig
+
+    server = PQEServer(
+        tiny_pdb, ServerConfig(kernel_backend="vectorized")
+    )
+    assert server.engine.kernel_backend == "optimized"
+    stats = server.stats()
+    assert stats["requests"]["kernels.vectorized.unavailable"] == 1
+    status, body = server.handle({"query": "Q :- R(x, y), S(y, z)"})
+    assert status == 200 and body["ok"]
+
+
+@needs_numpy
+def test_engine_and_serve_keep_vectorized_with_numpy(tiny_pdb):
+    from repro.serve import PQEServer, ServerConfig
+
+    assert resolve_backend("vectorized") == "vectorized"
+    assert fallback_backend("vectorized") == "vectorized"
+    engine = PQEEngine(kernel_backend="vectorized")
+    assert engine.kernel_backend == "vectorized"
+    server = PQEServer(
+        tiny_pdb, ServerConfig(kernel_backend="vectorized")
+    )
+    assert server.engine.kernel_backend == "vectorized"
+    assert "kernels.vectorized.unavailable" not in server.stats()[
+        "requests"
+    ]
+
+
+def test_unknown_backend_message_lists_choices():
+    with pytest.raises(ReproError) as failure:
+        resolve_backend("simd")
+    assert "simd" in str(failure.value)
+
+
+# ---------------------------------------------------------------------------
+# randomized cross-check at moderate weights (no overflow): the int64
+# path itself, not just the object fallback
+
+
+@needs_numpy
+def test_random_small_weight_parity():
+    rng = random.Random(31)
+    for trial in range(8):
+        nfta = _random_nfta(200 + trial, states=4)
+        symbols = sorted(nfta.alphabet, key=str)
+        table = {
+            symbol: rng.randint(1, 9) for symbol in symbols
+        }
+        size = rng.randint(1, 7)
+        expected = count_nfta_exact(
+            nfta, size, weight_of=table.get, backend="reference"
+        )
+        actual = count_nfta_exact(
+            nfta, size, weight_of=table.get, backend="vectorized"
+        )
+        assert actual == expected
+        assert type(actual) is type(expected)
